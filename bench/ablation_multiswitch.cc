@@ -1,0 +1,71 @@
+// Ablation: distributing the SDX across multiple physical switches (§4.1).
+//
+// Reports, per edge-switch count, the total installed rules across the
+// fabric (policy rules are placed only on the edges hosting the matching
+// in-ports, plus L2 delivery/guard/core rules) and verifies forwarding
+// equivalence against the single-switch deployment on sampled traffic.
+#include <cstdio>
+#include <random>
+
+#include "sdx/multi_switch.h"
+#include "sweep_common.h"
+
+using namespace sdx;
+
+int main() {
+  core::SdxRuntime runtime;
+  auto built = bench::MakeScenario(/*participants=*/100, /*prefixes=*/5000,
+                                   /*seed=*/314, /*policy_scale=*/1.0,
+                                   /*coverage_fanout=*/100);
+  auto stats = bench::BuildAndCompile(runtime, built);
+  std::printf("scenario: 100 participants, 5000 prefixes, %zu groups, "
+              "%zu single-switch rules\n\n",
+              stats.prefix_group_count, stats.flow_rule_count);
+
+  std::printf("%6s %12s %14s %12s %10s\n", "edges", "total_rules",
+              "rules_per_sw", "agreement", "samples");
+  for (int edges : {1, 2, 4, 8}) {
+    core::MultiSwitchDeployment deployment(runtime.topology(), edges);
+    deployment.Install(runtime.data_plane().table().rules());
+
+    // Sampled forwarding equivalence vs the single switch.
+    std::mt19937 rng(1);
+    int agree = 0, samples = 0;
+    for (int trial = 0; trial < 300; ++trial) {
+      const auto& member =
+          built.scenario.members[rng() % built.scenario.members.size()];
+      net::Packet packet;
+      const auto& prefix =
+          built.scenario.prefixes[rng() % built.scenario.prefixes.size()];
+      packet.header.dst_ip =
+          net::IPv4Address(prefix.network().value() | (rng() & 0xFF));
+      packet.header.src_ip =
+          net::IPv4Address(static_cast<std::uint32_t>(rng()));
+      packet.header.proto = net::kProtoTcp;
+      packet.header.dst_port = rng() % 2 ? 80 : 443;
+      packet.size_bytes = 64;
+
+      const auto* router = runtime.FindRouter(member.as);
+      auto tagged = router->EmitPacket(packet, runtime.arp());
+      if (!tagged) continue;
+      auto single = runtime.InjectFromParticipant(member.as, packet);
+      auto multi = deployment.Process(*tagged);
+      ++samples;
+      if (single.size() == multi.size() &&
+          (single.empty() || (single[0].out_port == multi[0].out_port &&
+                              single[0].packet.header ==
+                                  multi[0].packet.header))) {
+        ++agree;
+      }
+    }
+    std::printf("%6d %12zu %14.1f %11.1f%% %10d\n", edges,
+                deployment.fabric().TotalRules(),
+                static_cast<double>(deployment.fabric().TotalRules()) /
+                    (edges + 1),
+                100.0 * agree / samples, samples);
+  }
+  std::printf("\nexpected: total rules grow only by the L2 delivery/guard/"
+              "core bands as edges are added; per-switch load drops; "
+              "agreement stays at 100%%.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Ablation (§4.3.2): the two-stage scheduler vs fast-path-only operation.
+//
+// Replays a Table-1-calibrated update trace through two identical runtimes:
+// one schedules background re-optimization in the quiet gaps between bursts
+// (TwoStageScheduler), the other only ever uses the fast path. Reports
+// table growth, VNH consumption, and per-update latency — the cost of
+// skipping the background stage.
+#include <algorithm>
+#include <cstdio>
+
+#include "sdx/two_stage.h"
+#include "sweep_common.h"
+#include "workload/update_gen.h"
+
+using namespace sdx;
+
+namespace {
+
+struct ReplayResult {
+  std::size_t final_rules = 0;
+  std::size_t outstanding_groups = 0;
+  std::uint64_t background_runs = 0;
+  double p99_ms = 0;
+};
+
+ReplayResult Replay(bool background, const bench::BuiltScenario& built,
+                    const std::vector<bgp::BgpUpdate>& updates) {
+  core::SdxRuntime runtime;
+  workload::Install(runtime, built.scenario, built.policies);
+  runtime.FullCompile();
+
+  core::TwoStageConfig config;
+  if (!background) {
+    config.idle_threshold_s = 1e18;   // never idle-trigger
+    config.max_outstanding = 1u << 30;  // never cap-trigger
+  }
+  core::TwoStageScheduler scheduler(runtime, config);
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(updates.size());
+  for (const auto& update : updates) {
+    auto stats = scheduler.OnUpdate(update);
+    latencies_ms.push_back(stats.seconds * 1e3);
+  }
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+
+  ReplayResult result;
+  result.final_rules = runtime.data_plane().table().size();
+  result.outstanding_groups = runtime.fast_path_groups();
+  result.background_runs = scheduler.background_runs();
+  result.p99_ms =
+      latencies_ms[static_cast<std::size_t>(0.99 * (latencies_ms.size() - 1))];
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  auto built = bench::MakeScenario(/*participants=*/100, /*prefixes=*/4000,
+                                   /*seed=*/271, /*policy_scale=*/1.0,
+                                   /*coverage_fanout=*/100);
+  auto params = workload::UpdateStreamParams::Small(4000, 3000, /*seed=*/6);
+  params.duration_seconds = 1e12;
+  auto stream = workload::UpdateGenerator(params).GenerateFor(built.scenario);
+  std::printf("trace: %zu updates in %zu bursts\n\n", stream.updates.size(),
+              stream.bursts.size());
+
+  std::printf("%-22s %12s %14s %10s %8s\n", "mode", "final_rules",
+              "outstanding", "bg_runs", "p99_ms");
+  ReplayResult two_stage = Replay(true, built, stream.updates);
+  std::printf("%-22s %12zu %14zu %10llu %8.3f\n", "two-stage (paper)",
+              two_stage.final_rules, two_stage.outstanding_groups,
+              static_cast<unsigned long long>(two_stage.background_runs),
+              two_stage.p99_ms);
+  ReplayResult fast_only = Replay(false, built, stream.updates);
+  std::printf("%-22s %12zu %14zu %10llu %8.3f\n", "fast-path only",
+              fast_only.final_rules, fast_only.outstanding_groups,
+              static_cast<unsigned long long>(fast_only.background_runs),
+              fast_only.p99_ms);
+
+  std::printf("\nexpected: without background re-optimization the table "
+              "accumulates one fast-path band per touched prefix and keeps "
+              "growing; the two-stage runtime periodically coalesces back "
+              "to the minimal table at no per-update latency cost.\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Ablation: the two §4 design choices that make the SDX compile at all.
+//
+//   1. Data-plane state (§4.2): VMAC prefix-grouping vs the naive
+//      destination-prefix compilation ((ΣP)>>(ΣP) over prefix filters).
+//      The paper motivates VNHs by noting naive compilation "could easily
+//      lead to millions of forwarding rules"; here we compile both on the
+//      same scenarios and report rule counts. The naive path explodes, so
+//      it only runs at small scale.
+//   2. Control-plane computation (§4.3.1): compilation with and without the
+//      memoization cache on the optimized pipeline.
+#include <chrono>
+#include <cstdio>
+
+#include "policy/compile.h"
+#include "sdx/composer.h"
+#include "sdx/default_fwd.h"
+#include "sweep_common.h"
+
+using namespace sdx;
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation 1 (§4.2): VMAC prefix grouping vs naive "
+              "destination-prefix compilation\n");
+  std::printf("%13s %9s %12s %12s %12s\n", "participants", "prefixes",
+              "vnh_rules", "naive_rules", "blowup");
+  for (auto [participants, prefixes] :
+       {std::pair{10, 50}, {15, 100}, {20, 200}, {25, 300}}) {
+    core::SdxRuntime runtime;
+    auto built =
+        bench::MakeScenario(participants, prefixes, /*seed=*/77);
+    auto stats = bench::BuildAndCompile(runtime, built);
+
+    core::Composer composer(runtime.topology(), runtime.route_server());
+    auto naive = policy::Compile(
+        composer.BuildFaithfulPolicy(runtime.participants()));
+    std::printf("%13d %9d %12zu %12zu %11.1fx\n", participants, prefixes,
+                stats.flow_rule_count, naive.size(),
+                static_cast<double>(naive.size()) /
+                    static_cast<double>(stats.flow_rule_count));
+  }
+
+  std::printf("\nAblation 2 (§4.3.1): recompilation with a warm memoization "
+              "cache vs none\n");
+  std::printf("%13s %9s %13s %13s %10s %10s\n", "participants", "prefixes",
+              "warm_sec", "no_cache_sec", "hits", "entries");
+  for (auto [participants, prefixes] :
+       {std::pair{100, 5000}, {200, 5000}, {300, 5000}}) {
+    core::SdxRuntime runtime;
+    auto built = bench::MakeScenario(participants, prefixes, /*seed=*/88,
+                                     /*policy_scale=*/1.0,
+                                     /*coverage_fanout=*/participants);
+    bench::BuildAndCompile(runtime, built);
+
+    core::Composer composer(runtime.topology(), runtime.route_server());
+    auto inbound = composer.BuildInboundPolicies(runtime.participants());
+    policy::CompilationCache cache;
+    composer.Compose(runtime.participants(), inbound, runtime.groups(),
+                     runtime.clause_set_ids(), &cache);  // warm it
+
+    auto start = std::chrono::steady_clock::now();
+    composer.Compose(runtime.participants(), inbound, runtime.groups(),
+                     runtime.clause_set_ids(), &cache);
+    const double warm_sec = Seconds(start);
+    const auto hits = cache.hits();
+
+    start = std::chrono::steady_clock::now();
+    composer.Compose(runtime.participants(), inbound, runtime.groups(),
+                     runtime.clause_set_ids(), /*cache=*/nullptr);
+    const double no_cache_sec = Seconds(start);
+
+    std::printf("%13d %9d %13.3f %13.3f %10llu %10zu\n", participants,
+                prefixes, warm_sec, no_cache_sec,
+                static_cast<unsigned long long>(hits), cache.size());
+  }
+
+  std::printf("\nAblation 3 (§4.3.1): \"most SDX policies are disjoint\" — "
+              "generic parallel composition of the default-forwarding "
+              "policy vs the composer's direct disjoint emission\n");
+  std::printf("%13s %9s %8s %15s %17s\n", "participants", "prefixes",
+              "groups", "parallel_sec", "disjoint_sec");
+  for (auto [participants, prefixes] :
+       {std::pair{100, 2000}, {100, 5000}, {100, 10000}}) {
+    core::SdxRuntime runtime;
+    auto built = bench::MakeScenario(participants, prefixes, /*seed=*/99,
+                                     /*policy_scale=*/1.0,
+                                     /*coverage_fanout=*/participants);
+    bench::BuildAndCompile(runtime, built);
+
+    // Generic path: build the default policy as a big parallel composition
+    // and run it through the general-purpose compiler (quadratic).
+    auto start = std::chrono::steady_clock::now();
+    auto generic = policy::Compile(
+        core::DefaultFabricPolicy(runtime.topology(), runtime.groups()));
+    const double parallel_sec = Seconds(start);
+
+    // Disjoint path: what the composer actually does — emit one rule per
+    // group/port directly (linear). Re-measure by timing a full Compose,
+    // whose default block uses the direct path.
+    core::Composer composer(runtime.topology(), runtime.route_server());
+    auto inbound = composer.BuildInboundPolicies(runtime.participants());
+    start = std::chrono::steady_clock::now();
+    composer.Compose(runtime.participants(), inbound, runtime.groups(),
+                     runtime.clause_set_ids(), nullptr);
+    const double disjoint_sec = Seconds(start);
+
+    std::printf("%13d %9d %8zu %15.3f %17.3f\n", participants, prefixes,
+                runtime.groups().groups.size(), parallel_sec, disjoint_sec);
+    (void)generic;
+  }
+
+  std::printf("\nexpected: naive rules explode super-linearly (the paper's "
+              "\"millions of rules\" motivation); the warm cache removes "
+              "repeated sub-compilations; generic parallel composition of "
+              "the (disjoint) default policy is quadratic while direct "
+              "emission stays linear — and the disjoint column covers the "
+              "ENTIRE compose, not just the default block.\n");
+  return 0;
+}

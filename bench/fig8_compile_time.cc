@@ -1,0 +1,39 @@
+// Figure 8: initial compilation time as a function of the number of prefix
+// groups, for 100/200/300 participants.
+//
+// Each point performs a cold full compilation (FEC + VNH assignment +
+// policy composition + rule generation) of a fresh runtime. The paper's
+// shape: super-linear (roughly quadratic) growth in the number of prefix
+// groups, increasing with the participant count. Absolute times differ
+// radically from the paper's Python prototype.
+#include <cstdio>
+
+#include "policy/cache.h"
+#include "sweep_common.h"
+
+using namespace sdx;
+
+int main() {
+  std::printf("Figure 8: initial compilation time vs prefix groups\n");
+  std::printf("%13s %13s %13s %15s %13s\n", "participants", "prefixes",
+              "prefix_groups", "compile_sec", "cache_rules");
+  for (int participants : {100, 200, 300}) {
+    for (int prefixes : {2000, 5000, 10000, 15000, 20000, 25000}) {
+      core::SdxRuntime runtime;
+      auto built = bench::MakeScenario(participants, prefixes,
+                                       /*seed=*/2000 + participants,
+                                       /*policy_scale=*/1.0,
+                                       /*coverage_fanout=*/participants);
+      auto stats = bench::BuildAndCompile(runtime, built);
+      std::printf("%13d %13d %13zu %15.3f %13zu\n", participants, prefixes,
+                  stats.prefix_group_count, stats.seconds,
+                  runtime.cache().TotalRules());
+    }
+    std::printf("\n");
+  }
+  std::printf("expected shape (paper): super-linear in prefix groups, "
+              "higher with more participants (paper: minutes in Python; "
+              "this C++ pipeline is orders of magnitude faster in absolute "
+              "terms).\n");
+  return 0;
+}

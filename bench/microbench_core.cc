@@ -1,0 +1,140 @@
+// Google-benchmark microbenchmarks of the hot paths under every figure:
+// flow-space intersection, classifier composition, longest-prefix match,
+// FEC computation, and flow-table lookup.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "net/prefix_trie.h"
+#include "policy/compile.h"
+#include "sdx/fec.h"
+#include "workload/topology_gen.h"
+
+using namespace sdx;
+
+namespace {
+
+net::FieldMatch RandomMatch(std::mt19937& rng) {
+  net::FieldMatch m;
+  if (rng() % 2) m.WithInPort(rng() % 16);
+  if (rng() % 2) m.WithDstPort(rng() % 2 ? 80 : 443);
+  if (rng() % 2) {
+    m.WithDstIp(net::IPv4Prefix(
+        net::IPv4Address(static_cast<std::uint32_t>(rng())),
+        static_cast<std::uint8_t>(8 + rng() % 17)));
+  }
+  return m;
+}
+
+void BM_FieldMatchIntersect(benchmark::State& state) {
+  std::mt19937 rng(1);
+  std::vector<net::FieldMatch> matches;
+  for (int i = 0; i < 256; ++i) matches.push_back(RandomMatch(rng));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto result = matches[i % 256].Intersect(matches[(i * 7 + 3) % 256]);
+    benchmark::DoNotOptimize(result);
+    ++i;
+  }
+}
+BENCHMARK(BM_FieldMatchIntersect);
+
+void BM_ClassifierParallel(benchmark::State& state) {
+  const auto rules = static_cast<int>(state.range(0));
+  std::mt19937 rng(2);
+  std::vector<policy::Rule> a_rules, b_rules;
+  for (int i = 0; i < rules; ++i) {
+    a_rules.push_back({net::FieldMatch::DstPort(
+                           static_cast<std::uint16_t>(1000 + i)),
+                       {dataplane::Action{{}, 1}}});
+    b_rules.push_back({net::FieldMatch::SrcPort(
+                           static_cast<std::uint16_t>(2000 + i)),
+                       {dataplane::Action{{}, 2}}});
+  }
+  a_rules.push_back({net::FieldMatch(), {}});
+  b_rules.push_back({net::FieldMatch(), {}});
+  policy::Classifier a(a_rules), b(b_rules);
+  for (auto _ : state) {
+    auto c = a.Parallel(b);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetComplexityN(rules);
+}
+BENCHMARK(BM_ClassifierParallel)->Range(8, 128)->Complexity();
+
+void BM_ClassifierSequential(benchmark::State& state) {
+  const auto rules = static_cast<int>(state.range(0));
+  std::vector<policy::Rule> a_rules, b_rules;
+  for (int i = 0; i < rules; ++i) {
+    a_rules.push_back({net::FieldMatch::DstPort(
+                           static_cast<std::uint16_t>(1000 + i)),
+                       {dataplane::Action{{}, static_cast<net::PortId>(i)}}});
+    b_rules.push_back(
+        {net::FieldMatch::InPort(static_cast<net::PortId>(i)),
+         {dataplane::Action{{}, 99}}});
+  }
+  a_rules.push_back({net::FieldMatch(), {}});
+  b_rules.push_back({net::FieldMatch(), {}});
+  policy::Classifier a(a_rules), b(b_rules);
+  for (auto _ : state) {
+    auto c = a.Sequential(b);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetComplexityN(rules);
+}
+BENCHMARK(BM_ClassifierSequential)->Range(8, 128)->Complexity();
+
+void BM_PrefixTrieLongestMatch(benchmark::State& state) {
+  net::PrefixMap<int> trie;
+  std::mt19937 rng(3);
+  for (int i = 0; i < 100000; ++i) {
+    trie.Insert(workload::TopologyGenerator::PrefixNumber(i), i);
+  }
+  std::uint32_t x = 12345;
+  for (auto _ : state) {
+    x = x * 1664525 + 1013904223;
+    auto hit = trie.LongestMatch(
+        net::IPv4Address((16u << 24) | (x & 0x00FFFFFFu)));
+    benchmark::DoNotOptimize(hit);
+  }
+}
+BENCHMARK(BM_PrefixTrieLongestMatch);
+
+void BM_FecCompute(benchmark::State& state) {
+  const auto prefixes = static_cast<int>(state.range(0));
+  workload::TopologyParams params;
+  params.participants = 100;
+  params.total_prefixes = prefixes;
+  auto scenario = workload::TopologyGenerator(params).Generate();
+  for (auto _ : state) {
+    core::FecComputer fec;
+    for (const auto& member : scenario.members) {
+      if (!member.announced.empty()) fec.AddBehaviorSet(member.announced);
+    }
+    auto groups = fec.Compute();
+    benchmark::DoNotOptimize(groups);
+  }
+  state.SetComplexityN(prefixes);
+}
+BENCHMARK(BM_FecCompute)->Range(1000, 16000)->Complexity();
+
+void BM_PolicyCompile(benchmark::State& state) {
+  using policy::Policy;
+  using policy::Predicate;
+  Policy p = Policy::Drop();
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    p = p + Policy::Guarded(
+                Predicate::DstPort(static_cast<std::uint16_t>(80 + i)),
+                Policy::Fwd(static_cast<net::PortId>(i)));
+  }
+  for (auto _ : state) {
+    auto c = policy::Compile(p);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PolicyCompile)->Range(8, 256)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Shared scaffolding for the Figure 7/8/9/10 sweeps: build a full SDX
+// runtime for an AMS-IX-like scenario with the §6.1 policy mix at a given
+// participant count, varying the prefix population to move along the
+// prefix-group axis.
+#pragma once
+
+#include <cstdio>
+
+#include "sdx/runtime.h"
+#include "workload/policy_gen.h"
+#include "workload/topology_gen.h"
+
+namespace sdx::bench {
+
+struct BuiltScenario {
+  workload::IxpScenario scenario;
+  workload::GeneratedPolicies policies;
+};
+
+// `policy_scale` multiplies the §6.1 fractions of participants that install
+// policies; `coverage_fanout` adds application-specific-peering clauses
+// toward that many top announcers, which injects the announcement-driven
+// prefix-group diversity of Figure 6 (the paper's figures sweep prefix
+// groups directly).
+inline BuiltScenario MakeScenario(int participants, int prefixes,
+                                  std::uint32_t seed,
+                                  double policy_scale = 1.0,
+                                  int coverage_fanout = 0) {
+  workload::TopologyParams topo;
+  topo.participants = participants;
+  topo.total_prefixes = prefixes;
+  topo.seed = seed;
+  BuiltScenario out;
+  out.scenario = workload::TopologyGenerator(topo).Generate();
+  workload::PolicyParams policy_params;
+  policy_params.seed = seed + 1;
+  policy_params.content_fraction =
+      std::min(1.0, policy_params.content_fraction * policy_scale);
+  policy_params.transit_top_fraction =
+      std::min(1.0, policy_params.transit_top_fraction * policy_scale);
+  policy_params.eyeball_top_fraction =
+      std::min(1.0, policy_params.eyeball_top_fraction * policy_scale);
+  policy_params.coverage_fanout = coverage_fanout;
+  out.policies =
+      workload::PolicyGenerator(policy_params).Generate(out.scenario);
+  return out;
+}
+
+// Loads the scenario into a fresh runtime and fully compiles it.
+inline core::CompileStats BuildAndCompile(core::SdxRuntime& runtime,
+                                          const BuiltScenario& built) {
+  workload::Install(runtime, built.scenario, built.policies);
+  return runtime.FullCompile();
+}
+
+}  // namespace sdx::bench

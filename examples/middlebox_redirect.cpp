@@ -1,0 +1,66 @@
+// Redirection through middleboxes (§2's fourth application).
+//
+// AS B suspects a denial-of-service attack from a source range. Instead of
+// hijacking routes to steer ALL traffic through a scrubber (today's
+// practice), B installs an inbound SDX policy that redirects only the
+// suspect flows to the traffic scrubber attached to its second port —
+// normal traffic keeps its direct path, and the policy is removed when the
+// attack subsides.
+#include <cstdio>
+
+#include "sdx/runtime.h"
+
+using namespace sdx;
+
+int main() {
+  core::SdxRuntime sdx;
+  constexpr bgp::AsNumber kAsA = 100, kAsB = 200;
+  sdx.AddParticipant(kAsA, 1);
+  // Port B0 = border router; port B1 = the scrubbing middlebox.
+  sdx.AddParticipant(kAsB, 2);
+
+  const auto victim = *net::IPv4Prefix::Parse("203.0.113.0/24");
+  sdx.AnnouncePrefix(kAsB, victim);
+  sdx.FullCompile();
+
+  auto send = [&](const char* src, std::uint16_t dst_port) {
+    net::Packet packet;
+    packet.header.src_ip = *net::IPv4Address::Parse(src);
+    packet.header.dst_ip = *net::IPv4Address::Parse("203.0.113.7");
+    packet.header.proto = net::kProtoUdp;
+    packet.header.dst_port = dst_port;
+    packet.size_bytes = 512;
+    auto emissions = sdx.InjectFromParticipant(kAsA, packet);
+    if (emissions.empty()) {
+      std::printf("  src %-15s dst_port %-5u -> dropped\n", src, dst_port);
+      return;
+    }
+    const auto* port = sdx.topology().FindPhysicalPort(emissions[0].out_port);
+    std::printf("  src %-15s dst_port %-5u -> %s\n", src, dst_port,
+                port && port->index == 1 ? "SCRUBBER (B1)" : "direct (B0)");
+  };
+
+  std::printf("before the attack (no redirection policy):\n");
+  send("198.51.100.9", 53);
+  send("10.1.2.3", 80);
+
+  // Traffic measurements flag 198.51.100.0/24: redirect it to the scrubber.
+  core::InboundClause scrub;
+  scrub.match =
+      policy::Predicate::SrcIp(*net::IPv4Prefix::Parse("198.51.100.0/24"));
+  scrub.port_index = 1;  // the middlebox port
+  sdx.SetInboundPolicy(kAsB, {scrub});
+  sdx.FullCompile();
+
+  std::printf("during the attack (suspect /24 redirected):\n");
+  send("198.51.100.9", 53);   // -> scrubber
+  send("198.51.100.77", 123); // -> scrubber
+  send("10.1.2.3", 80);       // unaffected
+
+  // Attack over: drop the policy; everything is direct again.
+  sdx.SetInboundPolicy(kAsB, {});
+  sdx.FullCompile();
+  std::printf("after the attack:\n");
+  send("198.51.100.9", 53);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Service chaining (§8's envisioned extension): steering traffic through a
+// SEQUENCE of middleboxes on its way to the destination.
+//
+// AS B suspects volumetric attacks on its web service, so web traffic from
+// the Internet traverses a scrubber and then a DPI box before delivery;
+// everything else goes straight to the border router. The middleboxes are
+// transparent: they re-inject processed packets on their own ports, and the
+// SDX steers each packet to its next hop.
+#include <cstdio>
+
+#include "sdx/runtime.h"
+
+using namespace sdx;
+
+int main() {
+  core::SdxRuntime sdx;
+  constexpr bgp::AsNumber kAsA = 100, kAsB = 200;
+  sdx.AddParticipant(kAsA, 1);
+  // B0 = border router, B1 = scrubber, B2 = DPI appliance.
+  sdx.AddParticipant(kAsB, 3);
+  sdx.AnnouncePrefix(kAsB, *net::IPv4Prefix::Parse("203.0.113.0/24"));
+
+  core::InboundClause chained;
+  chained.match = policy::Predicate::DstPort(80);
+  chained.chain = {core::ChainHop{kAsB, 1}, core::ChainHop{kAsB, 2}};
+  chained.port_index = 0;
+  sdx.SetInboundPolicy(kAsB, {chained});
+  sdx.FullCompile();
+
+  auto port_name = [&](net::PortId id) {
+    const auto* port = sdx.topology().FindPhysicalPort(id);
+    if (port == nullptr) return std::string("?");
+    const char* roles[] = {"border-router B0", "scrubber B1", "dpi B2"};
+    return std::string(roles[port->index]);
+  };
+
+  auto trace = [&](std::uint16_t dst_port) {
+    net::Packet packet;
+    packet.header.src_ip = *net::IPv4Address::Parse("198.51.100.9");
+    packet.header.dst_ip = *net::IPv4Address::Parse("203.0.113.7");
+    packet.header.proto = net::kProtoTcp;
+    packet.header.dst_port = dst_port;
+    packet.size_bytes = 700;
+
+    std::printf("packet dst_port %u: ingress AS%u", dst_port, kAsA);
+    auto emissions = sdx.InjectFromParticipant(kAsA, packet);
+    int hops = 0;
+    while (!emissions.empty() && hops < 8) {
+      const net::PortId port = emissions[0].out_port;
+      std::printf(" -> %s", port_name(port).c_str());
+      const auto* info = sdx.topology().FindPhysicalPort(port);
+      if (info != nullptr && info->index == 0) break;  // delivered
+      // The middlebox processes and re-injects.
+      emissions = sdx.ReinjectFromPort(port, emissions[0].packet);
+      ++hops;
+    }
+    std::printf("\n");
+  };
+
+  std::printf("service chain for AS%u web traffic: scrubber -> dpi -> "
+              "border router\n",
+              kAsB);
+  trace(80);   // full chain
+  trace(443);  // untouched
+  trace(22);   // untouched
+  return 0;
+}

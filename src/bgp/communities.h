@@ -1,0 +1,71 @@
+// BGP community attribute helpers and the standard route-server control
+// communities.
+//
+// Real IXP route servers (AMS-IX, DE-CIX, ...) let members steer
+// re-advertisement with well-known communities; the SDX route server honors
+// the same conventions, which §3.2's "integrating with existing
+// infrastructure" requires:
+//
+//   (0, peer)       — do NOT announce this route to `peer`
+//   (rs-as, peer)   — announce this route ONLY to the peers so listed
+//   NO_EXPORT       — do not announce this route to anyone
+//
+// A community value is the RFC 1997 32-bit (high:low) pair.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "bgp/route.h"
+
+namespace sdx::bgp {
+
+constexpr std::uint32_t MakeCommunity(std::uint16_t high, std::uint16_t low) {
+  return (std::uint32_t{high} << 16) | low;
+}
+
+constexpr std::uint16_t CommunityHigh(std::uint32_t community) {
+  return static_cast<std::uint16_t>(community >> 16);
+}
+
+constexpr std::uint16_t CommunityLow(std::uint32_t community) {
+  return static_cast<std::uint16_t>(community & 0xFFFF);
+}
+
+// RFC 1997 well-known: do not advertise beyond this AS / at all.
+inline constexpr std::uint32_t kNoExport = 0xFFFFFF41;
+inline constexpr std::uint32_t kNoAdvertise = 0xFFFFFF02;
+
+// "Do not announce to <peer>".
+constexpr std::uint32_t DenyPeer(std::uint16_t peer_as) {
+  return MakeCommunity(0, peer_as);
+}
+
+// "Announce only to <peer>" (tagged with the route server's AS).
+constexpr std::uint32_t OnlyPeer(std::uint16_t rs_as, std::uint16_t peer_as) {
+  return MakeCommunity(rs_as, peer_as);
+}
+
+// Evaluates the control communities on a route against a prospective
+// receiver. `rs_as` identifies the route server for the allow-list form.
+inline bool CommunitiesPermitExport(std::span<const std::uint32_t> communities,
+                                    AsNumber receiver, std::uint16_t rs_as) {
+  bool has_allow_list = false;
+  bool allowed_by_list = false;
+  for (std::uint32_t community : communities) {
+    if (community == kNoExport || community == kNoAdvertise) return false;
+    if (CommunityHigh(community) == 0 &&
+        CommunityLow(community) == (receiver & 0xFFFF)) {
+      return false;
+    }
+    if (rs_as != 0 && CommunityHigh(community) == rs_as) {
+      has_allow_list = true;
+      if (CommunityLow(community) == (receiver & 0xFFFF)) {
+        allowed_by_list = true;
+      }
+    }
+  }
+  return !has_allow_list || allowed_by_list;
+}
+
+}  // namespace sdx::bgp

@@ -1,0 +1,41 @@
+#include "bgp/decision.h"
+
+namespace sdx::bgp {
+
+int CompareRoutes(const BgpRoute& a, const BgpRoute& b) {
+  if (a.local_pref != b.local_pref) {
+    return a.local_pref > b.local_pref ? -1 : 1;
+  }
+  if (a.as_path.size() != b.as_path.size()) {
+    return a.as_path.size() < b.as_path.size() ? -1 : 1;
+  }
+  if (a.origin != b.origin) {
+    return static_cast<int>(a.origin) < static_cast<int>(b.origin) ? -1 : 1;
+  }
+  if (a.med != b.med) {
+    return a.med < b.med ? -1 : 1;
+  }
+  if (a.peer_router_id != b.peer_router_id) {
+    return a.peer_router_id < b.peer_router_id ? -1 : 1;
+  }
+  return 0;
+}
+
+const BgpRoute* SelectBest(std::span<const BgpRoute> candidates) {
+  const BgpRoute* best = nullptr;
+  for (const BgpRoute& route : candidates) {
+    if (best == nullptr || CompareRoutes(route, *best) < 0) best = &route;
+  }
+  return best;
+}
+
+const BgpRoute* SelectBest(std::span<const BgpRoute* const> candidates) {
+  const BgpRoute* best = nullptr;
+  for (const BgpRoute* route : candidates) {
+    if (route == nullptr) continue;
+    if (best == nullptr || CompareRoutes(*route, *best) < 0) best = route;
+  }
+  return best;
+}
+
+}  // namespace sdx::bgp

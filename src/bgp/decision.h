@@ -1,0 +1,29 @@
+// The BGP decision process, as run by the SDX route server on behalf of
+// each participant (§3.2: "selects one best route for each prefix on behalf
+// of each participant").
+//
+// Tie-breaking order (standard route-server subset):
+//   1. highest LOCAL_PREF
+//   2. shortest AS_PATH
+//   3. lowest ORIGIN (IGP < EGP < incomplete)
+//   4. lowest MED (compared across peers, route-server style)
+//   5. lowest peer router-id
+#pragma once
+
+#include <span>
+
+#include "bgp/route.h"
+
+namespace sdx::bgp {
+
+// Three-way comparison: negative when `a` is preferred over `b`, positive
+// when `b` is preferred, zero when indistinguishable.
+int CompareRoutes(const BgpRoute& a, const BgpRoute& b);
+
+// Returns the best route among `candidates` (nullptr when empty).
+const BgpRoute* SelectBest(std::span<const BgpRoute> candidates);
+
+// Convenience for containers of pointers.
+const BgpRoute* SelectBest(std::span<const BgpRoute* const> candidates);
+
+}  // namespace sdx::bgp

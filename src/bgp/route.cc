@@ -1,0 +1,140 @@
+#include "bgp/route.h"
+
+#include <charconv>
+#include <cctype>
+#include <ostream>
+#include <sstream>
+
+namespace sdx::bgp {
+
+std::string_view OriginName(Origin origin) {
+  switch (origin) {
+    case Origin::kIgp:
+      return "IGP";
+    case Origin::kEgp:
+      return "EGP";
+    case Origin::kIncomplete:
+      return "incomplete";
+  }
+  return "?";
+}
+
+AsNumber BgpRoute::OriginAs() const {
+  return as_path.empty() ? 0 : as_path.back();
+}
+
+bool BgpRoute::PathContains(AsNumber as) const {
+  for (AsNumber hop : as_path) {
+    if (hop == as) return true;
+  }
+  return false;
+}
+
+std::string BgpRoute::AsPathString() const {
+  std::string out;
+  for (std::size_t i = 0; i < as_path.size(); ++i) {
+    if (i > 0) out.push_back(' ');
+    out += std::to_string(as_path[i]);
+  }
+  return out;
+}
+
+std::string BgpRoute::ToString() const {
+  std::ostringstream os;
+  os << prefix << " via " << next_hop << " path [" << AsPathString()
+     << "] lp " << local_pref << " med " << med << " origin "
+     << OriginName(origin);
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const BgpRoute& route) {
+  return os << route.ToString();
+}
+
+std::optional<AsPathPattern> AsPathPattern::Compile(std::string_view pattern) {
+  const std::string source(pattern);
+  bool anchored_front = false;
+  bool anchored_back = false;
+  if (!pattern.empty() && pattern.front() == '^') {
+    anchored_front = true;
+    pattern.remove_prefix(1);
+  }
+  if (!pattern.empty() && pattern.back() == '$') {
+    anchored_back = true;
+    pattern.remove_suffix(1);
+  }
+
+  std::vector<Token> tokens;
+  while (!pattern.empty()) {
+    if (std::isspace(static_cast<unsigned char>(pattern.front()))) {
+      pattern.remove_prefix(1);
+      continue;
+    }
+    if (pattern.front() == '.') {
+      pattern.remove_prefix(1);
+      if (!pattern.empty() && pattern.front() == '*') {
+        pattern.remove_prefix(1);
+        tokens.push_back({Token::Kind::kAnyStar, 0});
+      } else {
+        tokens.push_back({Token::Kind::kAny, 0});
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(pattern.front()))) {
+      AsNumber value = 0;
+      auto [ptr, ec] = std::from_chars(
+          pattern.data(), pattern.data() + pattern.size(), value);
+      if (ec != std::errc()) return std::nullopt;
+      pattern.remove_prefix(static_cast<std::size_t>(ptr - pattern.data()));
+      if (!pattern.empty() && pattern.front() == '*') {
+        pattern.remove_prefix(1);
+        tokens.push_back({Token::Kind::kLiteralStar, value});
+      } else {
+        tokens.push_back({Token::Kind::kLiteral, value});
+      }
+      continue;
+    }
+    return std::nullopt;  // unsupported character
+  }
+  return AsPathPattern(source, std::move(tokens), anchored_front,
+                       anchored_back);
+}
+
+bool AsPathPattern::MatchHere(std::size_t token_index,
+                              const std::vector<AsNumber>& path,
+                              std::size_t path_index) const {
+  if (token_index == tokens_.size()) {
+    return !anchored_back_ || path_index == path.size();
+  }
+  const Token& token = tokens_[token_index];
+  switch (token.kind) {
+    case Token::Kind::kLiteral:
+      return path_index < path.size() && path[path_index] == token.value &&
+             MatchHere(token_index + 1, path, path_index + 1);
+    case Token::Kind::kAny:
+      return path_index < path.size() &&
+             MatchHere(token_index + 1, path, path_index + 1);
+    case Token::Kind::kAnyStar:
+      for (std::size_t skip = path_index; skip <= path.size(); ++skip) {
+        if (MatchHere(token_index + 1, path, skip)) return true;
+      }
+      return false;
+    case Token::Kind::kLiteralStar:
+      for (std::size_t skip = path_index; skip <= path.size(); ++skip) {
+        if (MatchHere(token_index + 1, path, skip)) return true;
+        if (skip < path.size() && path[skip] != token.value) return false;
+      }
+      return false;
+  }
+  return false;
+}
+
+bool AsPathPattern::Matches(const std::vector<AsNumber>& as_path) const {
+  if (anchored_front_) return MatchHere(0, as_path, 0);
+  for (std::size_t start = 0; start <= as_path.size(); ++start) {
+    if (MatchHere(0, as_path, start)) return true;
+  }
+  return false;
+}
+
+}  // namespace sdx::bgp

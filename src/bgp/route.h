@@ -1,0 +1,96 @@
+// BGP route representation: a prefix plus the path attributes the SDX needs.
+//
+// The SDX route server runs the standard BGP decision process over these
+// (§3.2), exports them subject to per-peer export policies, and rewrites
+// next-hops to virtual next-hops. Policies may also group traffic by BGP
+// attributes ("all flows sent by YouTube"), which is what AsPathPattern's
+// regular-expression matching over AS paths supports.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/ipv4.h"
+
+namespace sdx::bgp {
+
+using AsNumber = std::uint32_t;
+
+enum class Origin : std::uint8_t { kIgp = 0, kEgp = 1, kIncomplete = 2 };
+
+std::string_view OriginName(Origin origin);
+
+struct BgpRoute {
+  net::IPv4Prefix prefix;
+  net::IPv4Address next_hop;
+  std::vector<AsNumber> as_path;  // nearest AS first
+  std::uint32_t local_pref = 100;
+  std::uint32_t med = 0;
+  Origin origin = Origin::kIgp;
+  std::vector<std::uint32_t> communities;
+
+  // Session bookkeeping: which peer announced this route to the server.
+  AsNumber peer_as = 0;
+  net::IPv4Address peer_router_id;
+
+  // The AS that originated the prefix (last hop of the path); 0 if empty.
+  AsNumber OriginAs() const;
+
+  // Loop prevention: true if `as` already appears on the path.
+  bool PathContains(AsNumber as) const;
+
+  std::string AsPathString() const;
+  std::string ToString() const;
+
+  friend bool operator==(const BgpRoute&, const BgpRoute&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const BgpRoute& route);
+
+// A small regular-expression engine over AS paths, supporting the idioms
+// the paper uses (e.g. ".*43515$" for "originated by YouTube"). Grammar:
+//
+//   pattern := '^'? term* '$'?
+//   term    := ASN | '.' | '.*' | ASN'*'
+//
+// Tokens are whitespace- or implicit-delimited AS numbers; '.' matches any
+// single AS; '.*' matches any (possibly empty) AS sequence. Without '^' the
+// pattern may match starting anywhere; without '$' it may end anywhere.
+class AsPathPattern {
+ public:
+  // Returns nullopt on a malformed pattern.
+  static std::optional<AsPathPattern> Compile(std::string_view pattern);
+
+  bool Matches(const std::vector<AsNumber>& as_path) const;
+
+  const std::string& source() const { return source_; }
+
+ private:
+  struct Token {
+    enum class Kind : std::uint8_t { kLiteral, kAny, kAnyStar, kLiteralStar };
+    Kind kind = Kind::kLiteral;
+    AsNumber value = 0;
+  };
+
+  AsPathPattern(std::string source, std::vector<Token> tokens, bool anchored_front,
+                bool anchored_back)
+      : source_(std::move(source)),
+        tokens_(std::move(tokens)),
+        anchored_front_(anchored_front),
+        anchored_back_(anchored_back) {}
+
+  bool MatchHere(std::size_t token_index, const std::vector<AsNumber>& path,
+                 std::size_t path_index) const;
+
+  std::string source_;
+  std::vector<Token> tokens_;
+  bool anchored_front_ = false;
+  bool anchored_back_ = false;
+};
+
+}  // namespace sdx::bgp

@@ -1,0 +1,31 @@
+#include "bgp/session.h"
+
+namespace sdx::bgp {
+
+bool BgpSession::SendToPeer(BgpUpdate update) {
+  if (!established()) return false;
+  to_peer_.push_back(std::move(update));
+  ++sent_to_peer_;
+  return true;
+}
+
+std::vector<BgpUpdate> BgpSession::DrainFromPeer() {
+  std::vector<BgpUpdate> out(to_local_.begin(), to_local_.end());
+  to_local_.clear();
+  return out;
+}
+
+bool BgpSession::SendToLocal(BgpUpdate update) {
+  if (!established()) return false;
+  to_local_.push_back(std::move(update));
+  ++sent_to_local_;
+  return true;
+}
+
+std::vector<BgpUpdate> BgpSession::DrainFromLocal() {
+  std::vector<BgpUpdate> out(to_peer_.begin(), to_peer_.end());
+  to_peer_.clear();
+  return out;
+}
+
+}  // namespace sdx::bgp

@@ -1,0 +1,68 @@
+// In-process BGP session between a participant border router and the SDX
+// route server.
+//
+// The paper's prototype speaks real BGP via ExaBGP; here both ends live in
+// one process, so a session is a pair of ordered message queues plus a
+// minimal Idle/Established state machine. Closing a session models a BGP
+// session reset: the reader observes the transition and flushes state (the
+// Table 1 analysis methodology discards reset-induced updates, which the
+// workload generator reproduces).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "bgp/update.h"
+
+namespace sdx::bgp {
+
+class BgpSession {
+ public:
+  BgpSession(AsNumber local_as, AsNumber peer_as)
+      : local_as_(local_as), peer_as_(peer_as) {}
+
+  AsNumber local_as() const { return local_as_; }
+  AsNumber peer_as() const { return peer_as_; }
+
+  enum class State : std::uint8_t { kIdle, kEstablished };
+  State state() const { return state_; }
+  bool established() const { return state_ == State::kEstablished; }
+
+  void Open() { state_ = State::kEstablished; }
+
+  // Models a session reset: pending messages are lost and the generation
+  // counter advances so readers can detect the flush.
+  void Close() {
+    state_ = State::kIdle;
+    to_peer_.clear();
+    to_local_.clear();
+    ++generation_;
+  }
+
+  std::uint64_t generation() const { return generation_; }
+
+  // --- Local side (participant) ---------------------------------------
+  // Sends an update toward the peer; dropped when not established.
+  bool SendToPeer(BgpUpdate update);
+  std::vector<BgpUpdate> DrainFromPeer();
+
+  // --- Peer side (route server) ----------------------------------------
+  bool SendToLocal(BgpUpdate update);
+  std::vector<BgpUpdate> DrainFromLocal();
+
+  std::uint64_t sent_to_peer() const { return sent_to_peer_; }
+  std::uint64_t sent_to_local() const { return sent_to_local_; }
+
+ private:
+  AsNumber local_as_;
+  AsNumber peer_as_;
+  State state_ = State::kIdle;
+  std::uint64_t generation_ = 0;
+  std::deque<BgpUpdate> to_peer_;
+  std::deque<BgpUpdate> to_local_;
+  std::uint64_t sent_to_peer_ = 0;
+  std::uint64_t sent_to_local_ = 0;
+};
+
+}  // namespace sdx::bgp

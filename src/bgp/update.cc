@@ -1,0 +1,42 @@
+#include "bgp/update.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace sdx::bgp {
+
+AsNumber UpdateFrom(const BgpUpdate& update) {
+  return std::visit([](const auto& u) { return u.from_as; }, update);
+}
+
+net::IPv4Prefix UpdatePrefix(const BgpUpdate& update) {
+  if (const auto* announcement = std::get_if<Announcement>(&update)) {
+    return announcement->route.prefix;
+  }
+  return std::get<Withdrawal>(update).prefix;
+}
+
+Timestamp UpdateTime(const BgpUpdate& update) {
+  return std::visit([](const auto& u) { return u.time; }, update);
+}
+
+bool IsAnnouncement(const BgpUpdate& update) {
+  return std::holds_alternative<Announcement>(update);
+}
+
+std::string ToString(const BgpUpdate& update) {
+  std::ostringstream os;
+  if (const auto* announcement = std::get_if<Announcement>(&update)) {
+    os << "A[AS" << announcement->from_as << " " << announcement->route << "]";
+  } else {
+    const auto& withdrawal = std::get<Withdrawal>(update);
+    os << "W[AS" << withdrawal.from_as << " " << withdrawal.prefix << "]";
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const BgpUpdate& update) {
+  return os << ToString(update);
+}
+
+}  // namespace sdx::bgp

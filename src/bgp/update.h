@@ -1,0 +1,47 @@
+// BGP update messages: announcements and withdrawals.
+//
+// Updates flow from participant border routers to the SDX route server over
+// in-process sessions (bgp/session.h), and the route server emits derived
+// updates back to participants after best-path selection and VNH rewriting.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+
+#include "bgp/route.h"
+#include "net/ipv4.h"
+
+namespace sdx::bgp {
+
+// Simulation timestamps are in microseconds.
+using Timestamp = std::int64_t;
+
+struct Announcement {
+  AsNumber from_as = 0;
+  BgpRoute route;
+  Timestamp time = 0;
+
+  friend bool operator==(const Announcement&, const Announcement&) = default;
+};
+
+struct Withdrawal {
+  AsNumber from_as = 0;
+  net::IPv4Prefix prefix;
+  Timestamp time = 0;
+
+  friend bool operator==(const Withdrawal&, const Withdrawal&) = default;
+};
+
+using BgpUpdate = std::variant<Announcement, Withdrawal>;
+
+AsNumber UpdateFrom(const BgpUpdate& update);
+net::IPv4Prefix UpdatePrefix(const BgpUpdate& update);
+Timestamp UpdateTime(const BgpUpdate& update);
+bool IsAnnouncement(const BgpUpdate& update);
+
+std::string ToString(const BgpUpdate& update);
+std::ostream& operator<<(std::ostream& os, const BgpUpdate& update);
+
+}  // namespace sdx::bgp

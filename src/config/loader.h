@@ -1,0 +1,70 @@
+// Text scenario configuration for the SDX.
+//
+// A line-oriented DSL describing an exchange: participants, announcements,
+// export policy, and participant policies. Used by the sdx_shell tool and
+// anywhere a reproducible scenario-from-file is handy.
+//
+//   # Figure 1, in config form
+//   participant 100 ports=1
+//   participant 200 ports=2
+//   participant 300 ports=1
+//   announce 200 10.1.0.0/16 path=200,900
+//   announce 300 10.1.0.0/16 path=300
+//   deny-export 200 100 10.4.0.0/16
+//   outbound 100 match=dstport:80 to=200
+//   inbound 200 match=srcip:0.0.0.0/1 port=0
+//   inbound 200 match=srcip:128.0.0.0/1 port=1
+//   compile
+//
+// Directives:
+//   participant <as> [ports=<n>]                (n=0: remote participant)
+//   announce <as> <prefix> [path=a,b,...] [lp=<n>] [med=<n>]
+//            [communities=h:l,...]
+//   withdraw <as> <prefix>
+//   deny-export <announcer> <receiver> <prefix>
+//   own <as> <prefix>
+//   originate <as> <prefix> <next-hop-ip>
+//   outbound <as> to=<as> [match=<field>:<val>,...] [dst=<prefix>,...]
+//   inbound <as> [match=...] [rewrite=<field>:<val>,...] [port=<k>]
+//           [via=<as>] [chain=<as>:<k>,...]
+//   compile
+//
+// Match/rewrite fields: srcip/dstip (prefix or address), srcport/dstport,
+// proto (tcp/udp/number), srcmac/dstmac (rewrite only).
+//
+// Announcements and withdrawals before the first `compile` bulk-load the
+// RIB; afterwards they run through the §4.3.2 fast path, so a file can
+// script a whole control-plane timeline.
+#pragma once
+
+#include <istream>
+#include <string>
+#include <string_view>
+
+#include "sdx/runtime.h"
+
+namespace sdx::config {
+
+class ScenarioLoader {
+ public:
+  explicit ScenarioLoader(core::SdxRuntime& runtime) : runtime_(&runtime) {}
+
+  // Processes directives until EOF. On failure returns false and puts
+  // "line N: message" into *error (processing stops at the first error).
+  bool LoadStream(std::istream& in, std::string* error);
+  bool LoadString(std::string_view text, std::string* error);
+
+  // Processes a single directive line (used by the interactive shell).
+  // Empty lines and comments succeed trivially.
+  bool ProcessLine(std::string_view line, std::string* error);
+
+  bool compiled() const { return compiled_; }
+  std::size_t directives_processed() const { return directives_; }
+
+ private:
+  core::SdxRuntime* runtime_;
+  bool compiled_ = false;
+  std::size_t directives_ = 0;
+};
+
+}  // namespace sdx::config

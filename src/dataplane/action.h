@@ -1,0 +1,90 @@
+// Data-plane actions: header rewrites plus an output port.
+//
+// A rule's action list follows OpenFlow semantics: an empty list drops the
+// packet; each action applies its field rewrites and emits a copy of the
+// packet on its output port (multiple actions = multicast). The policy
+// compiler also uses Rewrites algebraically — composing rewrite sequences
+// and pulling matches backwards through them.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/flowspace.h"
+#include "net/ipv4.h"
+#include "net/mac.h"
+#include "net/packet.h"
+
+namespace sdx::dataplane {
+
+// A set of header-field assignments. Fields not present are left untouched.
+// The in-port is not rewritable; moving a packet is the output's job.
+class Rewrites {
+ public:
+  Rewrites() = default;
+
+  Rewrites& SetSrcMac(net::MacAddress mac);
+  Rewrites& SetDstMac(net::MacAddress mac);
+  Rewrites& SetSrcIp(net::IPv4Address ip);
+  Rewrites& SetDstIp(net::IPv4Address ip);
+  Rewrites& SetSrcPort(std::uint16_t port);
+  Rewrites& SetDstPort(std::uint16_t port);
+
+  const std::optional<net::MacAddress>& src_mac() const { return src_mac_; }
+  const std::optional<net::MacAddress>& dst_mac() const { return dst_mac_; }
+  const std::optional<net::IPv4Address>& src_ip() const { return src_ip_; }
+  const std::optional<net::IPv4Address>& dst_ip() const { return dst_ip_; }
+  const std::optional<std::uint16_t>& src_port() const { return src_port_; }
+  const std::optional<std::uint16_t>& dst_port() const { return dst_port_; }
+
+  bool empty() const;
+
+  void ApplyTo(net::PacketHeader& header) const;
+
+  // Sequential composition: (*this then `next`); `next` wins on conflicts.
+  Rewrites ThenApply(const Rewrites& next) const;
+
+  // The pre-image of `match` under this rewrite: the constraint a packet
+  // must satisfy *before* the rewrite so that the rewritten packet matches.
+  // Returns nullopt when the rewrite makes the match unsatisfiable (the
+  // rewritten value violates the constraint).
+  std::optional<net::FieldMatch> PullBack(const net::FieldMatch& match) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Rewrites&, const Rewrites&) = default;
+
+ private:
+  std::optional<net::MacAddress> src_mac_;
+  std::optional<net::MacAddress> dst_mac_;
+  std::optional<net::IPv4Address> src_ip_;
+  std::optional<net::IPv4Address> dst_ip_;
+  std::optional<std::uint16_t> src_port_;
+  std::optional<std::uint16_t> dst_port_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rewrites& rewrites);
+
+// One forwarding action: rewrite, then output on `out_port`.
+struct Action {
+  Rewrites rewrites;
+  net::PortId out_port = net::kNoPort;
+
+  friend bool operator==(const Action&, const Action&) = default;
+
+  std::string ToString() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const Action& action);
+
+// Empty list = drop.
+using ActionList = std::vector<Action>;
+
+std::string ToString(const ActionList& actions);
+
+}  // namespace sdx::dataplane

@@ -1,0 +1,97 @@
+#include "dataplane/fabric.h"
+
+#include <deque>
+#include <stdexcept>
+
+namespace sdx::dataplane {
+
+SwitchDataPlane& MultiSwitchFabric::AddSwitch(SwitchId id) {
+  return switches_[id];
+}
+
+SwitchDataPlane* MultiSwitchFabric::FindSwitch(SwitchId id) {
+  auto it = switches_.find(id);
+  return it == switches_.end() ? nullptr : &it->second;
+}
+
+const SwitchDataPlane* MultiSwitchFabric::FindSwitch(SwitchId id) const {
+  auto it = switches_.find(id);
+  return it == switches_.end() ? nullptr : &it->second;
+}
+
+void MultiSwitchFabric::Connect(SwitchId a, net::PortId a_port, SwitchId b,
+                                net::PortId b_port) {
+  if (!switches_.contains(a) || !switches_.contains(b)) {
+    throw std::invalid_argument("link between unknown switches");
+  }
+  links_[{a, a_port}] = Endpoint{b, b_port};
+  links_[{b, b_port}] = Endpoint{a, a_port};
+}
+
+void MultiSwitchFabric::AssignEdgePort(net::PortId port, SwitchId switch_id) {
+  if (!switches_.contains(switch_id)) {
+    throw std::invalid_argument("edge port on unknown switch");
+  }
+  edge_ports_[port] = switch_id;
+}
+
+std::optional<SwitchId> MultiSwitchFabric::SwitchOfEdgePort(
+    net::PortId port) const {
+  auto it = edge_ports_.find(port);
+  if (it == edge_ports_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool MultiSwitchFabric::IsInternalPort(SwitchId switch_id,
+                                       net::PortId port) const {
+  return links_.contains({switch_id, port});
+}
+
+std::vector<Emission> MultiSwitchFabric::ProcessFromEdge(
+    const net::Packet& packet, int max_hops) {
+  std::vector<Emission> out;
+  auto entry = SwitchOfEdgePort(packet.header.in_port);
+  if (!entry) return out;
+
+  struct InFlight {
+    SwitchId at;
+    net::Packet packet;
+    int hops;
+  };
+  std::deque<InFlight> queue;
+  queue.push_back({*entry, packet, 0});
+
+  while (!queue.empty()) {
+    InFlight current = std::move(queue.front());
+    queue.pop_front();
+    SwitchDataPlane& sw = switches_.at(current.at);
+    for (Emission& emission : sw.Process(current.packet)) {
+      auto link = links_.find({current.at, emission.out_port});
+      if (link == links_.end()) {
+        out.push_back(std::move(emission));  // edge emission
+        continue;
+      }
+      if (current.hops + 1 > max_hops) {
+        ++hop_limit_drops_;
+        continue;
+      }
+      // Cross the internal link: the packet arrives at the far switch on
+      // the far port.
+      InFlight next;
+      next.at = link->second.switch_id;
+      next.packet = std::move(emission.packet);
+      next.packet.header.in_port = link->second.port;
+      next.hops = current.hops + 1;
+      queue.push_back(std::move(next));
+    }
+  }
+  return out;
+}
+
+std::size_t MultiSwitchFabric::TotalRules() const {
+  std::size_t total = 0;
+  for (const auto& [id, sw] : switches_) total += sw.table().size();
+  return total;
+}
+
+}  // namespace sdx::dataplane

@@ -1,0 +1,67 @@
+// A fabric of interconnected switches (§4.1: "the SDX may consist of
+// multiple physical switches, each connected to a subset of the
+// participants").
+//
+// Each switch is a full SwitchDataPlane; internal links connect switch
+// ports pairwise. A packet enters at an external (edge) port, is processed
+// by the hosting switch, follows internal links — being re-processed at
+// each hop — and finally exits at an edge port. A hop limit guards against
+// misconfigured rule sets looping packets through the core.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "dataplane/switch.h"
+
+namespace sdx::dataplane {
+
+using SwitchId = std::uint32_t;
+
+class MultiSwitchFabric {
+ public:
+  // Creates (or returns) the switch with this id.
+  SwitchDataPlane& AddSwitch(SwitchId id);
+
+  SwitchDataPlane* FindSwitch(SwitchId id);
+  const SwitchDataPlane* FindSwitch(SwitchId id) const;
+
+  // Connects two switch ports with a bidirectional internal link. Port ids
+  // are global (shared with edge ports), so a port is either an edge port
+  // of exactly one switch or an endpoint of exactly one link.
+  void Connect(SwitchId a, net::PortId a_port, SwitchId b, net::PortId b_port);
+
+  // Declares an external port hosted by a switch.
+  void AssignEdgePort(net::PortId port, SwitchId switch_id);
+
+  std::optional<SwitchId> SwitchOfEdgePort(net::PortId port) const;
+  bool IsInternalPort(SwitchId switch_id, net::PortId port) const;
+
+  // Runs a packet (header.in_port = an edge port) through the fabric.
+  // Returns the edge emissions. Packets exceeding `max_hops` internal hops
+  // are dropped and counted.
+  std::vector<Emission> ProcessFromEdge(const net::Packet& packet,
+                                        int max_hops = 8);
+
+  std::uint64_t hop_limit_drops() const { return hop_limit_drops_; }
+  std::size_t switch_count() const { return switches_.size(); }
+
+  // Total installed rules across all switches (for the deployment bench).
+  std::size_t TotalRules() const;
+
+ private:
+  struct Endpoint {
+    SwitchId switch_id = 0;
+    net::PortId port = net::kNoPort;
+  };
+
+  std::map<SwitchId, SwitchDataPlane> switches_;
+  // (switch, port) -> far end of the internal link.
+  std::map<std::pair<SwitchId, net::PortId>, Endpoint> links_;
+  std::map<net::PortId, SwitchId> edge_ports_;
+  std::uint64_t hop_limit_drops_ = 0;
+};
+
+}  // namespace sdx::dataplane

@@ -1,0 +1,18 @@
+#include "dataplane/flow_rule.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace sdx::dataplane {
+
+std::string FlowRule::ToString() const {
+  std::ostringstream os;
+  os << "[prio " << priority << "] " << match << " => " << dataplane::ToString(actions);
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const FlowRule& rule) {
+  return os << rule.ToString();
+}
+
+}  // namespace sdx::dataplane

@@ -1,0 +1,40 @@
+// A single flow-table rule: priority, match, action list, counters.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "dataplane/action.h"
+#include "net/flowspace.h"
+
+namespace sdx::dataplane {
+
+// Opaque tag identifying who installed a rule, so the SDX runtime can
+// atomically replace all rules from one compilation generation (the paper's
+// fast-path rules carry a higher priority and a distinct cookie so the
+// background re-optimization can retire them).
+using Cookie = std::uint64_t;
+inline constexpr Cookie kNoCookie = 0;
+
+struct FlowRule {
+  std::int32_t priority = 0;
+  net::FieldMatch match;
+  ActionList actions;  // empty = drop
+  Cookie cookie = kNoCookie;
+
+  // Statistics maintained by the switch.
+  mutable std::uint64_t packet_count = 0;
+  mutable std::uint64_t byte_count = 0;
+
+  std::string ToString() const;
+
+  friend bool operator==(const FlowRule& a, const FlowRule& b) {
+    return a.priority == b.priority && a.match == b.match &&
+           a.actions == b.actions && a.cookie == b.cookie;
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const FlowRule& rule);
+
+}  // namespace sdx::dataplane

@@ -1,0 +1,66 @@
+#include "dataplane/flow_table.h"
+
+#include <algorithm>
+
+namespace sdx::dataplane {
+
+void FlowTable::Install(FlowRule rule) {
+  // Insert after the last rule with priority >= rule.priority so that the
+  // ordering is stable for equal priorities.
+  auto pos = std::upper_bound(
+      rules_.begin(), rules_.end(), rule.priority,
+      [](std::int32_t priority, const FlowRule& r) {
+        return priority > r.priority;
+      });
+  rules_.insert(pos, std::move(rule));
+}
+
+void FlowTable::InstallAll(std::vector<FlowRule> rules) {
+  std::stable_sort(rules.begin(), rules.end(),
+                   [](const FlowRule& a, const FlowRule& b) {
+                     return a.priority > b.priority;
+                   });
+  if (rules_.empty()) {
+    rules_ = std::move(rules);
+    return;
+  }
+  std::vector<FlowRule> merged;
+  merged.reserve(rules_.size() + rules.size());
+  // Existing rules win ties: they were installed earlier.
+  std::merge(rules_.begin(), rules_.end(), rules.begin(), rules.end(),
+             std::back_inserter(merged),
+             [](const FlowRule& a, const FlowRule& b) {
+               return a.priority > b.priority;
+             });
+  rules_ = std::move(merged);
+}
+
+std::size_t FlowTable::RemoveByCookie(Cookie cookie) {
+  const auto before = rules_.size();
+  std::erase_if(rules_, [cookie](const FlowRule& rule) {
+    return rule.cookie == cookie;
+  });
+  return before - rules_.size();
+}
+
+void FlowTable::Clear() { rules_.clear(); }
+
+const FlowRule* FlowTable::Lookup(const net::PacketHeader& header) const {
+  for (const FlowRule& rule : rules_) {
+    if (rule.match.Matches(header)) return &rule;
+  }
+  return nullptr;
+}
+
+std::optional<ActionList> FlowTable::Process(const net::Packet& packet) const {
+  const FlowRule* rule = Lookup(packet.header);
+  if (rule == nullptr) {
+    ++miss_count_;
+    return std::nullopt;
+  }
+  ++rule->packet_count;
+  rule->byte_count += packet.size_bytes;
+  return rule->actions;
+}
+
+}  // namespace sdx::dataplane

@@ -1,0 +1,49 @@
+// Priority-ordered flow table with OpenFlow lookup semantics.
+//
+// Rules are kept sorted by descending priority; among equal priorities the
+// earliest-installed rule wins (stable order), matching how the compiler
+// emits ordered classifiers. Lookup returns the first matching rule.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "dataplane/flow_rule.h"
+#include "net/packet.h"
+
+namespace sdx::dataplane {
+
+class FlowTable {
+ public:
+  // Installs a rule, preserving priority order (stable for ties).
+  void Install(FlowRule rule);
+
+  // Installs a batch; more efficient than repeated Install.
+  void InstallAll(std::vector<FlowRule> rules);
+
+  // Removes every rule carrying `cookie`; returns the number removed.
+  std::size_t RemoveByCookie(Cookie cookie);
+
+  // Removes all rules.
+  void Clear();
+
+  // Highest-priority rule matching `header`, or nullptr on table miss.
+  const FlowRule* Lookup(const net::PacketHeader& header) const;
+
+  // Looks up and applies: returns the matched rule's actions (empty list on
+  // an explicit drop rule) or nullopt on a table miss. Updates counters.
+  std::optional<ActionList> Process(const net::Packet& packet) const;
+
+  const std::vector<FlowRule>& rules() const { return rules_; }
+  std::size_t size() const { return rules_.size(); }
+  bool empty() const { return rules_.empty(); }
+
+  std::uint64_t miss_count() const { return miss_count_; }
+
+ private:
+  std::vector<FlowRule> rules_;  // descending priority, stable
+  mutable std::uint64_t miss_count_ = 0;
+};
+
+}  // namespace sdx::dataplane

@@ -1,0 +1,42 @@
+#include "dataplane/switch.h"
+
+namespace sdx::dataplane {
+
+std::vector<Emission> SwitchDataPlane::Process(const net::Packet& packet) {
+  PortStats& in_stats = port_stats_[packet.header.in_port];
+  in_stats.rx_packets += 1;
+  in_stats.rx_bytes += packet.size_bytes;
+
+  auto actions = table_.Process(packet);
+  std::vector<Emission> out;
+  if (!actions || actions->empty()) {
+    ++dropped_packets_;
+    return out;
+  }
+  out.reserve(actions->size());
+  for (const Action& action : *actions) {
+    Emission emission;
+    emission.out_port = action.out_port;
+    emission.packet = packet;
+    action.rewrites.ApplyTo(emission.packet.header);
+    emission.packet.header.in_port = net::kNoPort;  // no longer meaningful
+    PortStats& out_stats = port_stats_[action.out_port];
+    out_stats.tx_packets += 1;
+    out_stats.tx_bytes += emission.packet.size_bytes;
+    out.push_back(std::move(emission));
+  }
+  return out;
+}
+
+const PortStats& SwitchDataPlane::StatsFor(net::PortId port) const {
+  static const PortStats kEmpty;
+  auto it = port_stats_.find(port);
+  return it == port_stats_.end() ? kEmpty : it->second;
+}
+
+void SwitchDataPlane::ResetStats() {
+  port_stats_.clear();
+  dropped_packets_ = 0;
+}
+
+}  // namespace sdx::dataplane

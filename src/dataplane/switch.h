@@ -1,0 +1,54 @@
+// Simulated SDN switch: a single flow table plus per-port traffic counters.
+//
+// This stands in for the Open vSwitch fabric of the paper's prototype. It
+// implements exactly the semantics the SDX compiler targets: single-table
+// priority matching, multi-field matches, header rewrites, unicast or
+// multicast output, and drop-on-miss (the SDX always installs a lowest-
+// priority catch-all, so misses indicate a compiler bug and are counted).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dataplane/flow_table.h"
+#include "net/packet.h"
+
+namespace sdx::dataplane {
+
+// A packet leaving the switch on a given port.
+struct Emission {
+  net::PortId out_port = net::kNoPort;
+  net::Packet packet;
+};
+
+struct PortStats {
+  std::uint64_t rx_packets = 0;
+  std::uint64_t rx_bytes = 0;
+  std::uint64_t tx_packets = 0;
+  std::uint64_t tx_bytes = 0;
+};
+
+class SwitchDataPlane {
+ public:
+  FlowTable& table() { return table_; }
+  const FlowTable& table() const { return table_; }
+
+  // Runs `packet` through the flow table. The packet's header must carry
+  // its ingress port in `header.in_port`. Returns one emission per action
+  // (empty on drop or miss).
+  std::vector<Emission> Process(const net::Packet& packet);
+
+  const PortStats& StatsFor(net::PortId port) const;
+
+  std::uint64_t dropped_packets() const { return dropped_packets_; }
+
+  void ResetStats();
+
+ private:
+  FlowTable table_;
+  std::unordered_map<net::PortId, PortStats> port_stats_;
+  std::uint64_t dropped_packets_ = 0;
+};
+
+}  // namespace sdx::dataplane

@@ -1,0 +1,130 @@
+// FieldMatch: a conjunctive match over packet header fields.
+//
+// This is the flow-space algebra everything else is built on. A FieldMatch
+// constrains any subset of {in_port, src_mac, dst_mac, src_ip, dst_ip,
+// proto, src_port, dst_port}; IP fields are constrained by CIDR prefixes,
+// the rest by exact values. The classifier compiler needs three operations:
+//
+//   * Matches(header)      — does a concrete packet satisfy the match?
+//   * Intersect(other)     — conjunction; empty result means disjoint.
+//   * IsSubsetOf(other)    — used for shadow elimination.
+//
+// A FieldMatch with no constraints matches every packet (the wildcard).
+// The empty flow space is NOT representable as a FieldMatch — operations
+// that can produce it return std::optional.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "net/ipv4.h"
+#include "net/mac.h"
+#include "net/packet.h"
+
+namespace sdx::net {
+
+// Header fields a match may constrain or an action may rewrite.
+enum class Field : std::uint8_t {
+  kInPort,
+  kSrcMac,
+  kDstMac,
+  kSrcIp,
+  kDstIp,
+  kProto,
+  kSrcPort,
+  kDstPort,
+};
+
+std::string_view FieldName(Field field);
+
+class FieldMatch {
+ public:
+  // The wildcard match.
+  FieldMatch() = default;
+
+  // --- Named constructors for single-field matches --------------------
+  static FieldMatch InPort(PortId port);
+  static FieldMatch SrcMac(MacAddress mac);
+  static FieldMatch DstMac(MacAddress mac);
+  static FieldMatch SrcIp(IPv4Prefix prefix);
+  static FieldMatch DstIp(IPv4Prefix prefix);
+  static FieldMatch Proto(std::uint8_t proto);
+  static FieldMatch SrcPort(std::uint16_t port);
+  static FieldMatch DstPort(std::uint16_t port);
+
+  // --- Fluent setters (return *this for chaining) ---------------------
+  FieldMatch& WithInPort(PortId port);
+  FieldMatch& WithSrcMac(MacAddress mac);
+  FieldMatch& WithDstMac(MacAddress mac);
+  FieldMatch& WithSrcIp(IPv4Prefix prefix);
+  FieldMatch& WithDstIp(IPv4Prefix prefix);
+  FieldMatch& WithProto(std::uint8_t proto);
+  FieldMatch& WithSrcPort(std::uint16_t port);
+  FieldMatch& WithDstPort(std::uint16_t port);
+
+  // --- Accessors -------------------------------------------------------
+  const std::optional<PortId>& in_port() const { return in_port_; }
+  const std::optional<MacAddress>& src_mac() const { return src_mac_; }
+  const std::optional<MacAddress>& dst_mac() const { return dst_mac_; }
+  const std::optional<IPv4Prefix>& src_ip() const { return src_ip_; }
+  const std::optional<IPv4Prefix>& dst_ip() const { return dst_ip_; }
+  const std::optional<std::uint8_t>& proto() const { return proto_; }
+  const std::optional<std::uint16_t>& src_port() const { return src_port_; }
+  const std::optional<std::uint16_t>& dst_port() const { return dst_port_; }
+
+  bool IsWildcard() const;
+
+  // Number of constrained fields; a rough specificity measure used when
+  // ordering rules of equal provenance.
+  int ConstrainedFieldCount() const;
+
+  bool Matches(const PacketHeader& header) const;
+
+  // Conjunction of two matches; nullopt when they are disjoint.
+  std::optional<FieldMatch> Intersect(const FieldMatch& other) const;
+
+  // True when every packet matching *this also matches `other`.
+  bool IsSubsetOf(const FieldMatch& other) const;
+
+  bool IsDisjoint(const FieldMatch& other) const {
+    return !Intersect(other).has_value();
+  }
+
+  // Removes any constraint on `field`. Used when pulling a match backwards
+  // through a header rewrite of that field.
+  FieldMatch& ClearField(Field field);
+
+  // True when `field` carries a constraint.
+  bool Constrains(Field field) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const FieldMatch&, const FieldMatch&) = default;
+
+ private:
+  std::optional<PortId> in_port_;
+  std::optional<MacAddress> src_mac_;
+  std::optional<MacAddress> dst_mac_;
+  std::optional<IPv4Prefix> src_ip_;
+  std::optional<IPv4Prefix> dst_ip_;
+  std::optional<std::uint8_t> proto_;
+  std::optional<std::uint16_t> src_port_;
+  std::optional<std::uint16_t> dst_port_;
+};
+
+std::ostream& operator<<(std::ostream& os, const FieldMatch& match);
+
+std::size_t HashValue(const FieldMatch& match);
+
+}  // namespace sdx::net
+
+template <>
+struct std::hash<sdx::net::FieldMatch> {
+  std::size_t operator()(const sdx::net::FieldMatch& m) const noexcept {
+    return sdx::net::HashValue(m);
+  }
+};

@@ -1,0 +1,92 @@
+#include "net/ipv4.h"
+
+#include <charconv>
+#include <ostream>
+
+namespace sdx::net {
+namespace {
+
+// Parses one decimal octet (0-255) from the front of `text`, advancing it.
+std::optional<std::uint8_t> ParseOctet(std::string_view& text) {
+  unsigned value = 0;
+  const char* begin = text.data();
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr == begin || value > 255) return std::nullopt;
+  // Reject leading zeros like "01" to keep parsing strict and unambiguous.
+  if (ptr - begin > 1 && *begin == '0') return std::nullopt;
+  text.remove_prefix(static_cast<std::size_t>(ptr - begin));
+  return static_cast<std::uint8_t>(value);
+}
+
+}  // namespace
+
+std::optional<IPv4Address> IPv4Address::Parse(std::string_view text) {
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) {
+      if (text.empty() || text.front() != '.') return std::nullopt;
+      text.remove_prefix(1);
+    }
+    auto octet = ParseOctet(text);
+    if (!octet) return std::nullopt;
+    value = (value << 8) | *octet;
+  }
+  if (!text.empty()) return std::nullopt;
+  return IPv4Address(value);
+}
+
+std::string IPv4Address::ToString() const {
+  std::string out;
+  out.reserve(15);
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    if (shift != 24) out.push_back('.');
+    out += std::to_string((value_ >> shift) & 0xFF);
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, IPv4Address address) {
+  return os << address.ToString();
+}
+
+std::optional<IPv4Prefix> IPv4Prefix::Parse(std::string_view text) {
+  auto slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    auto address = IPv4Address::Parse(text);
+    if (!address) return std::nullopt;
+    return IPv4Prefix(*address, 32);
+  }
+  auto address = IPv4Address::Parse(text.substr(0, slash));
+  if (!address) return std::nullopt;
+  std::string_view len_text = text.substr(slash + 1);
+  unsigned length = 0;
+  auto [ptr, ec] =
+      std::from_chars(len_text.data(), len_text.data() + len_text.size(),
+                      length);
+  if (ec != std::errc() || ptr != len_text.data() + len_text.size() ||
+      length > 32) {
+    return std::nullopt;
+  }
+  // Non-canonical prefixes ("10.1.2.3/8") are rejected rather than silently
+  // masked so that configuration typos surface early.
+  IPv4Prefix prefix(*address, static_cast<std::uint8_t>(length));
+  if (prefix.network() != *address) return std::nullopt;
+  return prefix;
+}
+
+std::optional<IPv4Prefix> IPv4Prefix::Intersect(const IPv4Prefix& other) const {
+  if (Contains(other)) return other;
+  if (other.Contains(*this)) return *this;
+  return std::nullopt;
+}
+
+std::string IPv4Prefix::ToString() const {
+  return network().ToString() + "/" + std::to_string(length_);
+}
+
+std::ostream& operator<<(std::ostream& os, const IPv4Prefix& prefix) {
+  return os << prefix.ToString();
+}
+
+}  // namespace sdx::net

@@ -1,0 +1,120 @@
+// IPv4 address and prefix value types.
+//
+// These are the basic vocabulary types used throughout the SDX: BGP routes
+// announce IPv4Prefixes, policies match on them, and the FEC machinery
+// groups them. Both types are small, trivially copyable, totally ordered,
+// and hashable.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sdx::net {
+
+// A single IPv4 address, stored host-order so arithmetic and prefix masking
+// are plain integer operations.
+class IPv4Address {
+ public:
+  constexpr IPv4Address() = default;
+  constexpr explicit IPv4Address(std::uint32_t value) : value_(value) {}
+  constexpr IPv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  // Parses dotted-quad notation ("192.0.2.1"); returns nullopt on any
+  // syntax error (missing octets, out-of-range values, trailing garbage).
+  static std::optional<IPv4Address> Parse(std::string_view text);
+
+  constexpr std::uint32_t value() const { return value_; }
+  std::string ToString() const;
+
+  friend constexpr auto operator<=>(IPv4Address, IPv4Address) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, IPv4Address address);
+
+// An IPv4 CIDR prefix. The network bits below the prefix length are always
+// kept zero (canonical form), which makes equality and hashing meaningful.
+class IPv4Prefix {
+ public:
+  constexpr IPv4Prefix() = default;
+
+  // Canonicalizes: host bits beyond `length` are masked off.
+  constexpr IPv4Prefix(IPv4Address network, std::uint8_t length)
+      : network_(Mask(length) & network.value()),
+        length_(length <= 32 ? length : 32) {}
+
+  // Parses "a.b.c.d/len". A bare address parses as a /32.
+  static std::optional<IPv4Prefix> Parse(std::string_view text);
+
+  constexpr IPv4Address network() const { return IPv4Address(network_); }
+  constexpr std::uint8_t length() const { return length_; }
+
+  // Bitmask with `length` leading ones (0 for /0).
+  static constexpr std::uint32_t Mask(std::uint8_t length) {
+    if (length == 0) return 0;
+    if (length >= 32) return 0xFFFFFFFFu;
+    return ~((1u << (32 - length)) - 1);
+  }
+
+  constexpr bool Contains(IPv4Address address) const {
+    return (address.value() & Mask(length_)) == network_;
+  }
+
+  // True when every address in `other` is also in *this (i.e. `other` is a
+  // more- or equally-specific sub-prefix).
+  constexpr bool Contains(const IPv4Prefix& other) const {
+    return other.length_ >= length_ && Contains(other.network());
+  }
+
+  // Two prefixes overlap iff one contains the other.
+  constexpr bool Overlaps(const IPv4Prefix& other) const {
+    return Contains(other) || other.Contains(*this);
+  }
+
+  // The intersection of two overlapping prefixes is the longer one.
+  std::optional<IPv4Prefix> Intersect(const IPv4Prefix& other) const;
+
+  // First / last addresses covered by the prefix.
+  constexpr IPv4Address FirstAddress() const { return IPv4Address(network_); }
+  constexpr IPv4Address LastAddress() const {
+    return IPv4Address(network_ | ~Mask(length_));
+  }
+
+  std::string ToString() const;
+
+  friend constexpr auto operator<=>(const IPv4Prefix&,
+                                    const IPv4Prefix&) = default;
+
+ private:
+  std::uint32_t network_ = 0;
+  std::uint8_t length_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const IPv4Prefix& prefix);
+
+}  // namespace sdx::net
+
+template <>
+struct std::hash<sdx::net::IPv4Address> {
+  std::size_t operator()(sdx::net::IPv4Address a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};
+
+template <>
+struct std::hash<sdx::net::IPv4Prefix> {
+  std::size_t operator()(const sdx::net::IPv4Prefix& p) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (std::uint64_t{p.network().value()} << 8) | p.length());
+  }
+};

@@ -1,0 +1,43 @@
+#include "net/mac.h"
+
+#include <charconv>
+#include <ostream>
+
+namespace sdx::net {
+
+std::optional<MacAddress> MacAddress::Parse(std::string_view text) {
+  std::uint64_t value = 0;
+  for (int i = 0; i < 6; ++i) {
+    if (i > 0) {
+      if (text.empty() || text.front() != ':') return std::nullopt;
+      text.remove_prefix(1);
+    }
+    if (text.size() < 2) return std::nullopt;
+    unsigned byte = 0;
+    auto [ptr, ec] = std::from_chars(text.data(), text.data() + 2, byte, 16);
+    if (ec != std::errc() || ptr != text.data() + 2) return std::nullopt;
+    value = (value << 8) | byte;
+    text.remove_prefix(2);
+  }
+  if (!text.empty()) return std::nullopt;
+  return MacAddress(value);
+}
+
+std::string MacAddress::ToString() const {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(17);
+  for (int shift = 40; shift >= 0; shift -= 8) {
+    if (shift != 40) out.push_back(':');
+    auto byte = static_cast<std::uint8_t>((value_ >> shift) & 0xFF);
+    out.push_back(kHex[byte >> 4]);
+    out.push_back(kHex[byte & 0xF]);
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, MacAddress mac) {
+  return os << mac.ToString();
+}
+
+}  // namespace sdx::net

@@ -1,0 +1,54 @@
+// Ethernet MAC address value type.
+//
+// MACs matter to the SDX beyond plain L2 forwarding: the runtime encodes a
+// prefix group's Forwarding Equivalence Class in a *virtual* MAC (VMAC) that
+// participant border routers write as the destination MAC (§4.2 of the
+// paper), so the fabric can match one VMAC instead of thousands of prefixes.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sdx::net {
+
+class MacAddress {
+ public:
+  constexpr MacAddress() = default;
+  constexpr explicit MacAddress(std::uint64_t value)
+      : value_(value & 0xFFFFFFFFFFFFull) {}
+  constexpr MacAddress(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                       std::uint8_t d, std::uint8_t e, std::uint8_t f)
+      : value_((std::uint64_t{a} << 40) | (std::uint64_t{b} << 32) |
+               (std::uint64_t{c} << 24) | (std::uint64_t{d} << 16) |
+               (std::uint64_t{e} << 8) | std::uint64_t{f}) {}
+
+  // Parses colon-separated hex ("0a:1b:2c:3d:4e:5f").
+  static std::optional<MacAddress> Parse(std::string_view text);
+
+  constexpr std::uint64_t value() const { return value_; }
+  std::string ToString() const;
+
+  constexpr bool IsBroadcast() const { return value_ == 0xFFFFFFFFFFFFull; }
+
+  friend constexpr auto operator<=>(MacAddress, MacAddress) = default;
+
+ private:
+  std::uint64_t value_ = 0;  // lower 48 bits only
+};
+
+std::ostream& operator<<(std::ostream& os, MacAddress mac);
+
+}  // namespace sdx::net
+
+template <>
+struct std::hash<sdx::net::MacAddress> {
+  std::size_t operator()(sdx::net::MacAddress m) const noexcept {
+    return std::hash<std::uint64_t>{}(m.value());
+  }
+};

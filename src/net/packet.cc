@@ -1,0 +1,27 @@
+#include "net/packet.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace sdx::net {
+
+std::string PacketHeader::ToString() const {
+  std::ostringstream os;
+  os << "{in_port=";
+  if (in_port == kNoPort) {
+    os << "-";
+  } else {
+    os << in_port;
+  }
+  os << " src_mac=" << src_mac << " dst_mac=" << dst_mac
+     << " src_ip=" << src_ip << " dst_ip=" << dst_ip
+     << " proto=" << static_cast<int>(proto) << " src_port=" << src_port
+     << " dst_port=" << dst_port << "}";
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const PacketHeader& header) {
+  return os << header.ToString();
+}
+
+}  // namespace sdx::net

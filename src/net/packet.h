@@ -1,0 +1,50 @@
+// Packet model used by the policy engine and the simulated data plane.
+//
+// SDX policies match on multiple header fields (the OpenFlow subset the
+// paper uses: in-port, MACs, IPv4 addresses, IP protocol, transport ports)
+// and actions may rewrite any header field. A packet here is just the header
+// tuple plus a byte count used by the flow-level traffic accounting.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "net/ipv4.h"
+#include "net/mac.h"
+
+namespace sdx::net {
+
+// Ports are plain integers, unique across the whole SDX fabric. The sdx
+// module partitions the space into physical ports and per-participant
+// virtual ports; the data plane only ever sees physical port numbers.
+using PortId = std::uint32_t;
+inline constexpr PortId kNoPort = 0xFFFFFFFFu;
+
+// IP protocol numbers used by the examples and workloads.
+inline constexpr std::uint8_t kProtoTcp = 6;
+inline constexpr std::uint8_t kProtoUdp = 17;
+
+struct PacketHeader {
+  PortId in_port = kNoPort;
+  MacAddress src_mac;
+  MacAddress dst_mac;
+  IPv4Address src_ip;
+  IPv4Address dst_ip;
+  std::uint8_t proto = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+
+  friend bool operator==(const PacketHeader&, const PacketHeader&) = default;
+
+  std::string ToString() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const PacketHeader& header);
+
+struct Packet {
+  PacketHeader header;
+  std::uint32_t size_bytes = 0;
+};
+
+}  // namespace sdx::net

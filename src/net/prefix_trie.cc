@@ -1,0 +1,34 @@
+#include "net/prefix_trie.h"
+
+namespace sdx::net {
+
+bool PrefixSet::Insert(const IPv4Prefix& prefix) {
+  return map_.Insert(prefix, Unit{});
+}
+
+bool PrefixSet::Erase(const IPv4Prefix& prefix) { return map_.Erase(prefix); }
+
+bool PrefixSet::Contains(const IPv4Prefix& prefix) const {
+  return map_.Find(prefix) != nullptr;
+}
+
+bool PrefixSet::Covers(IPv4Address address) const {
+  return map_.LongestMatch(address).has_value();
+}
+
+std::optional<IPv4Prefix> PrefixSet::LongestMatch(IPv4Address address) const {
+  auto match = map_.LongestMatch(address);
+  if (!match) return std::nullopt;
+  return match->first;
+}
+
+std::vector<IPv4Prefix> PrefixSet::ToVector() const {
+  std::vector<IPv4Prefix> out;
+  out.reserve(map_.size());
+  map_.ForEach([&](const IPv4Prefix& prefix, const Unit&) {
+    out.push_back(prefix);
+  });
+  return out;
+}
+
+}  // namespace sdx::net

@@ -1,0 +1,34 @@
+#include "policy/cache.h"
+
+namespace sdx::policy {
+
+const Classifier* CompilationCache::Get(const void* id) const {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return &it->second.classifier;
+}
+
+void CompilationCache::Put(const void* id,
+                           std::shared_ptr<const void> keepalive,
+                           Classifier classifier) {
+  entries_.insert_or_assign(
+      id, Entry{std::move(keepalive), std::move(classifier)});
+}
+
+void CompilationCache::Clear() {
+  entries_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+std::size_t CompilationCache::TotalRules() const {
+  std::size_t total = 0;
+  for (const auto& [id, entry] : entries_) total += entry.classifier.size();
+  return total;
+}
+
+}  // namespace sdx::policy

@@ -1,0 +1,45 @@
+// Memoization cache for policy compilation (§4.3.1: "the SDX controller
+// memoizes all the intermediate compilation results").
+//
+// Policies and predicates are immutable DAGs with structural sharing, so a
+// node's address is a sound cache key for its compiled classifier: the same
+// participant policy composed into many pairwise products compiles once.
+// Each entry retains a shared_ptr to its AST node, so the keyed address
+// cannot be freed and recycled by an unrelated policy while the entry lives.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "policy/classifier.h"
+
+namespace sdx::policy {
+
+class CompilationCache {
+ public:
+  const Classifier* Get(const void* id) const;
+  void Put(const void* id, std::shared_ptr<const void> keepalive,
+           Classifier classifier);
+
+  void Clear();
+
+  std::size_t size() const { return entries_.size(); }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+  // Rough memory footprint (rule counts), for the §6.3 cache-size estimate.
+  std::size_t TotalRules() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const void> keepalive;
+    Classifier classifier;
+  };
+  std::unordered_map<const void*, Entry> entries_;
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
+};
+
+}  // namespace sdx::policy

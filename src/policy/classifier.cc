@@ -1,0 +1,283 @@
+#include "policy/classifier.h"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+#include <sstream>
+#include <unordered_set>
+
+namespace sdx::policy {
+namespace {
+
+using dataplane::Action;
+using dataplane::ActionList;
+
+[[maybe_unused]] bool IsStay(const Action& action) {
+  return action.out_port == net::kNoPort && action.rewrites.empty();
+}
+
+// Pulls `match` backwards through `action`: the constraint a packet must
+// satisfy *before* the action runs so that its output satisfies `match`.
+std::optional<net::FieldMatch> PullBackThroughAction(
+    const Action& action, const net::FieldMatch& match) {
+  net::FieldMatch working = match;
+  if (match.in_port().has_value()) {
+    if (action.out_port == net::kNoPort) {
+      // Stay: the packet keeps its location; constraint passes through.
+    } else if (action.out_port == *match.in_port()) {
+      working.ClearField(net::Field::kInPort);  // satisfied by the move
+    } else {
+      return std::nullopt;  // moved somewhere the match excludes
+    }
+  }
+  return action.rewrites.PullBack(working);
+}
+
+// Sequential composition of one action with a following action list.
+ActionList ComposeActions(const Action& first, const ActionList& then) {
+  ActionList out;
+  out.reserve(then.size());
+  for (const Action& next : then) {
+    Action combined;
+    combined.rewrites = first.rewrites.ThenApply(next.rewrites);
+    combined.out_port =
+        next.out_port == net::kNoPort ? first.out_port : next.out_port;
+    out.push_back(std::move(combined));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Rule::ToString() const {
+  return match.ToString() + " => " + dataplane::ToString(actions);
+}
+
+Classifier Classifier::DropAll() {
+  return Classifier({Rule{net::FieldMatch(), {}}});
+}
+
+Classifier Classifier::PassAll() {
+  return Classifier({Rule{net::FieldMatch(), {Action{}}}});
+}
+
+Classifier Classifier::Permit(net::FieldMatch match) {
+  if (match.IsWildcard()) return PassAll();
+  return Classifier({Rule{std::move(match), {Action{}}}, Rule{{}, {}}});
+}
+
+Classifier Classifier::Always(dataplane::Action action) {
+  return Classifier({Rule{net::FieldMatch(), {std::move(action)}}});
+}
+
+ActionList UnionActions(const ActionList& a, const ActionList& b) {
+  ActionList out = a;
+  for (const Action& action : b) {
+    if (std::find(out.begin(), out.end(), action) == out.end()) {
+      out.push_back(action);
+    }
+  }
+  return out;
+}
+
+Classifier Classifier::Parallel(const Classifier& other) const {
+  assert(!rules_.empty() && !other.rules_.empty());
+  std::vector<Rule> out;
+  out.reserve(rules_.size() * other.rules_.size() / 2 + 1);
+  // Both inputs are total, so the i-major cross product is itself total and
+  // selects, for any packet, the pair (first matching rule here, first
+  // matching rule there) — exactly parallel-composition semantics.
+  for (const Rule& mine : rules_) {
+    for (const Rule& theirs : other.rules_) {
+      auto intersection = mine.match.Intersect(theirs.match);
+      if (!intersection) continue;
+      out.push_back(
+          Rule{std::move(*intersection), UnionActions(mine.actions,
+                                                      theirs.actions)});
+    }
+  }
+  Classifier result(std::move(out));
+  result.DedupMatches();
+  return result;
+}
+
+Classifier Classifier::Sequential(const Classifier& other) const {
+  assert(!rules_.empty() && !other.rules_.empty());
+  std::vector<Rule> out;
+  for (const Rule& mine : rules_) {
+    if (mine.actions.empty()) {
+      out.push_back(Rule{mine.match, {}});
+      continue;
+    }
+    // For each of this rule's actions, route the action's output through
+    // `other`; multiple actions (multicast) are merged by cross-producting
+    // the per-action result classifiers over this rule's match.
+    std::vector<Rule> combined;
+    bool first_action = true;
+    for (const Action& action : mine.actions) {
+      std::vector<Rule> per_action;
+      for (const Rule& theirs : other.rules_) {
+        auto pre = PullBackThroughAction(action, theirs.match);
+        if (!pre) continue;
+        auto domain = mine.match.Intersect(*pre);
+        if (!domain) continue;
+        per_action.push_back(
+            Rule{std::move(*domain), ComposeActions(action, theirs.actions)});
+      }
+      if (first_action) {
+        combined = std::move(per_action);
+        first_action = false;
+      } else {
+        // Cross-merge (parallel semantics restricted to mine.match).
+        std::vector<Rule> merged;
+        merged.reserve(combined.size() * per_action.size());
+        for (const Rule& a : combined) {
+          for (const Rule& b : per_action) {
+            auto intersection = a.match.Intersect(b.match);
+            if (!intersection) continue;
+            merged.push_back(Rule{std::move(*intersection),
+                                  UnionActions(a.actions, b.actions)});
+          }
+        }
+        combined = std::move(merged);
+      }
+    }
+    out.insert(out.end(), std::make_move_iterator(combined.begin()),
+               std::make_move_iterator(combined.end()));
+  }
+  Classifier result(std::move(out));
+  result.DedupMatches();
+  return result;
+}
+
+Classifier Classifier::Negate() const {
+  std::vector<Rule> out;
+  out.reserve(rules_.size());
+  for (const Rule& rule : rules_) {
+    assert(rule.actions.empty() ||
+           (rule.actions.size() == 1 && IsStay(rule.actions.front())));
+    if (rule.actions.empty()) {
+      out.push_back(Rule{rule.match, {Action{}}});
+    } else {
+      out.push_back(Rule{rule.match, {}});
+    }
+  }
+  return Classifier(std::move(out));
+}
+
+Classifier Classifier::UnionDisjoint(const Classifier& other) const {
+  assert(!rules_.empty() && !other.rules_.empty());
+  std::vector<Rule> out;
+  out.reserve(rules_.size() + other.rules_.size());
+  // All non-drop rules from both sides, then the drop tail. Because the two
+  // classifiers' non-drop flow spaces are disjoint, interleaving cannot
+  // change which rule a packet hits first.
+  for (const Rule& rule : rules_) {
+    if (!rule.actions.empty()) out.push_back(rule);
+  }
+  for (const Rule& rule : other.rules_) {
+    if (!rule.actions.empty()) out.push_back(rule);
+  }
+  out.push_back(Rule{net::FieldMatch(), {}});
+  Classifier result(std::move(out));
+  result.DedupMatches();
+  return result;
+}
+
+void Classifier::DedupMatches() {
+  std::unordered_set<net::FieldMatch> seen;
+  seen.reserve(rules_.size());
+  std::erase_if(rules_, [&seen](const Rule& rule) {
+    return !seen.insert(rule.match).second;
+  });
+}
+
+void Classifier::RemoveShadowed() {
+  std::vector<Rule> kept;
+  kept.reserve(rules_.size());
+  for (const Rule& rule : rules_) {
+    bool shadowed = false;
+    for (const Rule& earlier : kept) {
+      if (rule.match.IsSubsetOf(earlier.match)) {
+        shadowed = true;
+        break;
+      }
+    }
+    if (!shadowed) kept.push_back(rule);
+  }
+  // Drop rules immediately preceding the final wildcard whose actions equal
+  // the wildcard's actions are redundant only if nothing in between
+  // overlaps; the cheap safe version trims exact-action tail runs.
+  while (kept.size() >= 2) {
+    const Rule& last = kept.back();
+    const Rule& prev = kept[kept.size() - 2];
+    if (last.match.IsWildcard() && prev.actions == last.actions) {
+      kept.erase(kept.end() - 2);
+    } else {
+      break;
+    }
+  }
+  rules_ = std::move(kept);
+}
+
+std::vector<net::PacketHeader> Classifier::Eval(
+    const net::PacketHeader& header) const {
+  for (const Rule& rule : rules_) {
+    if (!rule.match.Matches(header)) continue;
+    std::vector<net::PacketHeader> out;
+    out.reserve(rule.actions.size());
+    for (const Action& action : rule.actions) {
+      net::PacketHeader result = header;
+      action.rewrites.ApplyTo(result);
+      if (action.out_port != net::kNoPort) result.in_port = action.out_port;
+      if (std::find(out.begin(), out.end(), result) == out.end()) {
+        out.push_back(result);
+      }
+    }
+    return out;
+  }
+  return {};  // non-total classifier: treat as drop
+}
+
+bool Classifier::HasStayActions() const {
+  for (const Rule& rule : rules_) {
+    for (const Action& action : rule.actions) {
+      if (action.out_port == net::kNoPort) return true;
+    }
+  }
+  return false;
+}
+
+std::vector<dataplane::FlowRule> Classifier::ToFlowRules(
+    std::int32_t base_priority, dataplane::Cookie cookie) const {
+  std::vector<dataplane::FlowRule> out;
+  out.reserve(rules_.size());
+  const auto count = static_cast<std::int32_t>(rules_.size());
+  for (std::int32_t i = 0; i < count; ++i) {
+    const Rule& rule = rules_[static_cast<std::size_t>(i)];
+    dataplane::FlowRule flow;
+    flow.priority = base_priority + count - i;
+    flow.match = rule.match;
+    flow.cookie = cookie;
+    for (const Action& action : rule.actions) {
+      if (action.out_port == net::kNoPort) continue;  // stay = drop on switch
+      flow.actions.push_back(action);
+    }
+    out.push_back(std::move(flow));
+  }
+  return out;
+}
+
+std::string Classifier::ToString() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    os << i << ": " << rules_[i].ToString() << "\n";
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Classifier& classifier) {
+  return os << classifier.ToString();
+}
+
+}  // namespace sdx::policy

@@ -1,0 +1,105 @@
+// Classifiers: the compiled form of policies.
+//
+// A classifier is an ordered, *total* list of (match, actions) rules —
+// first match wins and the last rule is always a wildcard, so every packet
+// hits some rule. Actions reuse the data-plane Action type with one
+// extension: an action whose out_port is kNoPort means "stay at the current
+// location" and only appears in intermediate results (filters/mods before a
+// fwd). Composition is the Pyretic algorithm: parallel composition takes
+// pairwise match intersections with unioned action sets; sequential
+// composition pulls right-hand matches backwards through left-hand rewrites
+// and port moves.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "dataplane/action.h"
+#include "dataplane/flow_rule.h"
+#include "net/flowspace.h"
+#include "net/packet.h"
+
+namespace sdx::policy {
+
+struct Rule {
+  net::FieldMatch match;
+  dataplane::ActionList actions;  // empty = drop
+
+  friend bool operator==(const Rule&, const Rule&) = default;
+
+  std::string ToString() const;
+};
+
+class Classifier {
+ public:
+  // An empty classifier is not total; use the factories.
+  Classifier() = default;
+  explicit Classifier(std::vector<Rule> rules) : rules_(std::move(rules)) {}
+
+  // [(*, drop)]
+  static Classifier DropAll();
+  // [(*, stay)]
+  static Classifier PassAll();
+  // [(match, stay), (*, drop)]
+  static Classifier Permit(net::FieldMatch match);
+  // [(*, action)]
+  static Classifier Always(dataplane::Action action);
+
+  const std::vector<Rule>& rules() const { return rules_; }
+  std::size_t size() const { return rules_.size(); }
+
+  // --- Composition ---------------------------------------------------------
+  Classifier Parallel(const Classifier& other) const;
+  Classifier Sequential(const Classifier& other) const;
+
+  // Swaps permit/drop. Only valid for predicate classifiers (every action
+  // list is empty or a single stay action).
+  Classifier Negate() const;
+
+  // Cheap union for classifiers known to act on disjoint flow spaces (the
+  // §4.3.1 "most SDX policies are disjoint" optimization): concatenates the
+  // non-final rules and merges the trailing wildcard drops, skipping the
+  // quadratic cross-product entirely.
+  Classifier UnionDisjoint(const Classifier& other) const;
+
+  // --- Cleanup ---------------------------------------------------------------
+  // Removes duplicate-match rules (first occurrence wins). Cheap; applied
+  // automatically after composition.
+  void DedupMatches();
+
+  // Removes rules shadowed by an earlier, more general rule and merges the
+  // tail into the final wildcard where possible. O(n^2); applied once per
+  // final compilation.
+  void RemoveShadowed();
+
+  // --- Semantics --------------------------------------------------------------
+  // Applies the classifier to a header: the first matching rule's actions.
+  // Results carry their new location in in_port (unchanged for stay).
+  std::vector<net::PacketHeader> Eval(const net::PacketHeader& header) const;
+
+  // True when some reachable action is a stay (policy never forwarded).
+  bool HasStayActions() const;
+
+  // Converts to prioritized flow rules: rule i gets priority
+  // base_priority + size() - i. Stay actions become drops (a packet that
+  // never exits the fabric is dropped).
+  std::vector<dataplane::FlowRule> ToFlowRules(std::int32_t base_priority,
+                                               dataplane::Cookie cookie) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Classifier&, const Classifier&) = default;
+
+ private:
+  std::vector<Rule> rules_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Classifier& classifier);
+
+// Unions two action lists as sets (parallel composition semantics).
+dataplane::ActionList UnionActions(const dataplane::ActionList& a,
+                                   const dataplane::ActionList& b);
+
+}  // namespace sdx::policy

@@ -1,0 +1,82 @@
+#include "policy/compile.h"
+
+namespace sdx::policy {
+namespace {
+
+Classifier CompilePredicateUncached(const Predicate& predicate,
+                                    CompilationCache* cache) {
+  switch (predicate.kind()) {
+    case Predicate::Kind::kTrue:
+      return Classifier::PassAll();
+    case Predicate::Kind::kFalse:
+      return Classifier::DropAll();
+    case Predicate::Kind::kTest:
+      return Classifier::Permit(predicate.test());
+    case Predicate::Kind::kAnd:
+      // Conjunction is sequential composition of filters.
+      return CompilePredicate(predicate.left(), cache)
+          .Sequential(CompilePredicate(predicate.right(), cache));
+    case Predicate::Kind::kOr:
+      // Disjunction is parallel composition; stay actions dedupe to one.
+      return CompilePredicate(predicate.left(), cache)
+          .Parallel(CompilePredicate(predicate.right(), cache));
+    case Predicate::Kind::kNot:
+      return CompilePredicate(predicate.operand(), cache).Negate();
+  }
+  return Classifier::DropAll();
+}
+
+Classifier CompileUncached(const Policy& policy, CompilationCache* cache) {
+  switch (policy.kind()) {
+    case Policy::Kind::kDrop:
+      return Classifier::DropAll();
+    case Policy::Kind::kIdentity:
+      return Classifier::PassAll();
+    case Policy::Kind::kFilter:
+      return CompilePredicate(policy.predicate(), cache);
+    case Policy::Kind::kMod:
+      return Classifier::Always(
+          dataplane::Action{policy.rewrites(), net::kNoPort});
+    case Policy::Kind::kFwd:
+      return Classifier::Always(
+          dataplane::Action{dataplane::Rewrites(), policy.port()});
+    case Policy::Kind::kParallel:
+      return Compile(policy.left(), cache)
+          .Parallel(Compile(policy.right(), cache));
+    case Policy::Kind::kSequential:
+      return Compile(policy.left(), cache)
+          .Sequential(Compile(policy.right(), cache));
+    case Policy::Kind::kIf: {
+      Classifier guard = CompilePredicate(policy.predicate(), cache);
+      Classifier then_branch =
+          guard.Sequential(Compile(policy.left(), cache));
+      Classifier else_branch =
+          guard.Negate().Sequential(Compile(policy.right(), cache));
+      return then_branch.Parallel(else_branch);
+    }
+  }
+  return Classifier::DropAll();
+}
+
+}  // namespace
+
+Classifier CompilePredicate(const Predicate& predicate,
+                            CompilationCache* cache) {
+  if (cache != nullptr) {
+    if (const Classifier* hit = cache->Get(predicate.id())) return *hit;
+  }
+  Classifier result = CompilePredicateUncached(predicate, cache);
+  if (cache != nullptr) cache->Put(predicate.id(), predicate.handle(), result);
+  return result;
+}
+
+Classifier Compile(const Policy& policy, CompilationCache* cache) {
+  if (cache != nullptr) {
+    if (const Classifier* hit = cache->Get(policy.id())) return *hit;
+  }
+  Classifier result = CompileUncached(policy, cache);
+  if (cache != nullptr) cache->Put(policy.id(), policy.handle(), result);
+  return result;
+}
+
+}  // namespace sdx::policy

@@ -1,0 +1,22 @@
+// Policy → classifier compilation.
+//
+// The recursive Pyretic algorithm: leaves compile to one- or two-rule
+// classifiers; composite nodes compose their children's classifiers. An
+// optional CompilationCache memoizes sub-results by node identity.
+#pragma once
+
+#include "policy/cache.h"
+#include "policy/classifier.h"
+#include "policy/policy.h"
+#include "policy/predicate.h"
+
+namespace sdx::policy {
+
+// Compiles a predicate to a permit/drop classifier.
+Classifier CompilePredicate(const Predicate& predicate,
+                            CompilationCache* cache = nullptr);
+
+// Compiles a policy to a total classifier.
+Classifier Compile(const Policy& policy, CompilationCache* cache = nullptr);
+
+}  // namespace sdx::policy

@@ -1,0 +1,179 @@
+#include "policy/policy.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace sdx::policy {
+
+struct Policy::Node {
+  Kind kind;
+  Predicate predicate = Predicate::True();  // kFilter/kIf
+  dataplane::Rewrites rewrites;             // kMod
+  net::PortId port = net::kNoPort;          // kFwd
+  std::shared_ptr<const Node> left;         // composite / then-branch
+  std::shared_ptr<const Node> right;        // composite / else-branch
+};
+
+Policy Policy::Drop() {
+  static const auto node =
+      std::make_shared<const Node>(Node{.kind = Kind::kDrop});
+  return Policy(node);
+}
+
+Policy Policy::Identity() {
+  static const auto node =
+      std::make_shared<const Node>(Node{.kind = Kind::kIdentity});
+  return Policy(node);
+}
+
+Policy Policy::Filter(Predicate predicate) {
+  if (predicate.kind() == Predicate::Kind::kTrue) return Identity();
+  if (predicate.kind() == Predicate::Kind::kFalse) return Drop();
+  return Policy(std::make_shared<const Node>(
+      Node{.kind = Kind::kFilter, .predicate = std::move(predicate)}));
+}
+
+Policy Policy::Mod(dataplane::Rewrites rewrites) {
+  if (rewrites.empty()) return Identity();
+  return Policy(std::make_shared<const Node>(
+      Node{.kind = Kind::kMod, .rewrites = std::move(rewrites)}));
+}
+
+Policy Policy::Fwd(net::PortId port) {
+  return Policy(
+      std::make_shared<const Node>(Node{.kind = Kind::kFwd, .port = port}));
+}
+
+Policy Policy::If(Predicate predicate, Policy then_policy,
+                  Policy else_policy) {
+  if (predicate.kind() == Predicate::Kind::kTrue) return then_policy;
+  if (predicate.kind() == Predicate::Kind::kFalse) return else_policy;
+  return Policy(std::make_shared<const Node>(
+      Node{.kind = Kind::kIf,
+           .predicate = std::move(predicate),
+           .left = then_policy.node_,
+           .right = else_policy.node_}));
+}
+
+Policy operator+(const Policy& a, const Policy& b) {
+  // Drop is the identity of parallel composition.
+  if (a.kind() == Policy::Kind::kDrop) return b;
+  if (b.kind() == Policy::Kind::kDrop) return a;
+  return Policy(std::make_shared<const Policy::Node>(
+      Policy::Node{.kind = Policy::Kind::kParallel,
+                   .left = a.node_,
+                   .right = b.node_}));
+}
+
+Policy operator>>(const Policy& a, const Policy& b) {
+  // Identity is the identity of sequential composition; Drop annihilates.
+  if (a.kind() == Policy::Kind::kIdentity) return b;
+  if (b.kind() == Policy::Kind::kIdentity) return a;
+  if (a.kind() == Policy::Kind::kDrop || b.kind() == Policy::Kind::kDrop) {
+    return Policy::Drop();
+  }
+  return Policy(std::make_shared<const Policy::Node>(
+      Policy::Node{.kind = Policy::Kind::kSequential,
+                   .left = a.node_,
+                   .right = b.node_}));
+}
+
+Policy::Kind Policy::kind() const { return node_->kind; }
+
+const Predicate& Policy::predicate() const {
+  assert(node_->kind == Kind::kFilter || node_->kind == Kind::kIf);
+  return node_->predicate;
+}
+
+const dataplane::Rewrites& Policy::rewrites() const {
+  assert(node_->kind == Kind::kMod);
+  return node_->rewrites;
+}
+
+net::PortId Policy::port() const {
+  assert(node_->kind == Kind::kFwd);
+  return node_->port;
+}
+
+Policy Policy::left() const {
+  assert(node_->left != nullptr);
+  return Policy(node_->left);
+}
+
+Policy Policy::right() const {
+  assert(node_->right != nullptr);
+  return Policy(node_->right);
+}
+
+std::vector<net::PacketHeader> Policy::Eval(
+    const net::PacketHeader& header) const {
+  switch (node_->kind) {
+    case Kind::kDrop:
+      return {};
+    case Kind::kIdentity:
+      return {header};
+    case Kind::kFilter:
+      if (node_->predicate.Eval(header)) return {header};
+      return {};
+    case Kind::kMod: {
+      net::PacketHeader out = header;
+      node_->rewrites.ApplyTo(out);
+      return {out};
+    }
+    case Kind::kFwd: {
+      net::PacketHeader out = header;
+      out.in_port = node_->port;
+      return {out};
+    }
+    case Kind::kParallel: {
+      auto out = left().Eval(header);
+      for (auto& extra : right().Eval(header)) {
+        if (std::find(out.begin(), out.end(), extra) == out.end()) {
+          out.push_back(extra);
+        }
+      }
+      return out;
+    }
+    case Kind::kSequential: {
+      std::vector<net::PacketHeader> out;
+      for (const auto& mid : left().Eval(header)) {
+        for (auto& result : right().Eval(mid)) {
+          if (std::find(out.begin(), out.end(), result) == out.end()) {
+            out.push_back(result);
+          }
+        }
+      }
+      return out;
+    }
+    case Kind::kIf:
+      return node_->predicate.Eval(header) ? left().Eval(header)
+                                           : right().Eval(header);
+  }
+  return {};
+}
+
+std::string Policy::ToString() const {
+  switch (node_->kind) {
+    case Kind::kDrop:
+      return "drop";
+    case Kind::kIdentity:
+      return "id";
+    case Kind::kFilter:
+      return node_->predicate.ToString();
+    case Kind::kMod:
+      return "mod" + node_->rewrites.ToString();
+    case Kind::kFwd:
+      return "fwd(" + std::to_string(node_->port) + ")";
+    case Kind::kParallel:
+      return "(" + left().ToString() + " + " + right().ToString() + ")";
+    case Kind::kSequential:
+      return "(" + left().ToString() + " >> " + right().ToString() + ")";
+    case Kind::kIf:
+      return "if(" + node_->predicate.ToString() + ", " + left().ToString() +
+             ", " + right().ToString() + ")";
+  }
+  return "?";
+}
+
+}  // namespace sdx::policy

@@ -1,0 +1,178 @@
+#include "policy/predicate.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace sdx::policy {
+
+struct Predicate::Node {
+  Kind kind;
+  net::FieldMatch match;                  // kTest
+  std::shared_ptr<const Node> left;       // kAnd/kOr/kNot
+  std::shared_ptr<const Node> right;      // kAnd/kOr
+};
+
+Predicate Predicate::True() {
+  static const auto node = std::make_shared<const Node>(
+      Node{Kind::kTrue, {}, nullptr, nullptr});
+  return Predicate(node);
+}
+
+Predicate Predicate::False() {
+  static const auto node = std::make_shared<const Node>(
+      Node{Kind::kFalse, {}, nullptr, nullptr});
+  return Predicate(node);
+}
+
+Predicate Predicate::Test(net::FieldMatch match) {
+  if (match.IsWildcard()) return True();
+  return Predicate(std::make_shared<const Node>(
+      Node{Kind::kTest, std::move(match), nullptr, nullptr}));
+}
+
+Predicate Predicate::InPort(net::PortId port) {
+  return Test(net::FieldMatch::InPort(port));
+}
+Predicate Predicate::SrcMac(net::MacAddress mac) {
+  return Test(net::FieldMatch::SrcMac(mac));
+}
+Predicate Predicate::DstMac(net::MacAddress mac) {
+  return Test(net::FieldMatch::DstMac(mac));
+}
+Predicate Predicate::SrcIp(net::IPv4Prefix prefix) {
+  return Test(net::FieldMatch::SrcIp(prefix));
+}
+Predicate Predicate::DstIp(net::IPv4Prefix prefix) {
+  return Test(net::FieldMatch::DstIp(prefix));
+}
+Predicate Predicate::Proto(std::uint8_t proto) {
+  return Test(net::FieldMatch::Proto(proto));
+}
+Predicate Predicate::SrcPort(std::uint16_t port) {
+  return Test(net::FieldMatch::SrcPort(port));
+}
+Predicate Predicate::DstPort(std::uint16_t port) {
+  return Test(net::FieldMatch::DstPort(port));
+}
+
+Predicate Predicate::AnyInPort(const std::vector<net::PortId>& ports) {
+  Predicate out = False();
+  for (net::PortId port : ports) out = out || InPort(port);
+  return out;
+}
+
+Predicate Predicate::AnyDstIp(const std::vector<net::IPv4Prefix>& prefixes) {
+  Predicate out = False();
+  for (const auto& prefix : prefixes) out = out || DstIp(prefix);
+  return out;
+}
+
+Predicate Predicate::AnySrcIp(const std::vector<net::IPv4Prefix>& prefixes) {
+  Predicate out = False();
+  for (const auto& prefix : prefixes) out = out || SrcIp(prefix);
+  return out;
+}
+
+Predicate Predicate::operator&&(const Predicate& other) const {
+  // Constant folding keeps generated policies small: the SDX composes many
+  // machine-built predicates where True/False operands are common.
+  if (kind() == Kind::kFalse || other.kind() == Kind::kTrue) return *this;
+  if (kind() == Kind::kTrue || other.kind() == Kind::kFalse) return other;
+  if (kind() == Kind::kTest && other.kind() == Kind::kTest) {
+    auto intersection = test().Intersect(other.test());
+    if (!intersection) return False();
+    return Test(*intersection);
+  }
+  return Predicate(std::make_shared<const Node>(
+      Node{Kind::kAnd, {}, node_, other.node_}));
+}
+
+Predicate Predicate::operator||(const Predicate& other) const {
+  if (kind() == Kind::kTrue || other.kind() == Kind::kFalse) return *this;
+  if (kind() == Kind::kFalse || other.kind() == Kind::kTrue) return other;
+  return Predicate(std::make_shared<const Node>(
+      Node{Kind::kOr, {}, node_, other.node_}));
+}
+
+Predicate Predicate::operator!() const {
+  if (kind() == Kind::kTrue) return False();
+  if (kind() == Kind::kFalse) return True();
+  if (kind() == Kind::kNot) return Predicate(node_->left);
+  return Predicate(
+      std::make_shared<const Node>(Node{Kind::kNot, {}, node_, nullptr}));
+}
+
+Predicate::Kind Predicate::kind() const { return node_->kind; }
+
+const net::FieldMatch& Predicate::test() const {
+  assert(node_->kind == Kind::kTest);
+  return node_->match;
+}
+
+Predicate Predicate::left() const {
+  assert(node_->kind == Kind::kAnd || node_->kind == Kind::kOr);
+  return Predicate(node_->left);
+}
+
+Predicate Predicate::right() const {
+  assert(node_->kind == Kind::kAnd || node_->kind == Kind::kOr);
+  return Predicate(node_->right);
+}
+
+Predicate Predicate::operand() const {
+  assert(node_->kind == Kind::kNot);
+  return Predicate(node_->left);
+}
+
+bool Predicate::Eval(const net::PacketHeader& header) const {
+  switch (node_->kind) {
+    case Kind::kTrue:
+      return true;
+    case Kind::kFalse:
+      return false;
+    case Kind::kTest:
+      return node_->match.Matches(header);
+    case Kind::kAnd:
+      return left().Eval(header) && right().Eval(header);
+    case Kind::kOr:
+      return left().Eval(header) || right().Eval(header);
+    case Kind::kNot:
+      return !operand().Eval(header);
+  }
+  return false;
+}
+
+bool Predicate::ContainsNegation() const {
+  switch (node_->kind) {
+    case Kind::kTrue:
+    case Kind::kFalse:
+    case Kind::kTest:
+      return false;
+    case Kind::kAnd:
+    case Kind::kOr:
+      return left().ContainsNegation() || right().ContainsNegation();
+    case Kind::kNot:
+      return true;
+  }
+  return false;
+}
+
+std::string Predicate::ToString() const {
+  switch (node_->kind) {
+    case Kind::kTrue:
+      return "true";
+    case Kind::kFalse:
+      return "false";
+    case Kind::kTest:
+      return "match(" + node_->match.ToString() + ")";
+    case Kind::kAnd:
+      return "(" + left().ToString() + " && " + right().ToString() + ")";
+    case Kind::kOr:
+      return "(" + left().ToString() + " || " + right().ToString() + ")";
+    case Kind::kNot:
+      return "!(" + operand().ToString() + ")";
+  }
+  return "?";
+}
+
+}  // namespace sdx::policy

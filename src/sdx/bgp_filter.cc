@@ -1,0 +1,79 @@
+#include "sdx/bgp_filter.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "net/prefix_trie.h"
+
+namespace sdx::core {
+
+bool ClauseCoversPrefix(const OutboundClause& clause,
+                        const net::IPv4Prefix& prefix) {
+  if (clause.dst_prefixes.empty()) return true;
+  for (const net::IPv4Prefix& restriction : clause.dst_prefixes) {
+    if (restriction.Contains(prefix)) return true;
+  }
+  return false;
+}
+
+std::vector<net::IPv4Prefix> EligiblePrefixes(const rs::RouteServer& rs,
+                                              AsNumber sender,
+                                              const OutboundClause& clause) {
+  std::vector<net::IPv4Prefix> exported =
+      rs.PrefixesReachableVia(sender, clause.to);
+  if (clause.dst_prefixes.empty()) return exported;
+
+  // A restriction covers an exported prefix when it names it exactly or is
+  // a coarser block containing it (a clause naming the Amazon /16 admits
+  // the announced /24s inside it). Indexed through a trie so large clause
+  // lists stay O(32) per exported prefix; the shortest restriction covering
+  // the prefix's network address decides (AllMatches is shortest-first).
+  net::PrefixMap<char> restrictions;
+  for (const net::IPv4Prefix& restriction : clause.dst_prefixes) {
+    restrictions.Insert(restriction, 0);
+  }
+  std::vector<net::IPv4Prefix> out;
+  out.reserve(exported.size());
+  for (const net::IPv4Prefix& prefix : exported) {
+    auto matches = restrictions.AllMatches(prefix.network());
+    if (!matches.empty() && matches.front().first.length() <= prefix.length()) {
+      out.push_back(prefix);
+    }
+  }
+  return out;
+}
+
+policy::Predicate BgpFilterPredicate(const rs::RouteServer& rs,
+                                     AsNumber sender,
+                                     const OutboundClause& clause) {
+  return policy::Predicate::AnyDstIp(EligiblePrefixes(rs, sender, clause));
+}
+
+std::vector<net::IPv4Prefix> PrefixesMatchingAsPath(
+    const rs::RouteServer& rs, AsNumber receiver,
+    const bgp::AsPathPattern& pattern) {
+  std::vector<net::IPv4Prefix> out;
+  const bgp::LocRib* rib = rs.LocRibFor(receiver);
+  if (rib == nullptr) return out;
+  for (const bgp::BgpRoute& route : rib->FilterByAsPath(pattern)) {
+    out.push_back(route.prefix);
+  }
+  return out;
+}
+
+std::vector<net::IPv4Prefix> PrefixesOriginatedBy(const rs::RouteServer& rs,
+                                                  AsNumber receiver,
+                                                  AsNumber origin_as) {
+  auto pattern =
+      bgp::AsPathPattern::Compile(".*" + std::to_string(origin_as) + "$");
+  if (!pattern) return {};
+  return PrefixesMatchingAsPath(rs, receiver, *pattern);
+}
+
+policy::Predicate SrcFromAsPath(const rs::RouteServer& rs, AsNumber receiver,
+                                const bgp::AsPathPattern& pattern) {
+  return policy::Predicate::AnySrcIp(
+      PrefixesMatchingAsPath(rs, receiver, pattern));
+}
+
+}  // namespace sdx::core

@@ -1,0 +1,63 @@
+// Transformation 2 of §4.1: enforcing consistency with BGP advertisements.
+//
+// A participant may only direct traffic for prefix p through next-hop AS N
+// if N exported a route for p to it. The runtime computes, per outbound
+// clause, the eligible prefix set — the clause's own destination
+// restriction (if any) intersected with what the clause target exports to
+// the sender — and inserts it before the forwarding action, either as
+// destination-prefix filters (faithful path) or as the VMAC set of the
+// eligible prefix groups (scalable path, §4.2).
+#pragma once
+
+#include <vector>
+
+#include "net/ipv4.h"
+#include "policy/predicate.h"
+#include "rs/route_server.h"
+#include "sdx/participant.h"
+
+namespace sdx::core {
+
+// The destination prefixes `sender` may legally steer through
+// `clause.to`, restricted to the clause's own prefix list when present.
+std::vector<net::IPv4Prefix> EligiblePrefixes(const rs::RouteServer& rs,
+                                              AsNumber sender,
+                                              const OutboundClause& clause);
+
+// Point query: does the clause's own destination restriction admit
+// `prefix`? (Reachability via clause.to is checked separately through
+// RouteServer::ExportsTo.)
+bool ClauseCoversPrefix(const OutboundClause& clause,
+                        const net::IPv4Prefix& prefix);
+
+// --- Attribute-based matching (§3.2, "Grouping traffic based on BGP
+// attributes"). The paper's idiom:
+//
+//   YouTubePrefixes = RIB.filter('as_path', .*43515$)
+//   match(srcip={YouTubePrefixes}) >> fwd(E1)
+//
+// These helpers resolve a BGP-attribute query against a participant's view
+// of the RIB into prefix lists / predicates usable in clauses. ----------
+
+// Prefixes in `receiver`'s Loc-RIB whose AS path matches `pattern`.
+std::vector<net::IPv4Prefix> PrefixesMatchingAsPath(
+    const rs::RouteServer& rs, AsNumber receiver,
+    const bgp::AsPathPattern& pattern);
+
+// Prefixes in `receiver`'s Loc-RIB originated by `origin_as` (shorthand
+// for the ".*<asn>$" pattern).
+std::vector<net::IPv4Prefix> PrefixesOriginatedBy(const rs::RouteServer& rs,
+                                                  AsNumber receiver,
+                                                  AsNumber origin_as);
+
+// match(srcip ∈ {prefixes whose AS path matches `pattern`}): "all flows
+// SENT BY" the matched networks, for inbound redirection policies.
+policy::Predicate SrcFromAsPath(const rs::RouteServer& rs, AsNumber receiver,
+                                const bgp::AsPathPattern& pattern);
+
+// dst_ip ∈ eligible (faithful path). False when nothing is eligible.
+policy::Predicate BgpFilterPredicate(const rs::RouteServer& rs,
+                                     AsNumber sender,
+                                     const OutboundClause& clause);
+
+}  // namespace sdx::core

@@ -1,0 +1,288 @@
+#include "sdx/composer.h"
+
+#include <algorithm>
+#include <set>
+
+#include "sdx/bgp_filter.h"
+#include "sdx/default_fwd.h"
+#include "sdx/isolation.h"
+
+namespace sdx::core {
+
+using policy::Classifier;
+using policy::Compile;
+using policy::Policy;
+using policy::Predicate;
+using policy::Rule;
+
+namespace {
+
+// Appends the forwarding (non-drop) rules of `block` to `out`. Blocks are
+// stacked first-match-wins; drop rules inside a block mean "this block does
+// not handle the packet", i.e. fall through to the next block.
+std::size_t AppendForwardingRules(const Classifier& block,
+                                  std::vector<Rule>& out) {
+  std::size_t count = 0;
+  for (const Rule& rule : block.rules()) {
+    if (rule.actions.empty()) continue;
+    out.push_back(rule);
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+Policy Composer::InboundBlockPolicy(const Participant& participant) const {
+  return Policy::Filter(IngressIsolation(*topo_, participant.as())) >>
+         InboundDeliveryPolicy(*topo_, participant);
+}
+
+InboundPolicies Composer::BuildInboundPolicies(
+    const std::map<AsNumber, Participant>& participants) const {
+  InboundPolicies out;
+  for (const auto& [as, participant] : participants) {
+    out.emplace(as, InboundBlockPolicy(participant));
+  }
+  return out;
+}
+
+policy::Classifier Composer::ClauseBlock(AsNumber sender,
+                                         const OutboundClause& clause,
+                                         const std::vector<GroupId>& group_ids,
+                                         const GroupTable& groups,
+                                         policy::CompilationCache* cache) const {
+  // Compile the guard once (isolation ∧ clause match → target ingress),
+  // then expand it per eligible VMAC — the VMACs are mutually disjoint, so
+  // this stays linear in the group count.
+  Policy base = Policy::Filter(OutboundIsolation(*topo_, sender) &&
+                               clause.match) >>
+                Policy::Fwd(topo_->IngressPort(clause.to));
+  Classifier base_block = Compile(base, cache);
+  std::vector<Rule> rules;
+  rules.reserve(group_ids.size() * base_block.size() + 1);
+  for (GroupId id : group_ids) {
+    const net::FieldMatch vmac =
+        net::FieldMatch::DstMac(groups.groups[id].binding.vmac);
+    for (const Rule& rule : base_block.rules()) {
+      if (rule.actions.empty()) continue;
+      auto match = rule.match.Intersect(vmac);
+      if (!match) continue;
+      rules.push_back(Rule{std::move(*match), rule.actions});
+    }
+  }
+  rules.push_back(Rule{net::FieldMatch(), {}});
+  Classifier out(std::move(rules));
+  out.DedupMatches();
+  return out;
+}
+
+CompiledSdx Composer::Compose(
+    const std::map<AsNumber, Participant>& participants,
+    const InboundPolicies& inbound_policies, const GroupTable& groups,
+    const ClauseSetIds& clause_set_ids,
+    policy::CompilationCache* cache) const {
+  // Inbound blocks, compiled once per participant and reused for every
+  // sender that targets them (memoization-friendly: one Policy object each).
+  std::map<AsNumber, Classifier> inbound_blocks;
+  for (const auto& [as, inbound_policy] : inbound_policies) {
+    inbound_blocks.emplace(as, Compile(inbound_policy, cache));
+  }
+
+  std::vector<Rule> final_rules;
+  CompiledSdx result;
+
+  // Service-chain transit rules sit at the very top: a middlebox port
+  // belongs to some participant whose own policies must not capture the
+  // re-injected traffic (see ChainStagePolicy).
+  for (const auto& [as, participant] : participants) {
+    Policy chain_policy = ChainStagePolicy(*topo_, participant);
+    if (chain_policy.kind() == Policy::Kind::kDrop) continue;
+    result.override_rule_count +=
+        AppendForwardingRules(Compile(chain_policy, cache), final_rules);
+  }
+
+  // Override blocks: each sender's clauses, expanded over their eligible
+  // VMACs, composed ONLY against the inbound block of the clause's target
+  // ("most SDX policies only concern a subset of the participants").
+  // Clause blocks of one sender stack in clause-priority order; blocks of
+  // different senders are disjoint by in-port, so plain concatenation is
+  // the composition ("most SDX policies are disjoint").
+  for (const auto& [as, sender] : participants) {
+    const auto& clauses = sender.outbound();
+    for (int i = 0; i < static_cast<int>(clauses.size()); ++i) {
+      const OutboundClause& clause = clauses[static_cast<std::size_t>(i)];
+      auto set_it = clause_set_ids.find({as, i});
+      if (set_it == clause_set_ids.end()) continue;
+      auto groups_it = groups.groups_in_set.find(set_it->second);
+      if (groups_it == groups.groups_in_set.end()) continue;
+      auto target = inbound_blocks.find(clause.to);
+      if (target == inbound_blocks.end()) continue;
+      Classifier block =
+          ClauseBlock(as, clause, groups_it->second, groups, cache)
+              .Sequential(target->second);
+      result.override_rule_count +=
+          AppendForwardingRules(block, final_rules);
+    }
+  }
+
+  Classifier all_inbound = Classifier::DropAll();
+  for (const auto& [as, block] : inbound_blocks) {
+    all_inbound = all_inbound.UnionDisjoint(block);
+  }
+
+  // Per-sender default exceptions: senders whose own best route for a
+  // group differs from the shared default (see AnnotatedGroup). These sit
+  // above the shared block — they carry an in-port match, so they are
+  // disjoint across senders (and across groups by VMAC).
+  std::vector<Rule> exception_rules;
+  for (const AnnotatedGroup& group : groups.groups) {
+    for (const auto& [sender, hop] : group.per_sender_best) {
+      if (hop == 0 || !participants.contains(hop)) continue;
+      const net::PortId ingress = topo_->IngressPort(hop);
+      for (net::PortId port : topo_->PhysicalPortIds(sender)) {
+        exception_rules.push_back(
+            Rule{net::FieldMatch::InPort(port).WithDstMac(
+                     group.binding.vmac),
+                 {dataplane::Action{{}, ingress}}});
+      }
+    }
+  }
+  if (!exception_rules.empty()) {
+    exception_rules.push_back(Rule{net::FieldMatch(), {}});
+    result.default_rule_count += AppendForwardingRules(
+        Classifier(std::move(exception_rules)).Sequential(all_inbound),
+        final_rules);
+  }
+
+  // Shared default block: VMAC/real-MAC forwarding into every inbound
+  // block. Rules are disjoint by dst MAC, so they are emitted directly.
+  std::vector<Rule> default_rules;
+  default_rules.reserve(groups.groups.size() +
+                        topo_->physical_port_count() + 1);
+  for (const AnnotatedGroup& group : groups.groups) {
+    if (group.best_hop == 0 || !participants.contains(group.best_hop)) {
+      continue;
+    }
+    default_rules.push_back(
+        Rule{net::FieldMatch::DstMac(group.binding.vmac),
+             {dataplane::Action{{}, topo_->IngressPort(group.best_hop)}}});
+  }
+  for (const PhysicalPort& port : topo_->AllPhysicalPorts()) {
+    default_rules.push_back(
+        Rule{net::FieldMatch::DstMac(port.mac),
+             {dataplane::Action{{}, topo_->IngressPort(port.owner)}}});
+  }
+  default_rules.push_back(Rule{net::FieldMatch(), {}});
+  result.default_rule_count += AppendForwardingRules(
+      Classifier(std::move(default_rules)).Sequential(all_inbound),
+      final_rules);
+
+  final_rules.push_back(Rule{net::FieldMatch(), {}});
+  Classifier final_classifier(std::move(final_rules));
+  final_classifier.DedupMatches();
+  result.classifier = std::move(final_classifier);
+  return result;
+}
+
+policy::Classifier Composer::ComposeForGroup(
+    const std::map<AsNumber, Participant>& participants,
+    const InboundPolicies& inbound_policies, const AnnotatedGroup& group,
+    const ClauseSetIds& clause_set_ids,
+    policy::CompilationCache* cache) const {
+  std::vector<Rule> rules;
+  const Predicate vmac = Predicate::DstMac(group.binding.vmac);
+  auto inbound_block = [&](AsNumber target) -> std::optional<Classifier> {
+    auto it = inbound_policies.find(target);
+    if (it == inbound_policies.end()) return std::nullopt;
+    return Compile(it->second, cache);  // cache hit after the first update
+  };
+
+  // Override rules for every clause whose behavior set contains the group.
+  for (const auto& [as, sender] : participants) {
+    const auto& clauses = sender.outbound();
+    for (int i = 0; i < static_cast<int>(clauses.size()); ++i) {
+      auto set_it = clause_set_ids.find({as, i});
+      if (set_it == clause_set_ids.end()) continue;
+      const bool member =
+          std::find(group.member_of.begin(), group.member_of.end(),
+                    set_it->second) != group.member_of.end();
+      if (!member) continue;
+      const OutboundClause& clause = clauses[static_cast<std::size_t>(i)];
+      auto target = inbound_block(clause.to);
+      if (!target) continue;
+      Policy p = Policy::Filter(OutboundIsolation(*topo_, as) &&
+                                clause.match && vmac) >>
+                 Policy::Fwd(topo_->IngressPort(clause.to));
+      AppendForwardingRules(Compile(p, cache).Sequential(*target), rules);
+    }
+  }
+
+  // Per-sender default exceptions for the group.
+  for (const auto& [sender, hop] : group.per_sender_best) {
+    if (hop == 0) continue;
+    auto target = inbound_block(hop);
+    if (!target) continue;
+    Policy p = Policy::Filter(OutboundIsolation(*topo_, sender) && vmac) >>
+               Policy::Fwd(topo_->IngressPort(hop));
+    AppendForwardingRules(Compile(p, cache).Sequential(*target), rules);
+  }
+
+  // Default rule for the group.
+  if (group.best_hop != 0) {
+    if (auto target = inbound_block(group.best_hop)) {
+      Policy p = Policy::Filter(vmac) >>
+                 Policy::Fwd(topo_->IngressPort(group.best_hop));
+      AppendForwardingRules(Compile(p, cache).Sequential(*target), rules);
+    }
+  }
+
+  rules.push_back(Rule{net::FieldMatch(), {}});
+  Classifier out(std::move(rules));
+  out.DedupMatches();
+  return out;
+}
+
+policy::Policy Composer::BuildFaithfulPolicy(
+    const std::map<AsNumber, Participant>& participants) const {
+  Policy sum = Policy::Drop();
+  for (const auto& [as, participant] : participants) {
+    // --- Outbound side: overrides with destination-prefix BGP filters,
+    // guarded over the default MAC-learning policy (the paper's if_()).
+    Policy overrides = Policy::Drop();
+    Predicate guard = Predicate::False();
+    for (const OutboundClause& clause : participant.outbound()) {
+      if (!topo_->Contains(clause.to)) continue;
+      Predicate pred =
+          clause.match && BgpFilterPredicate(*rs_, as, clause);
+      overrides = overrides +
+                  (Policy::Filter(pred) >>
+                   Policy::Fwd(topo_->VirtualPort(clause.to, as)));
+      guard = guard || pred;
+    }
+    Policy defaults = Policy::Drop();
+    for (const PhysicalPort& port : topo_->AllPhysicalPorts()) {
+      if (port.owner == as) continue;
+      defaults = defaults +
+                 Policy::Guarded(Predicate::DstMac(port.mac),
+                                 Policy::Fwd(topo_->VirtualPort(port.owner,
+                                                                as)));
+    }
+    // Remote participants have no physical ports: nothing enters from them.
+    Policy out_part =
+        participant.remote()
+            ? Policy::Drop()
+            : Policy::Filter(OutboundIsolation(*topo_, as)) >>
+                  Policy::If(guard, overrides, defaults);
+
+    // --- Inbound side: per-peer virtual-port isolation, then delivery.
+    Policy in_part = Policy::Filter(InboundIsolation(*topo_, as)) >>
+                     InboundDeliveryPolicy(*topo_, participant);
+
+    sum = sum + (out_part + in_part);
+  }
+  // Two virtual hops: sender's switch, then receiver's switch.
+  return sum >> sum;
+}
+
+}  // namespace sdx::core

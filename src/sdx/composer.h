@@ -1,0 +1,105 @@
+// Transformation 4 of §4.1 — composing all participants' policies into one
+// SDX policy — with the §4.3.1 optimizations, plus the unoptimized
+// "faithful" composition used for validation and ablation.
+//
+// Scalable path (Compose):
+//   * Override rules: per sender A, its outbound clauses are restricted by
+//     isolation (A's in-ports) and BGP consistency (the VMACs of the
+//     eligible prefix groups), composed in parallel, and sequenced ONLY
+//     against the inbound blocks of the participants A actually targets —
+//     the "most SDX policies only concern a subset of the participants"
+//     optimization.
+//   * Default rules: one fabric-wide block keyed purely on dst MAC (VMAC →
+//     best-hop participant, real port MAC → port owner), shared by every
+//     sender, sequenced once against all inbound blocks.
+//   * The final classifier stacks override blocks above the default block —
+//     first-match-wins realizes the paper's if_(override, default) without
+//     compiling a guard — and blocks from different senders are disjoint by
+//     construction (distinct in-ports), so they concatenate without any
+//     cross-product ("most SDX policies are disjoint").
+//   * All sub-policies are compiled through the shared CompilationCache
+//     ("many policy idioms appear more than once").
+//
+// Faithful path (BuildFaithfulPolicy): literally (ΣPi'') >> (ΣPi'') over
+// per-peer virtual ports with destination-prefix BGP filters and real
+// next-hop MACs — no VNH optimization. Exponential-ish; small inputs only.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "policy/cache.h"
+#include "policy/classifier.h"
+#include "policy/compile.h"
+#include "rs/route_server.h"
+#include "sdx/group_table.h"
+#include "sdx/participant.h"
+#include "sdx/vswitch.h"
+
+namespace sdx::core {
+
+// (sender AS, outbound-clause index) -> behavior-set id used during FEC
+// computation. Owned by the runtime, consumed here to find each clause's
+// eligible groups.
+using ClauseSetIds = std::map<std::pair<AsNumber, int>, std::uint32_t>;
+
+struct CompiledSdx {
+  policy::Classifier classifier;
+  std::size_t override_rule_count = 0;
+  std::size_t default_rule_count = 0;
+};
+
+// Per-participant inbound-block policies (ingress filter >> delivery).
+// Built once per compilation generation and shared between the full
+// composition and every fast-path slice, so the pointer-keyed memoization
+// cache actually hits instead of re-compiling fresh ASTs per update.
+using InboundPolicies = std::map<AsNumber, policy::Policy>;
+
+class Composer {
+ public:
+  Composer(const VirtualTopology& topo, const rs::RouteServer& rs)
+      : topo_(&topo), rs_(&rs) {}
+
+  // Builds the shared inbound-block policies for the current participants.
+  InboundPolicies BuildInboundPolicies(
+      const std::map<AsNumber, Participant>& participants) const;
+
+  CompiledSdx Compose(const std::map<AsNumber, Participant>& participants,
+                      const InboundPolicies& inbound_policies,
+                      const GroupTable& groups,
+                      const ClauseSetIds& clause_set_ids,
+                      policy::CompilationCache* cache) const;
+
+  // Compiles just the rules affected by one prefix group — the §4.3.2 fast
+  // path. Produces the group's default rule plus any override rules whose
+  // clause covers a prefix of the group, already sequenced with the
+  // relevant inbound blocks.
+  policy::Classifier ComposeForGroup(
+      const std::map<AsNumber, Participant>& participants,
+      const InboundPolicies& inbound_policies, const AnnotatedGroup& group,
+      const ClauseSetIds& clause_set_ids,
+      policy::CompilationCache* cache) const;
+
+  // The unoptimized §4.1 composition (validation/ablation only).
+  policy::Policy BuildFaithfulPolicy(
+      const std::map<AsNumber, Participant>& participants) const;
+
+ private:
+  // Inbound block for one participant: ingress-port filter >> delivery.
+  policy::Policy InboundBlockPolicy(const Participant& participant) const;
+
+  // One outbound clause compiled and expanded over the VMACs of its
+  // eligible groups: rules (sender in-port ∧ clause match ∧ VMAC_g) →
+  // fwd(target ingress), one per group. Disjoint across groups by VMAC, so
+  // the expansion is linear — no cross-products.
+  policy::Classifier ClauseBlock(AsNumber sender, const OutboundClause& clause,
+                                 const std::vector<GroupId>& group_ids,
+                                 const GroupTable& groups,
+                                 policy::CompilationCache* cache) const;
+
+  const VirtualTopology* topo_;
+  const rs::RouteServer* rs_;
+};
+
+}  // namespace sdx::core

@@ -1,0 +1,102 @@
+#include "sdx/default_fwd.h"
+
+#include <stdexcept>
+
+namespace sdx::core {
+
+using policy::Policy;
+using policy::Predicate;
+
+policy::Policy DefaultFabricPolicy(const VirtualTopology& topo,
+                                   const GroupTable& groups) {
+  Policy out = Policy::Drop();
+  for (const AnnotatedGroup& group : groups.groups) {
+    if (group.best_hop == 0) continue;  // currently unreachable
+    out = out + Policy::Guarded(Predicate::DstMac(group.binding.vmac),
+                                Policy::Fwd(topo.IngressPort(group.best_hop)));
+  }
+  for (const PhysicalPort& port : topo.AllPhysicalPorts()) {
+    out = out + Policy::Guarded(Predicate::DstMac(port.mac),
+                                Policy::Fwd(topo.IngressPort(port.owner)));
+  }
+  return out;
+}
+
+namespace {
+
+// Final delivery of one inbound clause: the clause rewrites plus the
+// dst-MAC rewrite to the destination port's real MAC, then the physical
+// output port.
+Policy FinalDelivery(const VirtualTopology& topo,
+                     const Participant& participant,
+                     const InboundClause& clause) {
+  const AsNumber host = clause.via_participant.value_or(participant.as());
+  const PhysicalPort& port = topo.PhysicalPortOf(host, clause.port_index);
+  dataplane::Rewrites rewrites = clause.rewrites;
+  rewrites.SetDstMac(port.mac);
+  return Policy::Mod(rewrites) >> Policy::Fwd(port.id);
+}
+
+// Hand-off to a middlebox hop: only the dst MAC changes (the clause's own
+// rewrites wait until final delivery).
+Policy HopDelivery(const VirtualTopology& topo, const ChainHop& hop) {
+  const PhysicalPort& port = topo.PhysicalPortOf(hop.via, hop.port_index);
+  dataplane::Rewrites rewrites;
+  rewrites.SetDstMac(port.mac);
+  return Policy::Mod(rewrites) >> Policy::Fwd(port.id);
+}
+
+// What a packet entering the clause's pipeline does first: the first
+// middlebox when a chain exists, final delivery otherwise.
+Policy ClauseDelivery(const VirtualTopology& topo,
+                      const Participant& participant,
+                      const InboundClause& clause) {
+  if (!clause.chain.empty()) {
+    return HopDelivery(topo, clause.chain.front());
+  }
+  return FinalDelivery(topo, participant, clause);
+}
+
+}  // namespace
+
+policy::Policy InboundDeliveryPolicy(const VirtualTopology& topo,
+                                     const Participant& participant) {
+  // Default delivery: local port 0, or drop for remote participants whose
+  // clauses all missed.
+  Policy fallback = Policy::Drop();
+  if (!participant.remote()) {
+    const PhysicalPort& port = topo.PhysicalPortOf(participant.as(), 0);
+    dataplane::Rewrites to_port;
+    to_port.SetDstMac(port.mac);
+    fallback = Policy::Mod(to_port) >> Policy::Fwd(port.id);
+  }
+  // First-match-wins chain, built back to front.
+  Policy chain = fallback;
+  const auto& clauses = participant.inbound();
+  for (auto it = clauses.rbegin(); it != clauses.rend(); ++it) {
+    chain = Policy::If(it->match, ClauseDelivery(topo, participant, *it),
+                       chain);
+  }
+  return chain;
+}
+
+policy::Policy ChainStagePolicy(const VirtualTopology& topo,
+                                const Participant& participant) {
+  Policy out = Policy::Drop();
+  for (const InboundClause& clause : participant.inbound()) {
+    for (std::size_t k = 0; k < clause.chain.size(); ++k) {
+      const PhysicalPort& from =
+          topo.PhysicalPortOf(clause.chain[k].via, clause.chain[k].port_index);
+      const Policy next =
+          k + 1 < clause.chain.size()
+              ? HopDelivery(topo, clause.chain[k + 1])
+              : FinalDelivery(topo, participant, clause);
+      out = out + Policy::Guarded(
+                      policy::Predicate::InPort(from.id) && clause.match,
+                      next);
+    }
+  }
+  return out;
+}
+
+}  // namespace sdx::core

@@ -1,0 +1,41 @@
+// Transformation 3 of §4.1: default forwarding using the best BGP route,
+// realized with VMAC tags (§4.2), plus the per-participant delivery policy
+// (the "second part" of the paper's defA: rewrite the destination MAC to
+// the recipient's physical port and forward it there).
+#pragma once
+
+#include "policy/policy.h"
+#include "sdx/group_table.h"
+#include "sdx/participant.h"
+#include "sdx/vswitch.h"
+
+namespace sdx::core {
+
+// The fabric-wide default forwarding policy, shared by every sender:
+//   * dst_mac == VMAC_g     -> fwd(ingress port of g's best-hop participant)
+//   * dst_mac == real MAC_P -> fwd(ingress port of P's owner)
+// Prefixes never touched by any policy keep their real next-hop MAC and hit
+// the second family — plain IXP layer-2 forwarding, exactly as the paper's
+// "simply behaves like a normal route server" case.
+policy::Policy DefaultFabricPolicy(const VirtualTopology& topo,
+                                   const GroupTable& groups);
+
+// What happens once traffic reaches `participant`'s virtual switch: its
+// inbound clauses as a first-match-wins chain, falling back to delivery on
+// its physical port 0. Delivery rewrites dst_mac to the destination port's
+// real MAC (so the receiving router accepts the frame) and forwards on that
+// port. Remote participants with no matching clause drop the traffic.
+policy::Policy InboundDeliveryPolicy(const VirtualTopology& topo,
+                                     const Participant& participant);
+
+// Service-chain transit rules (§8) for `participant`'s chained inbound
+// clauses: traffic re-injected by middlebox k (arriving on that middlebox's
+// physical port, still matching the clause) moves on to middlebox k+1, or
+// to final delivery after the last hop. Drop when the participant has no
+// chained clauses. These rules must sit ABOVE the override/default blocks —
+// a middlebox port belongs to some participant, whose own outbound policy
+// must not capture re-injected transit traffic.
+policy::Policy ChainStagePolicy(const VirtualTopology& topo,
+                                const Participant& participant);
+
+}  // namespace sdx::core

@@ -1,0 +1,47 @@
+#include "sdx/fec.h"
+
+#include <map>
+
+namespace sdx::core {
+
+std::uint32_t FecComputer::AddBehaviorSet(
+    const std::vector<net::IPv4Prefix>& prefixes) {
+  const std::uint32_t set_id = set_count_++;
+  for (const net::IPv4Prefix& prefix : prefixes) {
+    auto [it, inserted] = membership_.try_emplace(prefix);
+    if (inserted) order_.push_back(prefix);
+    // Sets are added in increasing id order, so membership lists stay
+    // sorted; guard against the same prefix listed twice within one set.
+    if (it->second.empty() || it->second.back() != set_id) {
+      it->second.push_back(set_id);
+    }
+  }
+  return set_id;
+}
+
+std::vector<PrefixGroup> FecComputer::Compute() const {
+  // Signature (sorted set-id list) -> group index.
+  std::map<std::vector<std::uint32_t>, std::size_t> signature_to_group;
+  std::vector<PrefixGroup> groups;
+  for (const net::IPv4Prefix& prefix : order_) {
+    const auto& signature = membership_.at(prefix);
+    auto [it, inserted] =
+        signature_to_group.try_emplace(signature, groups.size());
+    if (inserted) {
+      PrefixGroup group;
+      group.id = static_cast<GroupId>(groups.size());
+      group.member_of = signature;
+      groups.push_back(std::move(group));
+    }
+    groups[it->second].prefixes.push_back(prefix);
+  }
+  return groups;
+}
+
+void FecComputer::Clear() {
+  membership_.clear();
+  order_.clear();
+  set_count_ = 0;
+}
+
+}  // namespace sdx::core

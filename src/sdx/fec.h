@@ -1,0 +1,59 @@
+// Forwarding Equivalence Class computation (§4.2).
+//
+// A Forwarding Equivalence Class (FEC, "prefix group") is a maximal set of
+// prefixes that share forwarding behavior throughout the SDX fabric. The
+// paper computes them as the Minimum Disjoint Subset (MDS) of a collection
+// of prefix sets: each set is "the prefixes affected identically by one
+// policy clause" (pass 1) or "the prefixes sharing a default next hop"
+// (pass 2). Two prefixes belong to the same group iff they belong to
+// exactly the same sets.
+//
+// We implement MDS in O(total set size) with hashed signatures: each prefix
+// accumulates the list of set ids containing it; equal signatures → same
+// group. This realizes the polynomial-time algorithm the paper references.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ipv4.h"
+
+namespace sdx::core {
+
+using GroupId = std::uint32_t;
+
+struct PrefixGroup {
+  GroupId id = 0;
+  std::vector<net::IPv4Prefix> prefixes;
+  // Ids of the behavior sets whose intersection this group is (sorted).
+  std::vector<std::uint32_t> member_of;
+};
+
+class FecComputer {
+ public:
+  // Registers one behavior set and returns its id. Sets are typically
+  // "prefixes eligible for outbound clause k" or "prefixes whose default
+  // next hop is AS N".
+  std::uint32_t AddBehaviorSet(const std::vector<net::IPv4Prefix>& prefixes);
+
+  std::size_t behavior_set_count() const { return set_count_; }
+
+  // Partitions every prefix seen in at least one behavior set into maximal
+  // groups with identical set membership. Prefixes appearing in no set are
+  // never passed in, mirroring the paper: untouched prefixes need no group.
+  // Group ids are dense, assigned in first-seen order; the grouping is
+  // deterministic for a given insertion order.
+  std::vector<PrefixGroup> Compute() const;
+
+  void Clear();
+
+ private:
+  // prefix -> sorted list of behavior-set ids containing it.
+  std::unordered_map<net::IPv4Prefix, std::vector<std::uint32_t>> membership_;
+  std::uint32_t set_count_ = 0;
+  // Remembers first-seen order of prefixes for deterministic output.
+  std::vector<net::IPv4Prefix> order_;
+};
+
+}  // namespace sdx::core

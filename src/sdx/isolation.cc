@@ -1,0 +1,27 @@
+#include "sdx/isolation.h"
+
+namespace sdx::core {
+
+policy::Predicate OutboundIsolation(const VirtualTopology& topo, AsNumber as) {
+  return policy::Predicate::AnyInPort(topo.PhysicalPortIds(as));
+}
+
+policy::Predicate InboundIsolation(const VirtualTopology& topo, AsNumber as) {
+  return policy::Predicate::AnyInPort(topo.VirtualPortIds(as));
+}
+
+policy::Predicate IngressIsolation(const VirtualTopology& topo, AsNumber as) {
+  return policy::Predicate::InPort(topo.IngressPort(as));
+}
+
+policy::Policy IsolateOutbound(const VirtualTopology& topo, AsNumber as,
+                               policy::Policy p) {
+  return policy::Policy::Filter(OutboundIsolation(topo, as)) >> std::move(p);
+}
+
+policy::Policy IsolateInbound(const VirtualTopology& topo, AsNumber as,
+                              policy::Policy p) {
+  return policy::Policy::Filter(InboundIsolation(topo, as)) >> std::move(p);
+}
+
+}  // namespace sdx::core

@@ -1,0 +1,31 @@
+// Transformation 1 of §4.1: enforcing isolation between participants.
+//
+// Each participant's outbound policy may only act on traffic entering the
+// fabric on that participant's own physical ports; its inbound policy only
+// on traffic entering its virtual switch from other participants. The SDX
+// runtime enforces this by prepending explicit in-port filters — a
+// participant cannot opt out.
+#pragma once
+
+#include "policy/policy.h"
+#include "policy/predicate.h"
+#include "sdx/vswitch.h"
+
+namespace sdx::core {
+
+// in_port ∈ participant's physical ports.
+policy::Predicate OutboundIsolation(const VirtualTopology& topo, AsNumber as);
+
+// in_port ∈ participant's per-peer virtual ports (faithful path).
+policy::Predicate InboundIsolation(const VirtualTopology& topo, AsNumber as);
+
+// in_port == participant's shared ingress port (scalable path).
+policy::Predicate IngressIsolation(const VirtualTopology& topo, AsNumber as);
+
+// Filter(isolation) >> policy.
+policy::Policy IsolateOutbound(const VirtualTopology& topo, AsNumber as,
+                               policy::Policy p);
+policy::Policy IsolateInbound(const VirtualTopology& topo, AsNumber as,
+                              policy::Policy p);
+
+}  // namespace sdx::core

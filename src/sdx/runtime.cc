@@ -1,0 +1,434 @@
+#include "sdx/runtime.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sdx/bgp_filter.h"
+
+namespace sdx::core {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+SdxRuntime::SdxRuntime() : composer_(topology_, route_server_) {}
+
+Participant& SdxRuntime::AddParticipant(AsNumber as, int physical_ports) {
+  if (participants_.contains(as)) {
+    throw std::invalid_argument("participant AS" + std::to_string(as) +
+                                " already exists");
+  }
+  topology_.AddParticipant(as, physical_ports);
+  // Router address: drawn from 192.168.0.0/16 by registration order; also
+  // used as the BGP router id for decision-process tie-breaking.
+  const net::IPv4Address router_ip(0xC0A80000u | next_router_index_);
+  ++next_router_index_;
+  router_ips_[as] = router_ip;
+  route_server_.RegisterParticipant(as, router_ip);
+  auto [it, inserted] = participants_.emplace(as, Participant(as, physical_ports));
+  if (physical_ports > 0) {
+    const PhysicalPort& port0 = topology_.PhysicalPortOf(as, 0);
+    routers_.emplace(as, BorderRouter(as, port0.id, port0.mac));
+    // Real next-hop resolution for never-overridden prefixes: the router
+    // address maps to the participant's port-0 MAC.
+    arp_.Bind(router_ip, port0.mac);
+  }
+  return it->second;
+}
+
+namespace {
+
+[[noreturn]] void PolicyError(AsNumber as, std::size_t clause_index,
+                              const std::string& message) {
+  throw std::invalid_argument("AS" + std::to_string(as) + " clause #" +
+                              std::to_string(clause_index) + ": " + message);
+}
+
+}  // namespace
+
+void SdxRuntime::SetOutboundPolicy(AsNumber as,
+                                   std::vector<OutboundClause> clauses) {
+  auto it = participants_.find(as);
+  if (it == participants_.end()) {
+    throw std::invalid_argument("unknown participant AS" + std::to_string(as));
+  }
+  for (std::size_t i = 0; i < clauses.size(); ++i) {
+    const OutboundClause& clause = clauses[i];
+    if (clause.to == as) {
+      PolicyError(as, i, "outbound clause targets the sender itself");
+    }
+    if (!participants_.contains(clause.to)) {
+      PolicyError(as, i, "unknown target AS" + std::to_string(clause.to));
+    }
+    if (clause.match.ContainsNegation()) {
+      // Outbound clause matches must be positive: the compiler stacks
+      // clause blocks first-match-wins, and a negated match would need
+      // load-bearing drop rules that cannot fall through to later
+      // clauses. Express exclusions via clause ordering instead.
+      PolicyError(as, i,
+                  "outbound clause matches must not contain negation; "
+                  "use clause ordering (earlier clauses win) instead");
+    }
+  }
+  it->second.SetOutbound(std::move(clauses));
+}
+
+void SdxRuntime::SetInboundPolicy(AsNumber as,
+                                  std::vector<InboundClause> clauses) {
+  auto it = participants_.find(as);
+  if (it == participants_.end()) {
+    throw std::invalid_argument("unknown participant AS" + std::to_string(as));
+  }
+  const Participant& participant = it->second;
+  for (std::size_t i = 0; i < clauses.size(); ++i) {
+    const InboundClause& clause = clauses[i];
+    const AsNumber host = clause.via_participant.value_or(as);
+    auto host_it = participants_.find(host);
+    if (host_it == participants_.end()) {
+      PolicyError(as, i, "unknown hosting AS" + std::to_string(host));
+    }
+    if (participant.remote() && !clause.via_participant) {
+      PolicyError(as, i,
+                  "remote participant needs via= to name a hosting port");
+    }
+    if (clause.port_index < 0 ||
+        clause.port_index >= host_it->second.physical_ports()) {
+      PolicyError(as, i,
+                  "port " + std::to_string(clause.port_index) +
+                      " does not exist on AS" + std::to_string(host));
+    }
+    for (const ChainHop& hop : clause.chain) {
+      auto hop_it = participants_.find(hop.via);
+      if (hop_it == participants_.end()) {
+        PolicyError(as, i, "chain hop via unknown AS" +
+                               std::to_string(hop.via));
+      }
+      if (hop.port_index < 0 ||
+          hop.port_index >= hop_it->second.physical_ports()) {
+        PolicyError(as, i,
+                    "chain hop port " + std::to_string(hop.port_index) +
+                        " does not exist on AS" + std::to_string(hop.via));
+      }
+    }
+  }
+  it->second.SetInbound(std::move(clauses));
+}
+
+void SdxRuntime::AnnouncePrefix(AsNumber as, const net::IPv4Prefix& prefix,
+                                std::vector<bgp::AsNumber> as_path) {
+  bgp::Announcement announcement;
+  announcement.from_as = as;
+  announcement.route.prefix = prefix;
+  announcement.route.next_hop = RouterIp(as);
+  announcement.route.as_path =
+      as_path.empty() ? std::vector<bgp::AsNumber>{as} : std::move(as_path);
+  route_server_.HandleUpdate(bgp::BgpUpdate{announcement});
+}
+
+net::IPv4Address SdxRuntime::RouterIp(AsNumber as) const {
+  auto it = router_ips_.find(as);
+  if (it == router_ips_.end()) {
+    throw std::out_of_range("unknown participant AS" + std::to_string(as));
+  }
+  return it->second;
+}
+
+void SdxRuntime::RecomputeGroups() {
+  // Release previous bindings (including fast-path singletons).
+  for (const AnnotatedGroup& group : groups_.groups) {
+    arp_.Unbind(group.binding.vnh);
+    vnh_.Release(group.binding);
+  }
+  for (const AnnotatedGroup& group : fast_groups_) {
+    arp_.Unbind(group.binding.vnh);
+    vnh_.Release(group.binding);
+  }
+  fast_groups_.clear();
+  fast_group_of_.clear();
+  groups_.Clear();
+  clause_set_ids_.clear();
+
+  FecComputer fec;
+  std::vector<net::IPv4Prefix> overridden;  // union over all clause sets
+
+  // Pass 1: one behavior set per outbound clause (its eligible prefixes).
+  for (const auto& [as, participant] : participants_) {
+    const auto& clauses = participant.outbound();
+    for (int i = 0; i < static_cast<int>(clauses.size()); ++i) {
+      auto eligible = EligiblePrefixes(route_server_, as,
+                                       clauses[static_cast<std::size_t>(i)]);
+      clause_set_ids_[{as, i}] = fec.AddBehaviorSet(eligible);
+      overridden.insert(overridden.end(), eligible.begin(), eligible.end());
+    }
+  }
+
+  // Prefixes whose best route leads to a *remote* participant (wide-area
+  // load balancing, §3.2) must be grouped too: there is no physical port
+  // MAC for the border routers to tag with, so reaching the remote's
+  // virtual switch requires a VNH/VMAC.
+  for (const net::IPv4Prefix& prefix : route_server_.AllPrefixes()) {
+    const bgp::BgpRoute* best = route_server_.GlobalBest(prefix);
+    if (best == nullptr) continue;
+    auto it = participants_.find(best->peer_as);
+    if (it != participants_.end() && it->second.remote()) {
+      overridden.push_back(prefix);
+    }
+  }
+
+  // Pass 2: group overridden prefixes by their default forwarding
+  // behavior. Two prefixes may share a group only if they share the route
+  // server's (global) best next hop AND every sender's own best next hop —
+  // a sender whose view differs (the best-hop announcer itself, or a
+  // receiver the route is not exported to) needs its own exception rule,
+  // and that must be uniform across the group.
+  std::sort(overridden.begin(), overridden.end());
+  overridden.erase(std::unique(overridden.begin(), overridden.end()),
+                   overridden.end());
+  std::map<AsNumber, std::vector<net::IPv4Prefix>> by_next_hop;
+  std::map<std::pair<AsNumber, AsNumber>, std::vector<net::IPv4Prefix>>
+      by_sender_view;
+  for (const net::IPv4Prefix& prefix : overridden) {
+    const bgp::BgpRoute* best = route_server_.GlobalBest(prefix);
+    const AsNumber global_hop = best == nullptr ? 0 : best->peer_as;
+    by_next_hop[global_hop].push_back(prefix);
+    for (const auto& [sender, router] : routers_) {
+      const bgp::BgpRoute* own = route_server_.BestRoute(sender, prefix);
+      const AsNumber own_hop = own == nullptr ? 0 : own->peer_as;
+      if (own_hop != global_hop) {
+        by_sender_view[{sender, own_hop}].push_back(prefix);
+      }
+    }
+  }
+  for (const auto& [next_hop, prefixes] : by_next_hop) {
+    fec.AddBehaviorSet(prefixes);
+  }
+  for (const auto& [view, prefixes] : by_sender_view) {
+    fec.AddBehaviorSet(prefixes);
+  }
+
+  // Pass 3: the minimum disjoint subsets.
+  for (PrefixGroup& group : fec.Compute()) {
+    AnnotatedGroup annotated;
+    annotated.id = group.id;
+    annotated.prefixes = std::move(group.prefixes);
+    annotated.member_of = std::move(group.member_of);
+    annotated.binding = vnh_.Allocate();
+    const bgp::BgpRoute* best =
+        route_server_.GlobalBest(annotated.prefixes.front());
+    annotated.best_hop = best == nullptr ? 0 : best->peer_as;
+    // Per-sender exceptions: uniform across the group's prefixes because
+    // each differing view contributed a behavior set above.
+    for (const auto& [sender, router] : routers_) {
+      const bgp::BgpRoute* own =
+          route_server_.BestRoute(sender, annotated.prefixes.front());
+      const AsNumber own_hop = own == nullptr ? 0 : own->peer_as;
+      if (own_hop != annotated.best_hop) {
+        annotated.per_sender_best[sender] = own_hop;
+      }
+    }
+    for (const net::IPv4Prefix& prefix : annotated.prefixes) {
+      groups_.group_of[prefix] = annotated.id;
+    }
+    for (std::uint32_t set : annotated.member_of) {
+      groups_.groups_in_set[set].push_back(annotated.id);
+    }
+    groups_.groups.push_back(std::move(annotated));
+  }
+}
+
+void SdxRuntime::ReadvertiseRoutes() {
+  // VNH ARP bindings.
+  for (const AnnotatedGroup& group : groups_.groups) {
+    arp_.Bind(group.binding.vnh, group.binding.vmac);
+  }
+  // Border-router FIBs: for each receiver, every prefix the route server
+  // advertises to it; grouped prefixes get their VNH as next hop, others
+  // keep the real next hop from the best route.
+  for (auto& [as, router] : routers_) {
+    const bgp::LocRib* rib = route_server_.LocRibFor(as);
+    // Rebuild from scratch: simplest correct model of a session refresh.
+    router = BorderRouter(as, topology_.PhysicalPortOf(as, 0).id,
+                          topology_.PhysicalPortOf(as, 0).mac);
+    if (rib == nullptr) continue;
+    rib->ForEach([&](const bgp::BgpRoute& route) {
+      const AnnotatedGroup* group = groups_.FindByPrefix(route.prefix);
+      // Ungrouped prefixes keep a real next hop: the announcing
+      // participant's IXP-facing router address (which ARP resolves to its
+      // port MAC) — exactly what a conventional route server re-advertises.
+      router.InstallRoute(route.prefix, group != nullptr
+                                            ? group->binding.vnh
+                                            : RouterIp(route.peer_as));
+    });
+  }
+}
+
+CompileStats SdxRuntime::FullCompile() {
+  const auto start = std::chrono::steady_clock::now();
+  CompileStats stats;
+
+  RecomputeGroups();
+  ReadvertiseRoutes();
+
+  // Fresh generation: drop stale memoization entries (old policy objects
+  // are gone) and rebuild the shared inbound-block policies.
+  cache_.Clear();
+  inbound_policies_ = composer_.BuildInboundPolicies(participants_);
+
+  CompiledSdx compiled = composer_.Compose(
+      participants_, inbound_policies_, groups_, clause_set_ids_, &cache_);
+
+  const dataplane::Cookie old_generation = generation_;
+  ++generation_;
+  data_plane_.table().InstallAll(
+      compiled.classifier.ToFlowRules(kNormalPriorityBase, generation_));
+  data_plane_.table().RemoveByCookie(old_generation);
+  data_plane_.table().RemoveByCookie(kFastPathCookie);
+
+  stats.prefix_group_count = groups_.groups.size();
+  stats.flow_rule_count = data_plane_.table().size();
+  stats.override_rule_count = compiled.override_rule_count;
+  stats.default_rule_count = compiled.default_rule_count;
+  stats.vnh_count = vnh_.allocated_count();
+  stats.seconds = SecondsSince(start);
+  return stats;
+}
+
+std::vector<std::uint32_t> SdxRuntime::SetsContaining(
+    const net::IPv4Prefix& prefix) const {
+  std::vector<std::uint32_t> out;
+  for (const auto& [key, set_id] : clause_set_ids_) {
+    const auto& [as, index] = key;
+    const Participant& participant = participants_.at(as);
+    const OutboundClause& clause =
+        participant.outbound()[static_cast<std::size_t>(index)];
+    if (ClauseCoversPrefix(clause, prefix) &&
+        route_server_.ExportsTo(clause.to, as, prefix)) {
+      out.push_back(set_id);
+    }
+  }
+  return out;
+}
+
+UpdateStats SdxRuntime::ApplyBgpUpdate(const bgp::BgpUpdate& update) {
+  const auto start = std::chrono::steady_clock::now();
+  UpdateStats stats;
+
+  auto changes = route_server_.HandleUpdate(update);
+  if (changes.empty()) {
+    stats.seconds = SecondsSince(start);
+    return stats;
+  }
+  stats.best_route_changed = true;
+
+  // §4.3.2 fast path: bypass VNH optimality entirely — assume a fresh VNH
+  // is needed for the updated prefix and compile only the slices of the
+  // policy that relate to it.
+  const net::IPv4Prefix prefix = bgp::UpdatePrefix(update);
+  AnnotatedGroup group;
+  group.id = static_cast<GroupId>(groups_.groups.size() + fast_groups_.size());
+  group.prefixes = {prefix};
+  group.member_of = SetsContaining(prefix);
+  group.binding = vnh_.Allocate();
+  const bgp::BgpRoute* best = route_server_.GlobalBest(prefix);
+  group.best_hop = best == nullptr ? 0 : best->peer_as;
+  for (const auto& [sender, router] : routers_) {
+    const bgp::BgpRoute* own = route_server_.BestRoute(sender, prefix);
+    const AsNumber own_hop = own == nullptr ? 0 : own->peer_as;
+    if (own_hop != group.best_hop) group.per_sender_best[sender] = own_hop;
+  }
+
+  policy::Classifier slice = composer_.ComposeForGroup(
+      participants_, inbound_policies_, group, clause_set_ids_, &cache_);
+  // Each fast-path slice gets its own priority band above the previous
+  // ones, so a re-updated prefix's newest rules shadow its older ones. The
+  // stride bounds the slice size (clauses × inbound rules per group).
+  constexpr std::int32_t kFastPathBandStride = 4096;
+  auto rules = slice.ToFlowRules(
+      kFastPathPriorityBase +
+          static_cast<std::int32_t>(fast_groups_.size()) *
+              kFastPathBandStride,
+      kFastPathCookie);
+  stats.rules_added = 0;
+  for (auto& rule : rules) {
+    if (rule.actions.empty() && rule.match.IsWildcard()) continue;  // no drop
+    data_plane_.table().Install(rule);
+    ++stats.rules_added;
+  }
+
+  // Re-advertise: the updated prefix now resolves to the fresh VNH for all
+  // receivers that still have a route; receivers that lost it drop the FIB
+  // entry.
+  arp_.Bind(group.binding.vnh, group.binding.vmac);
+  for (auto& [as, router] : routers_) {
+    const bgp::BgpRoute* route = route_server_.BestRoute(as, prefix);
+    if (route == nullptr) {
+      router.RemoveRoute(prefix);
+    } else if (group.best_hop != 0) {
+      router.InstallRoute(prefix, group.binding.vnh);
+    }
+  }
+  fast_group_of_[prefix] = fast_groups_.size();
+  fast_groups_.push_back(std::move(group));
+
+  stats.seconds = SecondsSince(start);
+  return stats;
+}
+
+std::map<AsNumber, ParticipantTraffic> SdxRuntime::TrafficByParticipant()
+    const {
+  std::map<AsNumber, ParticipantTraffic> out;
+  for (const PhysicalPort& port : topology_.AllPhysicalPorts()) {
+    const dataplane::PortStats& stats = data_plane_.StatsFor(port.id);
+    ParticipantTraffic& traffic = out[port.owner];
+    traffic.sent_packets += stats.rx_packets;  // fabric-rx = participant-tx
+    traffic.sent_bytes += stats.rx_bytes;
+    traffic.received_packets += stats.tx_packets;
+    traffic.received_bytes += stats.tx_bytes;
+  }
+  return out;
+}
+
+std::optional<net::IPv4Address> SdxRuntime::AdvertisedNextHop(
+    AsNumber receiver, const net::IPv4Prefix& prefix) const {
+  const bgp::BgpRoute* best = route_server_.BestRoute(receiver, prefix);
+  if (best == nullptr) return std::nullopt;
+  auto fast = fast_group_of_.find(prefix);
+  if (fast != fast_group_of_.end()) {
+    return fast_groups_[fast->second].binding.vnh;
+  }
+  const AnnotatedGroup* group = groups_.FindByPrefix(prefix);
+  if (group != nullptr) return group->binding.vnh;
+  return RouterIp(best->peer_as);
+}
+
+std::vector<dataplane::Emission> SdxRuntime::InjectFromParticipant(
+    AsNumber as, net::Packet packet) {
+  auto it = routers_.find(as);
+  if (it == routers_.end()) return {};
+  auto tagged = it->second.EmitPacket(std::move(packet), arp_);
+  if (!tagged) return {};
+  return data_plane_.Process(*tagged);
+}
+
+std::vector<dataplane::Emission> SdxRuntime::ReinjectFromPort(
+    net::PortId port, net::Packet packet) {
+  packet.header.in_port = port;
+  return data_plane_.Process(packet);
+}
+
+const Participant* SdxRuntime::FindParticipant(AsNumber as) const {
+  auto it = participants_.find(as);
+  return it == participants_.end() ? nullptr : &it->second;
+}
+
+const BorderRouter* SdxRuntime::FindRouter(AsNumber as) const {
+  auto it = routers_.find(as);
+  return it == routers_.end() ? nullptr : &it->second;
+}
+
+}  // namespace sdx::core

@@ -1,0 +1,181 @@
+// The SDX runtime: the controller that ties everything together (§5.1).
+//
+// Owns the route server, the fabric data plane, the ARP responder, the
+// participant registry (policies + border-router models), the FEC/VNH
+// machinery, and the two-stage compilation pipeline:
+//
+//   * FullCompile()      — recompute FECs, allocate VNHs, re-advertise
+//                          next hops (rebuild border-router FIBs + ARP),
+//                          compose all policies, install one generation of
+//                          flow rules, retire the previous generation and
+//                          any fast-path rules. The paper's "optimal"
+//                          compilation.
+//   * ApplyBgpUpdate()   — process one BGP update; when it changes any best
+//                          route, run the §4.3.2 fast path: allocate a
+//                          fresh VNH for just that prefix, compile only the
+//                          policy slices touching it, and install the
+//                          result at higher priority. Sub-second by design.
+//   * RunBackgroundOptimization() — the background pass that re-coalesces
+//                          fast-path singletons into minimal tables
+//                          (implemented as a FullCompile).
+//
+// Traffic enters through InjectFromParticipant(), which models the
+// participant's unmodified border router: FIB longest-prefix match, ARP
+// resolution of the (virtual) next hop, MAC tagging, then the fabric.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "dataplane/arp.h"
+#include "dataplane/switch.h"
+#include "policy/cache.h"
+#include "rs/route_server.h"
+#include "sdx/composer.h"
+#include "sdx/fec.h"
+#include "sdx/group_table.h"
+#include "sdx/participant.h"
+#include "sdx/vnh.h"
+#include "sdx/vswitch.h"
+
+namespace sdx::core {
+
+struct CompileStats {
+  std::size_t prefix_group_count = 0;
+  std::size_t flow_rule_count = 0;
+  std::size_t override_rule_count = 0;
+  std::size_t default_rule_count = 0;
+  std::size_t vnh_count = 0;
+  double seconds = 0.0;
+};
+
+struct UpdateStats {
+  bool best_route_changed = false;
+  std::size_t rules_added = 0;
+  double seconds = 0.0;
+};
+
+// Per-participant traffic totals derived from the fabric's port counters
+// (operator monitoring: who sends/receives how much through the SDX).
+struct ParticipantTraffic {
+  std::uint64_t sent_packets = 0;      // entered the fabric from its ports
+  std::uint64_t sent_bytes = 0;
+  std::uint64_t received_packets = 0;  // delivered out of its ports
+  std::uint64_t received_bytes = 0;
+};
+
+class SdxRuntime {
+ public:
+  SdxRuntime();
+
+  // --- Setup --------------------------------------------------------------
+  // Registers a participant with `physical_ports` fabric attachments (0 =
+  // remote participant). Returns the participant for policy configuration.
+  Participant& AddParticipant(AsNumber as, int physical_ports);
+
+  // Both setters validate eagerly and throw std::invalid_argument with a
+  // descriptive message on: unknown participant, clause targeting an
+  // unknown participant or itself, ports that do not exist on the named
+  // participant, remote participants without a hosting `via`, or chain
+  // hops through nonexistent ports. Policies take effect at the next
+  // FullCompile().
+  void SetOutboundPolicy(AsNumber as, std::vector<OutboundClause> clauses);
+  void SetInboundPolicy(AsNumber as, std::vector<InboundClause> clauses);
+
+  // Announces `prefix` from `as` into the route server WITHOUT triggering
+  // the fast path (bulk RIB loading; call FullCompile afterwards). The
+  // AS path defaults to {as}; next hop is the participant's router address.
+  void AnnouncePrefix(AsNumber as, const net::IPv4Prefix& prefix,
+                      std::vector<bgp::AsNumber> as_path = {});
+
+  // The router address the runtime assigned to a participant (used as the
+  // real BGP next hop for its announcements).
+  net::IPv4Address RouterIp(AsNumber as) const;
+
+  // --- Compilation ----------------------------------------------------------
+  CompileStats FullCompile();
+  UpdateStats ApplyBgpUpdate(const bgp::BgpUpdate& update);
+  CompileStats RunBackgroundOptimization() { return FullCompile(); }
+
+  // --- Traffic ---------------------------------------------------------------
+  // Border-router model: FIB lookup + ARP + tag, then the fabric. Empty
+  // result = dropped (no route, unresolvable next hop, or fabric drop).
+  std::vector<dataplane::Emission> InjectFromParticipant(AsNumber as,
+                                                         net::Packet packet);
+
+  // Middlebox model: re-injects a packet on a physical port as-is (no FIB
+  // or ARP — transparent middleboxes return traffic with headers intact).
+  // Used by service chains (§8).
+  std::vector<dataplane::Emission> ReinjectFromPort(net::PortId port,
+                                                    net::Packet packet);
+
+  // --- Introspection -----------------------------------------------------------
+  rs::RouteServer& route_server() { return route_server_; }
+  const rs::RouteServer& route_server() const { return route_server_; }
+  dataplane::SwitchDataPlane& data_plane() { return data_plane_; }
+  const dataplane::ArpResponder& arp() const { return arp_; }
+  const VirtualTopology& topology() const { return topology_; }
+  const GroupTable& groups() const { return groups_; }
+  const Participant* FindParticipant(AsNumber as) const;
+  const BorderRouter* FindRouter(AsNumber as) const;
+  const policy::CompilationCache& cache() const { return cache_; }
+  const std::map<AsNumber, Participant>& participants() const {
+    return participants_;
+  }
+  const ClauseSetIds& clause_set_ids() const { return clause_set_ids_; }
+  std::size_t fast_path_groups() const { return fast_groups_.size(); }
+
+  // Traffic totals per participant, from the switch port counters.
+  std::map<AsNumber, ParticipantTraffic> TrafficByParticipant() const;
+
+  // The next hop the route server advertises to `receiver` for `prefix`:
+  // the prefix group's VNH (including fast-path singletons) when grouped,
+  // the announcing participant's router address otherwise, nullopt when no
+  // route is advertised. This is what SessionFrontend re-announces.
+  std::optional<net::IPv4Address> AdvertisedNextHop(
+      AsNumber receiver, const net::IPv4Prefix& prefix) const;
+
+ private:
+  static constexpr std::int32_t kNormalPriorityBase = 1'000;
+  static constexpr std::int32_t kFastPathPriorityBase = 1'000'000;
+  static constexpr dataplane::Cookie kFastPathCookie = 1;
+
+  // Rebuilds behavior sets + FEC groups + VNH bindings from current
+  // policies and RIBs.
+  void RecomputeGroups();
+
+  // Re-advertises next hops: rebuilds every border router FIB and the VNH
+  // ARP bindings.
+  void ReadvertiseRoutes();
+
+  // Behavior-set membership of a single prefix (fast path).
+  std::vector<std::uint32_t> SetsContaining(const net::IPv4Prefix& prefix)
+      const;
+
+  rs::RouteServer route_server_;
+  dataplane::SwitchDataPlane data_plane_;
+  dataplane::ArpResponder arp_;
+  VirtualTopology topology_;
+  std::map<AsNumber, Participant> participants_;
+  std::map<AsNumber, BorderRouter> routers_;
+  std::map<AsNumber, net::IPv4Address> router_ips_;
+  VnhAllocator vnh_;
+  GroupTable groups_;
+  ClauseSetIds clause_set_ids_;
+  Composer composer_;
+  // Inbound-block policies of the current compilation generation, shared
+  // with every fast-path slice so memoization hits across updates.
+  InboundPolicies inbound_policies_;
+  policy::CompilationCache cache_;
+
+  dataplane::Cookie generation_ = 2;  // 0 = none, 1 = fast path
+  std::vector<AnnotatedGroup> fast_groups_;
+  // Prefix -> index into fast_groups_ (the fast-path overlay of group_of).
+  std::unordered_map<net::IPv4Prefix, std::size_t> fast_group_of_;
+  std::uint32_t next_router_index_ = 1;
+};
+
+}  // namespace sdx::core

@@ -1,0 +1,88 @@
+#include "sdx/session_frontend.h"
+
+#include <stdexcept>
+
+namespace sdx::core {
+
+SessionFrontend::SessionFrontend(SdxRuntime& runtime) : runtime_(&runtime) {}
+
+bgp::BgpSession& SessionFrontend::Connect(AsNumber as) {
+  if (!runtime_->route_server().IsRegistered(as)) {
+    throw std::invalid_argument("session for unregistered participant AS" +
+                                std::to_string(as));
+  }
+  auto [it, inserted] = sessions_.try_emplace(
+      as, std::make_unique<bgp::BgpSession>(as,
+                                            runtime_->route_server()
+                                                .route_server_as()));
+  // A newly established (or re-established after a reset) session gets a
+  // full-table replay, like any BGP session bring-up.
+  const bool was_established = !inserted && it->second->established();
+  it->second->Open();
+  if (!was_established) Replay(as);
+  return *it->second;
+}
+
+bgp::BgpSession* SessionFrontend::FindSession(AsNumber as) {
+  auto it = sessions_.find(as);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+std::size_t SessionFrontend::Pump() {
+  std::size_t processed = 0;
+  for (auto& [as, session] : sessions_) {
+    if (!session->established()) continue;
+    for (bgp::BgpUpdate& update : session->DrainFromLocal()) {
+      runtime_->ApplyBgpUpdate(update);
+      Readvertise(bgp::UpdatePrefix(update));
+      ++processed;
+    }
+  }
+  return processed;
+}
+
+void SessionFrontend::Readvertise(const net::IPv4Prefix& prefix) {
+  for (auto& [receiver, session] : sessions_) {
+    if (!session->established()) continue;
+    const bgp::BgpRoute* best =
+        runtime_->route_server().BestRoute(receiver, prefix);
+    if (best == nullptr) {
+      bgp::Withdrawal withdrawal;
+      withdrawal.from_as = runtime_->route_server().route_server_as();
+      withdrawal.prefix = prefix;
+      session->SendToLocal(bgp::BgpUpdate{withdrawal});
+    } else {
+      bgp::Announcement announcement;
+      announcement.from_as = runtime_->route_server().route_server_as();
+      announcement.route = *best;
+      // The §4.2 rewrite: the next hop the participant learns is the
+      // prefix group's VNH (or the announcer's router address when the
+      // prefix needs no grouping).
+      auto next_hop = runtime_->AdvertisedNextHop(receiver, prefix);
+      announcement.route.next_hop = next_hop.value_or(best->next_hop);
+      session->SendToLocal(bgp::BgpUpdate{announcement});
+    }
+    ++readvertisements_sent_;
+  }
+}
+
+std::size_t SessionFrontend::Replay(AsNumber as) {
+  auto it = sessions_.find(as);
+  if (it == sessions_.end() || !it->second->established()) return 0;
+  const bgp::LocRib* rib = runtime_->route_server().LocRibFor(as);
+  if (rib == nullptr) return 0;
+  std::size_t sent = 0;
+  rib->ForEach([&](const bgp::BgpRoute& route) {
+    bgp::Announcement announcement;
+    announcement.from_as = runtime_->route_server().route_server_as();
+    announcement.route = route;
+    auto next_hop = runtime_->AdvertisedNextHop(as, route.prefix);
+    announcement.route.next_hop = next_hop.value_or(route.next_hop);
+    it->second->SendToLocal(bgp::BgpUpdate{announcement});
+    ++sent;
+  });
+  readvertisements_sent_ += sent;
+  return sent;
+}
+
+}  // namespace sdx::core

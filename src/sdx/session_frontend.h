@@ -1,0 +1,56 @@
+// The BGP-session-facing front of the SDX controller (the ExaBGP role in
+// the paper's Figure 3).
+//
+// Each participant border router holds an in-process BgpSession to the
+// controller. The frontend:
+//   * drains participant updates into the runtime's §4.3.2 fast path;
+//   * re-advertises the resulting best routes back over the sessions, with
+//     the next hop rewritten to the prefix group's virtual next hop — which
+//     is how unmodified routers end up installing VNHs in their FIBs;
+//   * replays a full table toward a session that (re)establishes, the
+//     conventional BGP session-reset behavior.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "bgp/session.h"
+#include "sdx/runtime.h"
+
+namespace sdx::core {
+
+class SessionFrontend {
+ public:
+  explicit SessionFrontend(SdxRuntime& runtime);
+
+  // Creates (and establishes) the session for a registered participant.
+  // The returned reference stays valid for the frontend's lifetime.
+  bgp::BgpSession& Connect(AsNumber as);
+
+  bgp::BgpSession* FindSession(AsNumber as);
+
+  // Drains every session's pending participant updates into the runtime
+  // and pushes the resulting re-advertisements back out. Returns the
+  // number of participant updates processed.
+  std::size_t Pump();
+
+  // Sends the full current table to one participant (used after a session
+  // reset; also useful after a FullCompile changed VNH assignments).
+  std::size_t Replay(AsNumber as);
+
+  std::uint64_t readvertisements_sent() const {
+    return readvertisements_sent_;
+  }
+
+ private:
+  // Re-advertises the state of `prefix` to every established session.
+  void Readvertise(const net::IPv4Prefix& prefix);
+
+  SdxRuntime* runtime_;
+  // node-stable storage: sessions are referenced by participants.
+  std::map<AsNumber, std::unique_ptr<bgp::BgpSession>> sessions_;
+  std::uint64_t readvertisements_sent_ = 0;
+};
+
+}  // namespace sdx::core

@@ -1,0 +1,53 @@
+#include "sdx/vnh.h"
+
+namespace sdx::core {
+
+VnhAllocator::VnhAllocator(net::IPv4Prefix pool) : pool_(pool) {
+  if (pool.length() > 30) {
+    throw std::invalid_argument("VNH pool too small");
+  }
+}
+
+net::MacAddress VnhAllocator::VmacForIndex(std::uint32_t index) {
+  // 0a:... is a locally-administered, unicast OUI; the low 32 bits carry
+  // the allocation index.
+  return net::MacAddress((std::uint64_t{0x0A} << 40) | index);
+}
+
+VnhBinding VnhAllocator::Allocate() {
+  std::uint32_t offset = 0;
+  if (!free_list_.empty()) {
+    offset = free_list_.back();
+    free_list_.pop_back();
+  } else {
+    const std::uint32_t capacity =
+        ~net::IPv4Prefix::Mask(pool_.length());  // host-bit count mask
+    if (next_offset_ >= capacity) {
+      throw std::runtime_error("VNH pool exhausted");
+    }
+    offset = next_offset_++;
+  }
+  VnhBinding binding;
+  binding.vnh = net::IPv4Address(pool_.network().value() | offset);
+  binding.vmac = VmacForIndex(offset);
+  live_[binding.vnh] = binding.vmac;
+  ++total_allocations_;
+  return binding;
+}
+
+void VnhAllocator::Release(const VnhBinding& binding) {
+  auto it = live_.find(binding.vnh);
+  if (it == live_.end()) return;
+  live_.erase(it);
+  free_list_.push_back(binding.vnh.value() & ~net::IPv4Prefix::Mask(
+                                                 pool_.length()));
+}
+
+std::optional<net::MacAddress> VnhAllocator::VmacFor(
+    net::IPv4Address vnh) const {
+  auto it = live_.find(vnh);
+  if (it == live_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace sdx::core

@@ -1,0 +1,69 @@
+// Virtual Next-Hop (VNH) and Virtual MAC (VMAC) assignment (§4.2).
+//
+// Each prefix group is assigned a (VNH, VMAC) pair. The route server
+// advertises the VNH as the BGP next hop for every prefix in the group; the
+// controller's ARP responder answers VNH queries with the VMAC; participant
+// border routers therefore tag the group's packets with the VMAC, letting
+// the fabric match one MAC instead of thousands of prefixes.
+//
+// VNHs are drawn from a reserved block (172.16.0.0/12 by default, mirroring
+// the prototype); VMACs from a locally-administered OUI. The fast path of
+// §4.3.2 burns through addresses (one fresh VNH per updated prefix), so the
+// allocator supports release + reuse when the background pass re-optimizes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "net/mac.h"
+
+namespace sdx::core {
+
+struct VnhBinding {
+  net::IPv4Address vnh;
+  net::MacAddress vmac;
+};
+
+class VnhAllocator {
+ public:
+  explicit VnhAllocator(
+      net::IPv4Prefix pool = net::IPv4Prefix(net::IPv4Address(172, 16, 0, 0),
+                                             12));
+
+  // Allocates the next free (VNH, VMAC) pair. Throws std::runtime_error
+  // when the pool is exhausted.
+  VnhBinding Allocate();
+
+  // Returns a binding to the pool for reuse.
+  void Release(const VnhBinding& binding);
+
+  // The VMAC corresponding to an allocated VNH (nullopt if never allocated
+  // or already released).
+  std::optional<net::MacAddress> VmacFor(net::IPv4Address vnh) const;
+
+  std::size_t allocated_count() const { return live_.size(); }
+  std::uint64_t total_allocations() const { return total_allocations_; }
+
+  const net::IPv4Prefix& pool() const { return pool_; }
+
+  // True when `address` lies inside the VNH pool (useful for telling VNHs
+  // apart from real next hops in tests and the router model).
+  bool InPool(net::IPv4Address address) const {
+    return pool_.Contains(address);
+  }
+
+ private:
+  static net::MacAddress VmacForIndex(std::uint32_t index);
+
+  net::IPv4Prefix pool_;
+  std::uint32_t next_offset_ = 1;  // skip the network address
+  std::vector<std::uint32_t> free_list_;
+  std::unordered_map<net::IPv4Address, net::MacAddress> live_;
+  std::uint64_t total_allocations_ = 0;
+};
+
+}  // namespace sdx::core

@@ -1,0 +1,135 @@
+#include "sdx/vswitch.h"
+
+namespace sdx::core {
+
+void VirtualTopology::AddParticipant(AsNumber as, int physical_ports) {
+  if (participants_.contains(as)) {
+    throw std::invalid_argument("participant AS" + std::to_string(as) +
+                                " already registered");
+  }
+  ParticipantPorts ports;
+  for (int i = 0; i < physical_ports; ++i) {
+    PhysicalPort port;
+    port.id = next_physical_++;
+    // Locally administered unicast MAC encoding (AS, port index).
+    port.mac = net::MacAddress((std::uint64_t{0x02} << 40) |
+                               (std::uint64_t{as & 0xFFFFFF} << 16) |
+                               static_cast<std::uint16_t>(i));
+    port.owner = as;
+    port.index = i;
+    physical_by_id_[port.id] = port;
+    ports.physical.push_back(port);
+  }
+  participants_[as] = std::move(ports);
+}
+
+bool VirtualTopology::Contains(AsNumber as) const {
+  return participants_.contains(as);
+}
+
+std::vector<AsNumber> VirtualTopology::Participants() const {
+  std::vector<AsNumber> out;
+  out.reserve(participants_.size());
+  for (const auto& [as, ports] : participants_) out.push_back(as);
+  return out;
+}
+
+int VirtualTopology::PhysicalPortCount(AsNumber as) const {
+  auto it = participants_.find(as);
+  if (it == participants_.end()) {
+    throw std::out_of_range("unknown participant AS" + std::to_string(as));
+  }
+  return static_cast<int>(it->second.physical.size());
+}
+
+const PhysicalPort& VirtualTopology::PhysicalPortOf(AsNumber as,
+                                                    int index) const {
+  auto it = participants_.find(as);
+  if (it == participants_.end() || index < 0 ||
+      index >= static_cast<int>(it->second.physical.size())) {
+    throw std::out_of_range("no physical port " + std::to_string(index) +
+                            " on AS" + std::to_string(as));
+  }
+  return it->second.physical[static_cast<std::size_t>(index)];
+}
+
+std::vector<net::PortId> VirtualTopology::PhysicalPortIds(AsNumber as) const {
+  auto it = participants_.find(as);
+  if (it == participants_.end()) {
+    throw std::out_of_range("unknown participant AS" + std::to_string(as));
+  }
+  std::vector<net::PortId> out;
+  out.reserve(it->second.physical.size());
+  for (const PhysicalPort& port : it->second.physical) out.push_back(port.id);
+  return out;
+}
+
+const PhysicalPort* VirtualTopology::FindPhysicalPort(net::PortId id) const {
+  auto it = physical_by_id_.find(id);
+  return it == physical_by_id_.end() ? nullptr : &it->second;
+}
+
+std::vector<PhysicalPort> VirtualTopology::AllPhysicalPorts() const {
+  std::vector<PhysicalPort> out;
+  out.reserve(physical_by_id_.size());
+  for (const auto& [id, port] : physical_by_id_) out.push_back(port);
+  return out;
+}
+
+net::PortId VirtualTopology::AllocateVirtualPort(AsNumber owner,
+                                                 AsNumber peer) {
+  auto key = std::make_pair(owner, peer);
+  auto it = virtual_ports_.find(key);
+  if (it != virtual_ports_.end()) return it->second;
+  const net::PortId id = next_virtual_++;
+  virtual_ports_[key] = id;
+  virtual_by_id_[id] = key;
+  return id;
+}
+
+net::PortId VirtualTopology::VirtualPort(AsNumber owner, AsNumber peer) const {
+  if (!participants_.contains(owner) || !participants_.contains(peer)) {
+    throw std::out_of_range("virtual port between unknown participants");
+  }
+  if (owner == peer) {
+    throw std::invalid_argument("no self-facing virtual port");
+  }
+  return const_cast<VirtualTopology*>(this)->AllocateVirtualPort(owner, peer);
+}
+
+net::PortId VirtualTopology::IngressPort(AsNumber owner) const {
+  if (!participants_.contains(owner)) {
+    throw std::out_of_range("ingress port of unknown participant AS" +
+                            std::to_string(owner));
+  }
+  // Modeled as the owner's virtual port "facing itself" — an id no peer
+  // pair can collide with, allocated lazily like the others.
+  return const_cast<VirtualTopology*>(this)->AllocateVirtualPort(owner, owner);
+}
+
+std::vector<net::PortId> VirtualTopology::VirtualPortIds(
+    AsNumber owner) const {
+  std::vector<net::PortId> out;
+  for (const auto& [as, ports] : participants_) {
+    if (as == owner) continue;
+    out.push_back(VirtualPort(owner, as));
+  }
+  return out;
+}
+
+std::optional<std::pair<AsNumber, AsNumber>> VirtualTopology::FindVirtualPort(
+    net::PortId id) const {
+  auto it = virtual_by_id_.find(id);
+  if (it == virtual_by_id_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool VirtualTopology::IsPhysical(net::PortId id) const {
+  return physical_by_id_.contains(id);
+}
+
+bool VirtualTopology::IsVirtual(net::PortId id) const {
+  return virtual_by_id_.contains(id);
+}
+
+}  // namespace sdx::core

@@ -1,0 +1,94 @@
+// The virtual SDX switch abstraction (§3.1) mapped onto a flat port space.
+//
+// Each participant sees its own virtual switch: its physical ports (border-
+// router attachments to the fabric) plus one virtual port per peer. A
+// packet "fwd(B)" from A's switch crosses the A–B virtual link and arrives
+// at B's switch on the virtual port facing A. VirtualTopology owns the
+// global numbering of both kinds of ports and the MAC address of every
+// physical port, and answers the predicate-building queries the policy
+// transformations need (e.g. "all of B's virtual ports" for match(port=B)).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "bgp/route.h"
+#include "net/mac.h"
+#include "net/packet.h"
+
+namespace sdx::core {
+
+using bgp::AsNumber;
+
+struct PhysicalPort {
+  net::PortId id = net::kNoPort;
+  net::MacAddress mac;
+  AsNumber owner = 0;
+  int index = 0;  // the k in "A_k"
+};
+
+class VirtualTopology {
+ public:
+  // Registers a participant with `physical_ports` fabric attachments
+  // (0 for remote participants, §3.2 wide-area load balancing). Must be
+  // called once per participant, before any query involving it.
+  void AddParticipant(AsNumber as, int physical_ports);
+
+  bool Contains(AsNumber as) const;
+  std::vector<AsNumber> Participants() const;
+
+  // --- Physical side -----------------------------------------------------
+  int PhysicalPortCount(AsNumber as) const;
+  const PhysicalPort& PhysicalPortOf(AsNumber as, int index) const;
+  std::vector<net::PortId> PhysicalPortIds(AsNumber as) const;
+  // The port owning a fabric port id, if it is physical.
+  const PhysicalPort* FindPhysicalPort(net::PortId id) const;
+  std::vector<PhysicalPort> AllPhysicalPorts() const;
+
+  // --- Virtual side ------------------------------------------------------
+  // The port on `owner`'s virtual switch that faces `peer`. Forwarding
+  // "fwd(peer)" from owner's policy moves a packet to
+  // VirtualPort(peer, owner) — peer's switch, the port facing owner.
+  net::PortId VirtualPort(AsNumber owner, AsNumber peer) const;
+
+  // A single shared ingress port per participant's virtual switch ("some
+  // virtual port of N"). The scalable compilation pipeline funnels all
+  // fabric-internal hops through it so default-forwarding rules can be
+  // shared across senders; the per-peer ports above serve the faithful
+  // §4.1 transformation path.
+  net::PortId IngressPort(AsNumber owner) const;
+  // All per-peer virtual ports of `owner`'s switch (the match(port=owner)
+  // set of the faithful path; does not include the shared ingress port).
+  std::vector<net::PortId> VirtualPortIds(AsNumber owner) const;
+  // Reverse lookup: (owner, peer) for a virtual port id.
+  std::optional<std::pair<AsNumber, AsNumber>> FindVirtualPort(
+      net::PortId id) const;
+
+  bool IsPhysical(net::PortId id) const;
+  bool IsVirtual(net::PortId id) const;
+
+  std::size_t physical_port_count() const { return physical_by_id_.size(); }
+
+ private:
+  // Physical ports are numbered from 1; virtual ports from kVirtualBase.
+  static constexpr net::PortId kVirtualBase = 1u << 20;
+
+  struct ParticipantPorts {
+    std::vector<PhysicalPort> physical;
+  };
+
+  net::PortId AllocateVirtualPort(AsNumber owner, AsNumber peer);
+
+  std::map<AsNumber, ParticipantPorts> participants_;
+  std::map<net::PortId, PhysicalPort> physical_by_id_;
+  // Lazily-allocated virtual ports, symmetric pairs allocated on demand.
+  mutable std::map<std::pair<AsNumber, AsNumber>, net::PortId> virtual_ports_;
+  mutable std::map<net::PortId, std::pair<AsNumber, AsNumber>> virtual_by_id_;
+  net::PortId next_physical_ = 1;
+  mutable net::PortId next_virtual_ = kVirtualBase;
+};
+
+}  // namespace sdx::core

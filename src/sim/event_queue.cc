@@ -1,0 +1,31 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+
+namespace sdx::sim {
+
+void EventQueue::ScheduleAt(SimTime at, Handler handler) {
+  events_.push(Event{std::max(at, now_), next_sequence_++,
+                     std::move(handler)});
+}
+
+bool EventQueue::RunNext() {
+  if (events_.empty()) return false;
+  // priority_queue::top returns const&; the handler must be moved out
+  // before pop, so copy the metadata and steal the handler.
+  Event event = std::move(const_cast<Event&>(events_.top()));
+  events_.pop();
+  now_ = event.time;
+  ++executed_;
+  event.handler();
+  return true;
+}
+
+void EventQueue::RunUntil(SimTime until) {
+  while (!events_.empty() && events_.top().time <= until) {
+    RunNext();
+  }
+  now_ = std::max(now_, until);
+}
+
+}  // namespace sdx::sim

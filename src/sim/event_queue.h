@@ -1,0 +1,61 @@
+// A minimal discrete-event simulation core.
+//
+// Drives the deployment experiments (Fig. 5): traffic sampling, policy
+// installations, and route withdrawals are events on a shared virtual
+// clock. Events at equal times run in scheduling order (stable).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace sdx::sim {
+
+using SimTime = double;  // seconds
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  // Schedules `handler` at absolute time `at` (>= now). Events scheduled
+  // in the past run immediately at the current time instead.
+  void ScheduleAt(SimTime at, Handler handler);
+  void ScheduleAfter(SimTime delay, Handler handler) {
+    ScheduleAt(now_ + delay, std::move(handler));
+  }
+
+  SimTime now() const { return now_; }
+  bool empty() const { return events_.empty(); }
+  std::size_t pending() const { return events_.size(); }
+
+  // Runs the next event; returns false when none remain.
+  bool RunNext();
+
+  // Runs events until the queue empties or the clock passes `until`.
+  // Events scheduled beyond `until` stay queued; the clock ends at
+  // min(until, last event time).
+  void RunUntil(SimTime until);
+
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t sequence;  // stable tie-break
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_sequence_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace sdx::sim

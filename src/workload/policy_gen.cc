@@ -1,0 +1,245 @@
+#include "workload/policy_gen.h"
+
+#include <algorithm>
+#include <random>
+#include <set>
+
+namespace sdx::workload {
+
+using core::InboundClause;
+using core::OutboundClause;
+using policy::Predicate;
+
+namespace {
+
+// Application traffic classes used by application-specific peering.
+constexpr std::uint16_t kAppPorts[] = {80, 443, 8080, 1935, 22};
+
+// One random single-header-field match, as in §6.1 ("match on one randomly
+// selected header field").
+Predicate RandomFieldMatch(std::mt19937& rng) {
+  switch (rng() % 3) {
+    case 0: {
+      // A source half-space, like Figure 1a's inbound TE.
+      const bool high = rng() % 2 == 0;
+      return Predicate::SrcIp(net::IPv4Prefix(
+          net::IPv4Address(high ? 0x80000000u : 0u), 1));
+    }
+    case 1:
+      return Predicate::DstPort(kAppPorts[rng() % 5]);
+    default:
+      return Predicate::SrcPort(
+          static_cast<std::uint16_t>(1024 + rng() % 64000));
+  }
+}
+
+// Members of one category sorted by announced-prefix count, descending.
+std::vector<const Member*> SortedByAnnouncements(const IxpScenario& scenario,
+                                                 Category category) {
+  std::vector<const Member*> out;
+  for (const Member& member : scenario.members) {
+    if (member.category == category) out.push_back(&member);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Member* a, const Member* b) {
+                     return a->announced.size() > b->announced.size();
+                   });
+  return out;
+}
+
+std::size_t TopCount(std::size_t total, double fraction) {
+  if (total == 0) return 0;
+  return std::max<std::size_t>(1, static_cast<std::size_t>(
+                                      static_cast<double>(total) * fraction));
+}
+
+}  // namespace
+
+std::size_t GeneratedPolicies::outbound_clause_count() const {
+  std::size_t count = 0;
+  for (const auto& [as, clauses] : outbound) count += clauses.size();
+  return count;
+}
+
+std::size_t GeneratedPolicies::inbound_clause_count() const {
+  std::size_t count = 0;
+  for (const auto& [as, clauses] : inbound) count += clauses.size();
+  return count;
+}
+
+std::size_t GeneratedPolicies::participants_with_policies() const {
+  std::set<bgp::AsNumber> who;
+  for (const auto& [as, clauses] : outbound) {
+    if (!clauses.empty()) who.insert(as);
+  }
+  for (const auto& [as, clauses] : inbound) {
+    if (!clauses.empty()) who.insert(as);
+  }
+  return who.size();
+}
+
+GeneratedPolicies PolicyGenerator::Generate(const IxpScenario& scenario) const {
+  std::mt19937 rng(params_.seed);
+  GeneratedPolicies out;
+
+  auto eyeballs = SortedByAnnouncements(scenario, Category::kEyeball);
+  auto transits = SortedByAnnouncements(scenario, Category::kTransit);
+  auto contents = SortedByAnnouncements(scenario, Category::kContent);
+  if (eyeballs.empty()) return out;
+
+  const std::size_t top_eyeballs =
+      TopCount(eyeballs.size(), params_.eyeball_top_fraction);
+  const std::size_t top_transits =
+      TopCount(transits.size(), params_.transit_top_fraction);
+  const std::size_t active_contents =
+      TopCount(contents.size(), params_.content_fraction);
+
+  // Random 5% of content providers (the paper samples them, not the top).
+  std::vector<const Member*> sampled_contents = contents;
+  std::shuffle(sampled_contents.begin(), sampled_contents.end(), rng);
+  sampled_contents.resize(std::min(active_contents, sampled_contents.size()));
+
+  // Random per-clause prefix sample of the target's announcements.
+  auto sample_prefixes = [&](const Member& target) {
+    std::vector<net::IPv4Prefix> sample;
+    if (params_.clause_prefix_fraction >= 1.0) return sample;  // no filter
+    for (const net::IPv4Prefix& prefix : target.announced) {
+      if (std::uniform_real_distribution<>(0, 1)(rng) <
+          params_.clause_prefix_fraction) {
+        sample.push_back(prefix);
+      }
+    }
+    // An empty restriction means "everything"; keep small samples honest.
+    if (sample.empty() && !target.announced.empty()) {
+      sample.push_back(target.announced[rng() % target.announced.size()]);
+    }
+    return sample;
+  };
+
+  // --- Content providers -------------------------------------------------
+  for (const Member* content : sampled_contents) {
+    std::vector<OutboundClause> clauses;
+    for (int t = 0; t < params_.content_outbound_targets; ++t) {
+      const Member* target = eyeballs[rng() % top_eyeballs];
+      if (target->as == content->as) continue;
+      OutboundClause clause;
+      clause.match = Predicate::DstPort(kAppPorts[t % 5]);
+      clause.dst_prefixes = sample_prefixes(*target);
+      clause.to = target->as;
+      clauses.push_back(std::move(clause));
+    }
+    out.outbound[content->as] = std::move(clauses);
+
+    InboundClause redirect;
+    redirect.match = RandomFieldMatch(rng);
+    redirect.port_index =
+        content->ports > 1 ? static_cast<int>(rng() % 2) : 0;
+    out.inbound[content->as] = {redirect};
+  }
+
+  // --- Eyeball networks ----------------------------------------------------
+  for (std::size_t e = 0; e < top_eyeballs; ++e) {
+    const Member* eyeball = eyeballs[e];
+    std::vector<InboundClause> clauses;
+    const std::size_t count = std::max<std::size_t>(
+        1, sampled_contents.empty() ? 1 : sampled_contents.size() / 2);
+    for (std::size_t i = 0; i < count; ++i) {
+      InboundClause clause;
+      clause.match = RandomFieldMatch(rng);
+      clause.port_index =
+          eyeball->ports > 1 ? static_cast<int>(rng() % 2) : 0;
+      clauses.push_back(std::move(clause));
+    }
+    out.inbound[eyeball->as] = std::move(clauses);
+  }
+
+  // --- Transit providers -----------------------------------------------------
+  for (std::size_t t = 0; t < top_transits; ++t) {
+    const Member* transit = transits[t];
+    std::vector<OutboundClause> clauses;
+    for (std::size_t e = 0; e < std::max<std::size_t>(1, top_eyeballs / 2);
+         ++e) {
+      const Member* target = eyeballs[e];
+      if (target->announced.empty() || target->as == transit->as) continue;
+      OutboundClause clause;
+      // One prefix group plus one additional header field (§6.1).
+      clause.dst_prefixes = {
+          target->announced[rng() % target->announced.size()]};
+      clause.match = Predicate::DstPort(kAppPorts[rng() % 5]);
+      clause.to = target->as;
+      clauses.push_back(std::move(clause));
+    }
+    out.outbound[transit->as] = std::move(clauses);
+
+    std::vector<InboundClause> inbound;
+    const std::size_t count = std::max<std::size_t>(
+        1, sampled_contents.size());
+    for (std::size_t i = 0; i < count; ++i) {
+      InboundClause clause;
+      clause.match = RandomFieldMatch(rng);
+      clause.port_index =
+          transit->ports > 1 ? static_cast<int>(rng() % 2) : 0;
+      inbound.push_back(std::move(clause));
+    }
+    out.inbound[transit->as] = std::move(inbound);
+  }
+
+  // --- Coverage clauses (bench knob; see PolicyParams::coverage_fanout) ---
+  // Every top transit installs them, so the per-update fast-path work of
+  // Figure 9 scales with the number of participants carrying policies.
+  if (params_.coverage_fanout > 0 && !transits.empty()) {
+    std::vector<const Member*> by_announcements;
+    for (const Member& member : scenario.members) {
+      by_announcements.push_back(&member);
+    }
+    std::stable_sort(by_announcements.begin(), by_announcements.end(),
+                     [](const Member* a, const Member* b) {
+                       return a->announced.size() > b->announced.size();
+                     });
+    for (std::size_t t = 0; t < top_transits; ++t) {
+      const Member* coverage_sender = transits[t];
+      auto& clauses = out.outbound[coverage_sender->as];
+      int added = 0;
+      for (const Member* target : by_announcements) {
+        if (added >= params_.coverage_fanout) break;
+        if (target->as == coverage_sender->as || target->announced.empty()) {
+          continue;
+        }
+        OutboundClause clause;
+        clause.match = Predicate::DstPort(kAppPorts[added % 5]);
+        clause.to = target->as;
+        clauses.push_back(std::move(clause));
+        ++added;
+      }
+    }
+  }
+
+  return out;
+}
+
+void Install(core::SdxRuntime& runtime, const IxpScenario& scenario,
+             const GeneratedPolicies& policies) {
+  for (const Member& member : scenario.members) {
+    runtime.AddParticipant(member.as, member.ports);
+  }
+  runtime.route_server().BeginBulkLoad();
+  for (const Member& member : scenario.members) {
+    for (const net::IPv4Prefix& prefix : member.announced) {
+      // Short synthetic AS path: the member plus a synthetic origin drawn
+      // from the prefix index, so multi-announcer prefixes have comparable
+      // but distinct paths.
+      const bgp::AsNumber origin =
+          64500 + (prefix.network().value() >> 8) % 500;
+      runtime.AnnouncePrefix(member.as, prefix, {member.as, origin});
+    }
+  }
+  runtime.route_server().EndBulkLoad();
+  for (const auto& [as, clauses] : policies.outbound) {
+    runtime.SetOutboundPolicy(as, clauses);
+  }
+  for (const auto& [as, clauses] : policies.inbound) {
+    runtime.SetInboundPolicy(as, clauses);
+  }
+}
+
+}  // namespace sdx::workload

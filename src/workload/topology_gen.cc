@@ -1,0 +1,83 @@
+#include "workload/topology_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace sdx::workload {
+
+std::string_view CategoryName(Category category) {
+  switch (category) {
+    case Category::kEyeball:
+      return "eyeball";
+    case Category::kTransit:
+      return "transit";
+    case Category::kContent:
+      return "content";
+  }
+  return "?";
+}
+
+net::IPv4Prefix TopologyGenerator::PrefixNumber(int i) {
+  // Dense, non-overlapping /24s inside 16.0.0.0/4 — room for 2^20 prefixes.
+  return net::IPv4Prefix(
+      net::IPv4Address((16u << 24) + (static_cast<std::uint32_t>(i) << 8)),
+      24);
+}
+
+IxpScenario TopologyGenerator::Generate() const {
+  std::mt19937 rng(params_.seed);
+  IxpScenario scenario;
+
+  const int n = params_.participants;
+  scenario.members.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Member& member = scenario.members[static_cast<std::size_t>(i)];
+    member.as = 1000 + static_cast<bgp::AsNumber>(i);
+    member.ports =
+        std::uniform_real_distribution<>(0, 1)(rng) <
+                params_.multi_port_fraction
+            ? 2
+            : 1;
+    const double c = std::uniform_real_distribution<>(0, 1)(rng);
+    if (c < params_.eyeball_fraction) {
+      member.category = Category::kEyeball;
+    } else if (c < params_.eyeball_fraction + params_.transit_fraction) {
+      member.category = Category::kTransit;
+    } else {
+      member.category = Category::kContent;
+    }
+  }
+
+  // Heavy-tailed announcement weights: member at rank r gets weight
+  // 1/(r+1)^skew. With skew ≈ 1.9 the top 1% of members carries the
+  // majority of announcements, matching the AMS-IX shape from §6.1.
+  std::vector<double> weights(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    weights[static_cast<std::size_t>(r)] =
+        1.0 / std::pow(static_cast<double>(r) + 1.0, params_.skew);
+  }
+  std::discrete_distribution<int> pick_member(weights.begin(), weights.end());
+
+  scenario.prefixes.reserve(static_cast<std::size_t>(params_.total_prefixes));
+  std::geometric_distribution<int> extra_announcers(
+      1.0 / std::max(1.0, params_.announcers_per_prefix));
+  for (int p = 0; p < params_.total_prefixes; ++p) {
+    const net::IPv4Prefix prefix = PrefixNumber(p);
+    scenario.prefixes.push_back(prefix);
+    std::set<int> announcers;
+    announcers.insert(pick_member(rng));
+    const int extras = extra_announcers(rng);
+    for (int e = 0; e < extras && static_cast<int>(announcers.size()) < n;
+         ++e) {
+      announcers.insert(pick_member(rng));
+    }
+    for (int member_index : announcers) {
+      scenario.members[static_cast<std::size_t>(member_index)]
+          .announced.push_back(prefix);
+    }
+  }
+  return scenario;
+}
+
+}  // namespace sdx::workload

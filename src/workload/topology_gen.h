@@ -1,0 +1,73 @@
+// Synthetic IXP topology generator (§6.1 "Emulating real-world IXP
+// topologies").
+//
+// Real inputs (AMS-IX/DE-CIX/LINX member lists and RIPE RIS dumps) are not
+// available offline, so we synthesize memberships that reproduce the
+// published marginals:
+//   * a heavy-tailed announcement distribution — about 1% of ASes announce
+//     more than 50% of the prefixes, and 90% of ASes combined announce
+//     less than 1% (AMS-IX figures from §6.1);
+//   * a small fraction of participants with multiple ports;
+//   * participants classified as eyeball / transit / content for the
+//     policy generator.
+// Everything is deterministic in the seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "bgp/route.h"
+#include "net/ipv4.h"
+
+namespace sdx::workload {
+
+enum class Category : std::uint8_t { kEyeball, kTransit, kContent };
+
+std::string_view CategoryName(Category category);
+
+struct Member {
+  bgp::AsNumber as = 0;
+  int ports = 1;
+  Category category = Category::kEyeball;
+  // Prefixes this member announces to the route server (with AS path
+  // {as, origin...}; the generator keeps paths short).
+  std::vector<net::IPv4Prefix> announced;
+};
+
+struct IxpScenario {
+  std::vector<Member> members;
+  // Every distinct prefix announced by at least one member.
+  std::vector<net::IPv4Prefix> prefixes;
+};
+
+struct TopologyParams {
+  int participants = 100;
+  int total_prefixes = 5000;
+  // Zipf-ish skew of announcements per member; tuned so ~1% of members
+  // carry >50% of prefix announcements.
+  double skew = 1.9;
+  // Fraction of members with a second port (AMS-IX has a minority).
+  double multi_port_fraction = 0.15;
+  // Mean number of announcers per prefix (route servers see several).
+  double announcers_per_prefix = 1.6;
+  // Category mix (roughly: many eyeballs, some transit, fewer content).
+  double eyeball_fraction = 0.55;
+  double transit_fraction = 0.25;  // remainder is content
+  std::uint32_t seed = 1;
+};
+
+class TopologyGenerator {
+ public:
+  explicit TopologyGenerator(TopologyParams params) : params_(params) {}
+
+  IxpScenario Generate() const;
+
+  // The i-th synthetic prefix (dense, non-overlapping): useful to tests.
+  static net::IPv4Prefix PrefixNumber(int i);
+
+ private:
+  TopologyParams params_;
+};
+
+}  // namespace sdx::workload

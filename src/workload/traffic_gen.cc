@@ -1,0 +1,32 @@
+#include "workload/traffic_gen.h"
+
+namespace sdx::workload {
+
+Flow UdpFlow(bgp::AsNumber from, net::IPv4Address src_ip,
+             net::IPv4Address dst_ip, std::uint16_t src_port,
+             std::uint16_t dst_port, double rate_mbps) {
+  Flow flow;
+  flow.from = from;
+  flow.header.src_ip = src_ip;
+  flow.header.dst_ip = dst_ip;
+  flow.header.proto = net::kProtoUdp;
+  flow.header.src_port = src_port;
+  flow.header.dst_port = dst_port;
+  flow.rate_mbps = rate_mbps;
+  return flow;
+}
+
+std::vector<Flow> ClientFlows(bgp::AsNumber from, net::IPv4Address src_base,
+                              net::IPv4Address dst_ip, int count,
+                              std::uint16_t dst_port) {
+  std::vector<Flow> flows;
+  flows.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    flows.push_back(UdpFlow(
+        from, net::IPv4Address(src_base.value() + static_cast<uint32_t>(i)),
+        dst_ip, static_cast<std::uint16_t>(40000 + i), dst_port));
+  }
+  return flows;
+}
+
+}  // namespace sdx::workload

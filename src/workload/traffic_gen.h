@@ -1,0 +1,39 @@
+// Flow-level traffic descriptions for the deployment experiments (Fig. 5).
+//
+// The paper's client "generates three 1 Mbps UDP flows, varying the source
+// and destination IP addresses and ports"; we model each flow as a header
+// template plus a constant rate over an interval. The flow simulator
+// (sim/flow_sim.h) injects one representative packet per flow per sample
+// and attributes the flow's rate to whatever egress the fabric chose.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bgp/route.h"
+#include "net/packet.h"
+
+namespace sdx::workload {
+
+struct Flow {
+  bgp::AsNumber from = 0;        // sending participant
+  net::PacketHeader header;      // representative header
+  double rate_mbps = 1.0;
+  double start_s = 0.0;
+  double end_s = 1e18;
+
+  bool ActiveAt(double t) const { return t >= start_s && t < end_s; }
+};
+
+// A UDP flow with the given endpoints, mirroring the Fig. 5 client.
+Flow UdpFlow(bgp::AsNumber from, net::IPv4Address src_ip,
+             net::IPv4Address dst_ip, std::uint16_t src_port,
+             std::uint16_t dst_port, double rate_mbps = 1.0);
+
+// The Fig. 5 client: `count` 1 Mbps UDP flows to `dst_ip`, varying source
+// addresses and both ports deterministically.
+std::vector<Flow> ClientFlows(bgp::AsNumber from, net::IPv4Address src_base,
+                              net::IPv4Address dst_ip, int count,
+                              std::uint16_t dst_port);
+
+}  // namespace sdx::workload

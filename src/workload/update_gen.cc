@@ -1,0 +1,241 @@
+#include "workload/update_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <random>
+#include <set>
+#include <unordered_set>
+
+namespace sdx::workload {
+
+UpdateStreamParams UpdateStreamParams::AmsIx() {
+  UpdateStreamParams p;
+  p.name = "AMS-IX";
+  p.collector_peers = 116;
+  p.total_peers = 639;
+  p.prefixes = 518082;
+  p.total_updates = 11'161'624;
+  p.fraction_prefixes_updated = 0.0988;
+  p.seed = 101;
+  return p;
+}
+
+UpdateStreamParams UpdateStreamParams::DeCix() {
+  UpdateStreamParams p;
+  p.name = "DE-CIX";
+  p.collector_peers = 92;
+  p.total_peers = 580;
+  p.prefixes = 518391;
+  p.total_updates = 30'934'525;
+  p.fraction_prefixes_updated = 0.1364;
+  p.seed = 102;
+  return p;
+}
+
+UpdateStreamParams UpdateStreamParams::Linx() {
+  UpdateStreamParams p;
+  p.name = "LINX";
+  p.collector_peers = 71;
+  p.total_peers = 496;
+  p.prefixes = 503392;
+  p.total_updates = 16'658'819;
+  p.fraction_prefixes_updated = 0.1267;
+  p.seed = 103;
+  return p;
+}
+
+UpdateStreamParams UpdateStreamParams::Small(int prefixes,
+                                             std::uint64_t updates,
+                                             std::uint32_t seed) {
+  UpdateStreamParams p;
+  p.name = "small";
+  p.prefixes = prefixes;
+  p.total_updates = updates;
+  p.duration_seconds = 3600;
+  p.seed = seed;
+  return p;
+}
+
+std::size_t UpdateStream::DistinctPrefixesUpdated() const {
+  std::unordered_set<net::IPv4Prefix> seen;
+  for (const bgp::BgpUpdate& update : updates) {
+    seen.insert(bgp::UpdatePrefix(update));
+  }
+  return seen.size();
+}
+
+double UpdateStream::FractionPrefixesUpdated() const {
+  if (params.prefixes == 0) return 0.0;
+  return static_cast<double>(DistinctPrefixesUpdated()) /
+         static_cast<double>(params.prefixes);
+}
+
+std::size_t UpdateStream::BurstSizePercentile(double percentile) const {
+  if (bursts.empty()) return 0;
+  std::vector<std::size_t> sizes;
+  sizes.reserve(bursts.size());
+  for (const Burst& burst : bursts) sizes.push_back(burst.distinct_prefixes);
+  std::sort(sizes.begin(), sizes.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(percentile * static_cast<double>(sizes.size())));
+  return sizes[std::min(sizes.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+double UpdateStream::InterArrivalPercentile(double percentile) const {
+  if (bursts.size() < 2) return 0.0;
+  std::vector<double> gaps;
+  gaps.reserve(bursts.size() - 1);
+  for (std::size_t i = 1; i < bursts.size(); ++i) {
+    gaps.push_back(static_cast<double>(bursts[i].start_time -
+                                       bursts[i - 1].start_time) /
+                   1e6);
+  }
+  std::sort(gaps.begin(), gaps.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(percentile * static_cast<double>(gaps.size())));
+  return gaps[std::min(gaps.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+UpdateStream UpdateGenerator::Generate() const {
+  std::vector<net::IPv4Prefix> universe;
+  universe.reserve(static_cast<std::size_t>(params_.prefixes));
+  for (int i = 0; i < params_.prefixes; ++i) {
+    universe.push_back(TopologyGenerator::PrefixNumber(i));
+  }
+  std::vector<std::vector<bgp::AsNumber>> announcers(universe.size());
+  const int peers = std::max(1, params_.collector_peers);
+  for (std::size_t i = 0; i < universe.size(); ++i) {
+    announcers[i] = {1000 + static_cast<bgp::AsNumber>(i %
+                                                       static_cast<std::size_t>(
+                                                           peers))};
+  }
+  return Synthesize(universe, announcers);
+}
+
+UpdateStream UpdateGenerator::GenerateFor(const IxpScenario& scenario) const {
+  std::vector<net::IPv4Prefix> universe;
+  std::vector<std::vector<bgp::AsNumber>> announcers;
+  std::map<net::IPv4Prefix, std::vector<bgp::AsNumber>> by_prefix;
+  for (const Member& member : scenario.members) {
+    for (const net::IPv4Prefix& prefix : member.announced) {
+      by_prefix[prefix].push_back(member.as);
+    }
+  }
+  for (const auto& [prefix, who] : by_prefix) {
+    universe.push_back(prefix);
+    announcers.push_back(who);
+  }
+  return Synthesize(universe, announcers);
+}
+
+UpdateStream UpdateGenerator::Synthesize(
+    const std::vector<net::IPv4Prefix>& universe,
+    const std::vector<std::vector<bgp::AsNumber>>& announcers) const {
+  std::mt19937 rng(params_.seed);
+  UpdateStream stream;
+  stream.params = params_;
+  if (universe.empty() || params_.total_updates == 0) return stream;
+
+  // The unstable subset: only these prefixes ever see updates (§4.3.2:
+  // "prefixes that are likely to appear in SDX policies tend to be
+  // stable" — 10–14% saw any update in a week).
+  const std::size_t unstable_count = std::max<std::size_t>(
+      1, static_cast<std::size_t>(params_.fraction_prefixes_updated *
+                                  static_cast<double>(universe.size())));
+  std::vector<std::size_t> unstable(universe.size());
+  for (std::size_t i = 0; i < universe.size(); ++i) unstable[i] = i;
+  std::shuffle(unstable.begin(), unstable.end(), rng);
+  unstable.resize(unstable_count);
+
+  // Burst-size mixture: ≥75% small (1–3 prefixes — the paper reports "in
+  // 75% of the cases, these update bursts affected no more than three
+  // prefixes", so the small mass sits a little above that), ~22% medium
+  // (4–100), ~1% large (100–1000); about one giant (>1000) burst per week.
+  std::uniform_real_distribution<> uniform(0, 1);
+  auto burst_size = [&]() -> std::size_t {
+    const double u = uniform(rng);
+    if (u < 0.78) return 1 + rng() % 3;
+    if (u < 0.99) return 4 + rng() % 97;
+    return 100 + rng() % 901;
+  };
+  // Inter-arrival mixture: 25% short (<10 s), 25% medium (10–60 s), 50%
+  // long (>60 s).
+  auto inter_arrival_s = [&]() -> double {
+    const double u = uniform(rng);
+    if (u < 0.25) return 0.5 + uniform(rng) * 9.0;
+    if (u < 0.50) return 10.0 + uniform(rng) * 50.0;
+    return 60.0 + (-std::log(1.0 - uniform(rng))) * 120.0;
+  };
+
+  // A burst touches few distinct prefixes but may carry many updates for
+  // each (BGP path exploration / flapping) — that is how e.g. DE-CIX fits
+  // 30.9M updates into a week whose bursts still mostly touch ≤ 3 prefixes.
+  // The flap multiplier is sized so the requested update total fits the
+  // requested duration given the burst and inter-arrival mixtures (mean
+  // gap ≈ 100 s, mean burst ≈ 18 distinct prefixes).
+  const double expected_bursts = params_.duration_seconds / 100.0;
+  const int flaps = std::max(
+      1, static_cast<int>(std::ceil(
+             static_cast<double>(params_.total_updates) /
+             std::max(1.0, expected_bursts * 18.0))));
+
+  bgp::Timestamp now = 0;
+  // One >1000-prefix burst per week on average: bursts arrive roughly every
+  // 100 s, so the per-burst probability is 100 s / 1 week.
+  constexpr double kGiantPerBurst = 100.0 / (7 * 86400.0);
+  bool giant_emitted = false;
+  while (stream.updates.size() < params_.total_updates) {
+    now += static_cast<bgp::Timestamp>(inter_arrival_s() * 1e6);
+    std::size_t size = burst_size();
+    if (!giant_emitted && uniform(rng) < kGiantPerBurst) {
+      size = 1000 + rng() % 2000;
+      giant_emitted = true;
+    }
+    Burst burst;
+    burst.start_time = now;
+    burst.first_update = stream.updates.size();
+    std::set<std::size_t> touched;
+    for (std::size_t k = 0;
+         k < size && stream.updates.size() < params_.total_updates; ++k) {
+      const std::size_t index = unstable[rng() % unstable.size()];
+      touched.insert(index);
+      const net::IPv4Prefix& prefix = universe[index];
+      const auto& who = announcers[index];
+      const bgp::AsNumber from = who[rng() % who.size()];
+      for (int f = 0;
+           f < flaps && stream.updates.size() < params_.total_updates; ++f) {
+        now += static_cast<bgp::Timestamp>(1000 + rng() % 50000);  // 1–51 ms
+        if (uniform(rng) < 0.8) {
+          // Path change: re-announce with a perturbed path.
+          bgp::Announcement a;
+          a.from_as = from;
+          a.route.prefix = prefix;
+          a.route.as_path = {
+              from, static_cast<bgp::AsNumber>(64500 + rng() % 500)};
+          if (rng() % 2) {
+            a.route.as_path.push_back(
+                static_cast<bgp::AsNumber>(64000 + rng() % 100));
+          }
+          a.route.next_hop =
+              net::IPv4Address(0xC0A80000u | (from & 0xFFFF));
+          a.time = now;
+          stream.updates.emplace_back(a);
+        } else {
+          bgp::Withdrawal w;
+          w.from_as = from;
+          w.prefix = prefix;
+          w.time = now;
+          stream.updates.emplace_back(w);
+        }
+        ++burst.update_count;
+      }
+    }
+    burst.distinct_prefixes = touched.size();
+    stream.bursts.push_back(burst);
+    if (static_cast<double>(now) / 1e6 > params_.duration_seconds) break;
+  }
+  return stream;
+}
+
+}  // namespace sdx::workload

@@ -1,0 +1,88 @@
+// Synthetic BGP update-trace generator calibrated to the paper's Table 1
+// and the burst statistics of §4.3.2.
+//
+// The paper analyzed one week of RIPE RIS updates at AMS-IX, DE-CIX, and
+// LINX (January 1–6 2014, session-reset updates discarded). Those dumps are
+// not available offline, so we synthesize streams reproducing the published
+// marginals:
+//   * total update counts and prefix counts per IXP (Table 1);
+//   * only 10–14% of prefixes see any update in the whole week;
+//   * updates arrive in bursts — 75% of bursts touch ≤ 3 prefixes, large
+//     (>1000-prefix) bursts happen about once a week;
+//   * burst inter-arrival times — ≥ 10 s in 75% of cases, > 60 s half the
+//     time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bgp/update.h"
+#include "workload/topology_gen.h"
+
+namespace sdx::workload {
+
+struct UpdateStreamParams {
+  std::string name = "synthetic";
+  int collector_peers = 0;  // peers feeding the collector (Table 1 row 1)
+  int total_peers = 0;
+  int prefixes = 500000;
+  std::uint64_t total_updates = 10'000'000;
+  double fraction_prefixes_updated = 0.12;
+  double duration_seconds = 6 * 24 * 3600.0;  // six days
+  std::uint32_t seed = 21;
+
+  // Table 1 presets.
+  static UpdateStreamParams AmsIx();
+  static UpdateStreamParams DeCix();
+  static UpdateStreamParams Linx();
+
+  // Downscaled preset for unit tests and quick benches.
+  static UpdateStreamParams Small(int prefixes, std::uint64_t updates,
+                                  std::uint32_t seed = 21);
+};
+
+struct Burst {
+  bgp::Timestamp start_time = 0;  // microseconds
+  std::size_t first_update = 0;   // index into the stream
+  std::size_t update_count = 0;
+  std::size_t distinct_prefixes = 0;
+};
+
+struct UpdateStream {
+  UpdateStreamParams params;
+  std::vector<bgp::BgpUpdate> updates;  // time-ordered
+  std::vector<Burst> bursts;
+
+  // --- Table 1 / §4.3.2 statistics ------------------------------------
+  std::size_t DistinctPrefixesUpdated() const;
+  double FractionPrefixesUpdated() const;  // vs params.prefixes
+  // Burst-size value at the given percentile (e.g. 0.75 → "75% of bursts
+  // affected no more than this many prefixes").
+  std::size_t BurstSizePercentile(double percentile) const;
+  // Inter-arrival seconds at the given percentile.
+  double InterArrivalPercentile(double percentile) const;
+};
+
+class UpdateGenerator {
+ public:
+  explicit UpdateGenerator(UpdateStreamParams params) : params_(params) {}
+
+  // Synthesizes a stream over the parameterized prefix universe with
+  // synthetic announcer AS numbers (collector-style analysis).
+  UpdateStream Generate() const;
+
+  // Synthesizes a stream whose updates reference prefixes and announcers of
+  // an actual scenario, so it can be replayed into an SdxRuntime. Updates
+  // alternate path changes and withdraw/re-announce flaps.
+  UpdateStream GenerateFor(const IxpScenario& scenario) const;
+
+ private:
+  UpdateStream Synthesize(
+      const std::vector<net::IPv4Prefix>& universe,
+      const std::vector<std::vector<bgp::AsNumber>>& announcers) const;
+
+  UpdateStreamParams params_;
+};
+
+}  // namespace sdx::workload

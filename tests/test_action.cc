@@ -1,0 +1,136 @@
+#include "dataplane/action.h"
+
+#include <gtest/gtest.h>
+
+namespace sdx::dataplane {
+namespace {
+
+using net::FieldMatch;
+using net::IPv4Address;
+using net::IPv4Prefix;
+using net::MacAddress;
+using net::PacketHeader;
+
+IPv4Prefix Pfx(const char* text) { return *IPv4Prefix::Parse(text); }
+
+TEST(Rewrites, EmptyByDefault) {
+  Rewrites r;
+  EXPECT_TRUE(r.empty());
+  PacketHeader h;
+  h.dst_port = 80;
+  PacketHeader before = h;
+  r.ApplyTo(h);
+  EXPECT_EQ(h, before);
+}
+
+TEST(Rewrites, AppliesAllFields) {
+  Rewrites r;
+  r.SetSrcMac(MacAddress(1))
+      .SetDstMac(MacAddress(2))
+      .SetSrcIp(IPv4Address(10, 0, 0, 1))
+      .SetDstIp(IPv4Address(10, 0, 0, 2))
+      .SetSrcPort(1111)
+      .SetDstPort(2222);
+  PacketHeader h;
+  r.ApplyTo(h);
+  EXPECT_EQ(h.src_mac, MacAddress(1));
+  EXPECT_EQ(h.dst_mac, MacAddress(2));
+  EXPECT_EQ(h.src_ip, IPv4Address(10, 0, 0, 1));
+  EXPECT_EQ(h.dst_ip, IPv4Address(10, 0, 0, 2));
+  EXPECT_EQ(h.src_port, 1111);
+  EXPECT_EQ(h.dst_port, 2222);
+}
+
+TEST(Rewrites, ThenApplyLaterWins) {
+  Rewrites first;
+  first.SetDstIp(IPv4Address(1, 1, 1, 1)).SetDstPort(80);
+  Rewrites second;
+  second.SetDstIp(IPv4Address(2, 2, 2, 2));
+  Rewrites composed = first.ThenApply(second);
+  EXPECT_EQ(composed.dst_ip(), IPv4Address(2, 2, 2, 2));
+  EXPECT_EQ(composed.dst_port(), std::uint16_t{80});
+}
+
+TEST(Rewrites, ThenApplyEquivalentToSequentialApplication) {
+  Rewrites first;
+  first.SetDstMac(MacAddress(7)).SetSrcPort(5);
+  Rewrites second;
+  second.SetDstMac(MacAddress(9)).SetDstIp(IPv4Address(8, 8, 8, 8));
+
+  PacketHeader a;
+  first.ApplyTo(a);
+  second.ApplyTo(a);
+
+  PacketHeader b;
+  first.ThenApply(second).ApplyTo(b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Rewrites, PullBackRemovesSatisfiedConstraint) {
+  Rewrites r;
+  r.SetDstIp(IPv4Address(74, 125, 224, 161));
+  FieldMatch m = FieldMatch::DstIp(Pfx("74.125.0.0/16")).WithDstPort(80);
+  auto pre = r.PullBack(m);
+  ASSERT_TRUE(pre);
+  // dst_ip is guaranteed by the rewrite; dst_port constraint survives.
+  EXPECT_FALSE(pre->Constrains(net::Field::kDstIp));
+  EXPECT_TRUE(pre->Constrains(net::Field::kDstPort));
+}
+
+TEST(Rewrites, PullBackDetectsUnsatisfiable) {
+  Rewrites r;
+  r.SetDstIp(IPv4Address(9, 9, 9, 9));
+  FieldMatch m = FieldMatch::DstIp(Pfx("74.125.0.0/16"));
+  EXPECT_FALSE(r.PullBack(m));
+
+  Rewrites port_rewrite;
+  port_rewrite.SetDstPort(443);
+  EXPECT_FALSE(port_rewrite.PullBack(FieldMatch::DstPort(80)));
+}
+
+TEST(Rewrites, PullBackKeepsUntouchedFields) {
+  Rewrites r;
+  r.SetDstMac(MacAddress(5));
+  FieldMatch m = FieldMatch::SrcIp(Pfx("10.0.0.0/8")).WithInPort(3);
+  auto pre = r.PullBack(m);
+  ASSERT_TRUE(pre);
+  EXPECT_EQ(*pre, m);
+}
+
+// Property: for any rewrite r and match m, if PullBack(m) = m' then for a
+// packet p matching m', r(p) matches m; and if PullBack fails, no packet
+// maps into m... exercised via targeted samples.
+TEST(Rewrites, PullBackSoundOnSamples) {
+  Rewrites r;
+  r.SetDstIp(IPv4Address(74, 125, 137, 139)).SetDstPort(80);
+  FieldMatch m =
+      FieldMatch::DstIp(Pfx("74.125.137.139/32")).WithDstPort(80).WithInPort(2);
+  auto pre = r.PullBack(m);
+  ASSERT_TRUE(pre);
+  PacketHeader p;
+  p.in_port = 2;
+  p.dst_ip = IPv4Address(1, 2, 3, 4);
+  p.dst_port = 9999;
+  ASSERT_TRUE(pre->Matches(p));
+  r.ApplyTo(p);
+  EXPECT_TRUE(m.Matches(p));
+}
+
+TEST(Action, ToStringShowsPortAndRewrites) {
+  Action a;
+  a.out_port = 7;
+  EXPECT_EQ(a.ToString(), "-> port 7");
+  a.rewrites.SetDstPort(80);
+  EXPECT_EQ(a.ToString(), "{dst_port<-80} -> port 7");
+}
+
+TEST(ActionList, ToStringDropWhenEmpty) {
+  ActionList actions;
+  EXPECT_EQ(ToString(actions), "drop");
+  actions.push_back(Action{{}, 3});
+  actions.push_back(Action{{}, 4});
+  EXPECT_EQ(ToString(actions), "-> port 3; -> port 4");
+}
+
+}  // namespace
+}  // namespace sdx::dataplane

@@ -1,0 +1,106 @@
+#include "bgp/decision.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sdx::bgp {
+namespace {
+
+BgpRoute MakeRoute(std::vector<AsNumber> path, std::uint32_t local_pref = 100,
+                   std::uint32_t med = 0, Origin origin = Origin::kIgp,
+                   std::uint32_t router_id = 1) {
+  BgpRoute route;
+  route.prefix = *net::IPv4Prefix::Parse("10.0.0.0/8");
+  route.as_path = std::move(path);
+  route.local_pref = local_pref;
+  route.med = med;
+  route.origin = origin;
+  route.peer_router_id = net::IPv4Address(router_id);
+  return route;
+}
+
+TEST(Decision, HigherLocalPrefWins) {
+  BgpRoute a = MakeRoute({1, 2, 3}, 200);
+  BgpRoute b = MakeRoute({1}, 100);
+  EXPECT_LT(CompareRoutes(a, b), 0);
+  EXPECT_GT(CompareRoutes(b, a), 0);
+}
+
+TEST(Decision, ShorterPathWinsAtEqualLocalPref) {
+  BgpRoute a = MakeRoute({1, 2});
+  BgpRoute b = MakeRoute({1, 2, 3});
+  EXPECT_LT(CompareRoutes(a, b), 0);
+}
+
+TEST(Decision, LowerOriginWins) {
+  BgpRoute a = MakeRoute({1, 2}, 100, 0, Origin::kIgp);
+  BgpRoute b = MakeRoute({3, 4}, 100, 0, Origin::kEgp);
+  BgpRoute c = MakeRoute({5, 6}, 100, 0, Origin::kIncomplete);
+  EXPECT_LT(CompareRoutes(a, b), 0);
+  EXPECT_LT(CompareRoutes(b, c), 0);
+  EXPECT_LT(CompareRoutes(a, c), 0);
+}
+
+TEST(Decision, LowerMedWins) {
+  BgpRoute a = MakeRoute({1, 2}, 100, 10);
+  BgpRoute b = MakeRoute({3, 4}, 100, 20);
+  EXPECT_LT(CompareRoutes(a, b), 0);
+}
+
+TEST(Decision, LowerRouterIdBreaksTies) {
+  BgpRoute a = MakeRoute({1, 2}, 100, 0, Origin::kIgp, 1);
+  BgpRoute b = MakeRoute({3, 4}, 100, 0, Origin::kIgp, 2);
+  EXPECT_LT(CompareRoutes(a, b), 0);
+  BgpRoute c = MakeRoute({3, 4}, 100, 0, Origin::kIgp, 1);
+  EXPECT_EQ(CompareRoutes(a, c), 0);
+}
+
+TEST(Decision, PrecedenceOrder) {
+  // local_pref dominates path length; path length dominates origin; origin
+  // dominates MED; MED dominates router id.
+  BgpRoute low_pref_short = MakeRoute({1}, 100);
+  BgpRoute high_pref_long = MakeRoute({1, 2, 3, 4}, 200);
+  EXPECT_LT(CompareRoutes(high_pref_long, low_pref_short), 0);
+
+  BgpRoute short_bad_origin = MakeRoute({1}, 100, 0, Origin::kIncomplete);
+  BgpRoute long_good_origin = MakeRoute({1, 2}, 100, 0, Origin::kIgp);
+  EXPECT_LT(CompareRoutes(short_bad_origin, long_good_origin), 0);
+
+  BgpRoute good_origin_high_med = MakeRoute({1}, 100, 99, Origin::kIgp);
+  BgpRoute bad_origin_low_med = MakeRoute({1}, 100, 0, Origin::kEgp);
+  EXPECT_LT(CompareRoutes(good_origin_high_med, bad_origin_low_med), 0);
+}
+
+TEST(Decision, SelectBestFromSpan) {
+  std::vector<BgpRoute> routes;
+  routes.push_back(MakeRoute({1, 2, 3}));
+  routes.push_back(MakeRoute({1}, 200));
+  routes.push_back(MakeRoute({9}));
+  const BgpRoute* best = SelectBest(routes);
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->local_pref, 200u);
+}
+
+TEST(Decision, SelectBestEmpty) {
+  std::vector<BgpRoute> routes;
+  EXPECT_EQ(SelectBest(routes), nullptr);
+}
+
+TEST(Decision, SelectBestPointerSpanSkipsNulls) {
+  BgpRoute a = MakeRoute({1, 2});
+  BgpRoute b = MakeRoute({1});
+  std::vector<const BgpRoute*> routes = {nullptr, &a, nullptr, &b};
+  const BgpRoute* best = SelectBest(routes);
+  EXPECT_EQ(best, &b);
+}
+
+TEST(Decision, ComparatorIsAntisymmetric) {
+  BgpRoute a = MakeRoute({1, 2}, 150, 5, Origin::kEgp, 9);
+  BgpRoute b = MakeRoute({1}, 150, 5, Origin::kIgp, 9);
+  EXPECT_EQ(CompareRoutes(a, b), -CompareRoutes(b, a));
+  EXPECT_EQ(CompareRoutes(a, a), 0);
+}
+
+}  // namespace
+}  // namespace sdx::bgp

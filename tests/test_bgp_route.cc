@@ -1,0 +1,103 @@
+#include "bgp/route.h"
+
+#include <gtest/gtest.h>
+
+namespace sdx::bgp {
+namespace {
+
+TEST(BgpRoute, OriginAsIsLastHop) {
+  BgpRoute route;
+  route.as_path = {100, 200, 43515};
+  EXPECT_EQ(route.OriginAs(), 43515u);
+  route.as_path.clear();
+  EXPECT_EQ(route.OriginAs(), 0u);
+}
+
+TEST(BgpRoute, PathContains) {
+  BgpRoute route;
+  route.as_path = {100, 200, 300};
+  EXPECT_TRUE(route.PathContains(200));
+  EXPECT_FALSE(route.PathContains(400));
+}
+
+TEST(BgpRoute, AsPathString) {
+  BgpRoute route;
+  route.as_path = {100, 200};
+  EXPECT_EQ(route.AsPathString(), "100 200");
+}
+
+TEST(AsPathPattern, LiteralSuffixAnchored) {
+  // The paper's YouTube example: .*43515$
+  auto pattern = AsPathPattern::Compile(".*43515$");
+  ASSERT_TRUE(pattern);
+  EXPECT_TRUE(pattern->Matches({100, 200, 43515}));
+  EXPECT_TRUE(pattern->Matches({43515}));
+  EXPECT_FALSE(pattern->Matches({43515, 100}));
+  EXPECT_FALSE(pattern->Matches({100, 200}));
+  EXPECT_FALSE(pattern->Matches({}));
+}
+
+TEST(AsPathPattern, FullyAnchoredSequence) {
+  auto pattern = AsPathPattern::Compile("^100 200$");
+  ASSERT_TRUE(pattern);
+  EXPECT_TRUE(pattern->Matches({100, 200}));
+  EXPECT_FALSE(pattern->Matches({100, 200, 300}));
+  EXPECT_FALSE(pattern->Matches({1, 100, 200}));
+}
+
+TEST(AsPathPattern, UnanchoredMatchesAnywhere) {
+  auto pattern = AsPathPattern::Compile("200");
+  ASSERT_TRUE(pattern);
+  EXPECT_TRUE(pattern->Matches({100, 200, 300}));
+  EXPECT_TRUE(pattern->Matches({200}));
+  EXPECT_FALSE(pattern->Matches({100, 300}));
+}
+
+TEST(AsPathPattern, DotMatchesSingleAs) {
+  auto pattern = AsPathPattern::Compile("^100 . 300$");
+  ASSERT_TRUE(pattern);
+  EXPECT_TRUE(pattern->Matches({100, 200, 300}));
+  EXPECT_TRUE(pattern->Matches({100, 999, 300}));
+  EXPECT_FALSE(pattern->Matches({100, 300}));
+  EXPECT_FALSE(pattern->Matches({100, 1, 2, 300}));
+}
+
+TEST(AsPathPattern, DotStarMatchesEmptySequence) {
+  auto pattern = AsPathPattern::Compile("^100 .* 300$");
+  ASSERT_TRUE(pattern);
+  EXPECT_TRUE(pattern->Matches({100, 300}));
+  EXPECT_TRUE(pattern->Matches({100, 1, 2, 3, 300}));
+  EXPECT_FALSE(pattern->Matches({100, 1, 2}));
+}
+
+TEST(AsPathPattern, LiteralStarForPrepending) {
+  // 100 repeated zero or more times then 200: matches prepended paths.
+  auto pattern = AsPathPattern::Compile("^100* 200$");
+  ASSERT_TRUE(pattern);
+  EXPECT_TRUE(pattern->Matches({200}));
+  EXPECT_TRUE(pattern->Matches({100, 200}));
+  EXPECT_TRUE(pattern->Matches({100, 100, 100, 200}));
+  EXPECT_FALSE(pattern->Matches({100, 300, 200}));
+}
+
+TEST(AsPathPattern, EmptyPatternMatchesEverythingUnanchored) {
+  auto pattern = AsPathPattern::Compile("");
+  ASSERT_TRUE(pattern);
+  EXPECT_TRUE(pattern->Matches({}));
+  EXPECT_TRUE(pattern->Matches({1, 2, 3}));
+}
+
+TEST(AsPathPattern, AnchoredEmptyMatchesOnlyEmpty) {
+  auto pattern = AsPathPattern::Compile("^$");
+  ASSERT_TRUE(pattern);
+  EXPECT_TRUE(pattern->Matches({}));
+  EXPECT_FALSE(pattern->Matches({1}));
+}
+
+TEST(AsPathPattern, RejectsMalformed) {
+  EXPECT_FALSE(AsPathPattern::Compile("abc"));
+  EXPECT_FALSE(AsPathPattern::Compile("^100 [200]$"));
+}
+
+}  // namespace
+}  // namespace sdx::bgp

@@ -1,0 +1,85 @@
+#include "bgp/session.h"
+
+#include <gtest/gtest.h>
+
+namespace sdx::bgp {
+namespace {
+
+net::IPv4Prefix Pfx(const char* text) {
+  return *net::IPv4Prefix::Parse(text);
+}
+
+BgpUpdate MakeAnnouncement(AsNumber from, const char* prefix) {
+  Announcement a;
+  a.from_as = from;
+  a.route.prefix = Pfx(prefix);
+  a.route.as_path = {from};
+  return a;
+}
+
+TEST(BgpSession, StartsIdleAndDropsMessages) {
+  BgpSession session(100, 65000);
+  EXPECT_FALSE(session.established());
+  EXPECT_FALSE(session.SendToPeer(MakeAnnouncement(100, "10.0.0.0/8")));
+  EXPECT_TRUE(session.DrainFromLocal().empty());
+}
+
+TEST(BgpSession, DeliversInOrder) {
+  BgpSession session(100, 65000);
+  session.Open();
+  ASSERT_TRUE(session.SendToPeer(MakeAnnouncement(100, "10.0.0.0/8")));
+  ASSERT_TRUE(session.SendToPeer(MakeAnnouncement(100, "20.0.0.0/8")));
+  auto received = session.DrainFromLocal();
+  ASSERT_EQ(received.size(), 2u);
+  EXPECT_EQ(UpdatePrefix(received[0]), Pfx("10.0.0.0/8"));
+  EXPECT_EQ(UpdatePrefix(received[1]), Pfx("20.0.0.0/8"));
+  EXPECT_TRUE(session.DrainFromLocal().empty());  // drained
+}
+
+TEST(BgpSession, BidirectionalChannels) {
+  BgpSession session(100, 65000);
+  session.Open();
+  session.SendToLocal(MakeAnnouncement(65000, "30.0.0.0/8"));
+  auto from_server = session.DrainFromPeer();
+  ASSERT_EQ(from_server.size(), 1u);
+  EXPECT_EQ(UpdateFrom(from_server[0]), 65000u);
+}
+
+TEST(BgpSession, CloseFlushesAndBumpsGeneration) {
+  BgpSession session(100, 65000);
+  session.Open();
+  session.SendToPeer(MakeAnnouncement(100, "10.0.0.0/8"));
+  const auto generation = session.generation();
+  session.Close();
+  EXPECT_EQ(session.generation(), generation + 1);
+  EXPECT_TRUE(session.DrainFromLocal().empty());
+  EXPECT_FALSE(session.established());
+}
+
+TEST(BgpSession, CountsSentMessages) {
+  BgpSession session(100, 65000);
+  session.Open();
+  session.SendToPeer(MakeAnnouncement(100, "10.0.0.0/8"));
+  session.SendToLocal(MakeAnnouncement(65000, "20.0.0.0/8"));
+  EXPECT_EQ(session.sent_to_peer(), 1u);
+  EXPECT_EQ(session.sent_to_local(), 1u);
+}
+
+TEST(BgpUpdate, Accessors) {
+  auto update = MakeAnnouncement(100, "10.0.0.0/8");
+  EXPECT_TRUE(IsAnnouncement(update));
+  EXPECT_EQ(UpdateFrom(update), 100u);
+  EXPECT_EQ(UpdatePrefix(update), Pfx("10.0.0.0/8"));
+
+  Withdrawal w;
+  w.from_as = 200;
+  w.prefix = Pfx("20.0.0.0/8");
+  w.time = 42;
+  BgpUpdate withdrawal = w;
+  EXPECT_FALSE(IsAnnouncement(withdrawal));
+  EXPECT_EQ(UpdateFrom(withdrawal), 200u);
+  EXPECT_EQ(UpdateTime(withdrawal), 42);
+}
+
+}  // namespace
+}  // namespace sdx::bgp

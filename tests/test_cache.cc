@@ -1,0 +1,77 @@
+// CompilationCache semantics, including the address-reuse hazard: the cache
+// must retain each AST node it keys on, or a freed policy's address could
+// be recycled by an unrelated policy and return a stale classifier.
+#include <gtest/gtest.h>
+
+#include "policy/compile.h"
+
+namespace sdx::policy {
+namespace {
+
+TEST(CompilationCache, HitAfterPut) {
+  CompilationCache cache;
+  Policy p = Policy::Fwd(7);
+  Compile(p, &cache);
+  EXPECT_EQ(cache.hits(), 0u);
+  Compile(p, &cache);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_GE(cache.size(), 1u);
+}
+
+TEST(CompilationCache, ClearResets) {
+  CompilationCache cache;
+  Policy p = Policy::Fwd(7);
+  Compile(p, &cache);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  Compile(p, &cache);
+  EXPECT_EQ(cache.hits(), 0u);  // repopulated, not hit
+}
+
+TEST(CompilationCache, TotalRulesSumsEntries) {
+  CompilationCache cache;
+  Policy a = Policy::Fwd(1);                                   // 1 rule
+  Policy b = Policy::Guarded(Predicate::DstPort(80), a);       // 2 rules
+  Compile(b, &cache);
+  EXPECT_GE(cache.TotalRules(), 3u);
+}
+
+// Regression: churn thousands of short-lived policies through the cache.
+// Without keep-alive on the keyed nodes, recycled heap addresses would
+// alias old entries and Compile would return wrong classifiers.
+TEST(CompilationCache, AddressReuseCannotAliasEntries) {
+  CompilationCache cache;
+  for (int round = 0; round < 5000; ++round) {
+    const auto port = static_cast<net::PortId>(round % 97);
+    Policy p = Policy::Guarded(
+        Predicate::DstPort(static_cast<std::uint16_t>(round % 1024)),
+        Policy::Fwd(port));
+    Classifier compiled = Compile(p, &cache);
+    net::PacketHeader header;
+    header.dst_port = static_cast<std::uint16_t>(round % 1024);
+    auto out = compiled.Eval(header);
+    ASSERT_EQ(out.size(), 1u) << "round " << round;
+    ASSERT_EQ(out[0].in_port, port) << "round " << round;
+  }
+}
+
+// The cached entry survives the policy object itself being destroyed.
+TEST(CompilationCache, EntryOutlivesPolicyObject) {
+  CompilationCache cache;
+  const void* id = nullptr;
+  {
+    Policy p = Policy::Fwd(3);
+    id = p.id();
+    Compile(p, &cache);
+  }
+  // The node is kept alive by the cache; the entry is still retrievable.
+  const Classifier* entry = cache.Get(id);
+  ASSERT_NE(entry, nullptr);
+  net::PacketHeader header;
+  EXPECT_EQ(entry->Eval(header)[0].in_port, 3u);
+}
+
+}  // namespace
+}  // namespace sdx::policy

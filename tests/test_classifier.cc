@@ -1,0 +1,225 @@
+#include "policy/classifier.h"
+
+#include <gtest/gtest.h>
+
+namespace sdx::policy {
+namespace {
+
+using dataplane::Action;
+using dataplane::Rewrites;
+using net::FieldMatch;
+using net::PacketHeader;
+
+PacketHeader WebPacket() {
+  PacketHeader h;
+  h.in_port = 1;
+  h.dst_port = 80;
+  return h;
+}
+
+TEST(Classifier, FactoriesAreTotal) {
+  EXPECT_EQ(Classifier::DropAll().size(), 1u);
+  EXPECT_EQ(Classifier::PassAll().size(), 1u);
+  EXPECT_EQ(Classifier::Permit(FieldMatch::DstPort(80)).size(), 2u);
+  EXPECT_EQ(Classifier::Permit(FieldMatch()).size(), 1u);  // folds to pass
+}
+
+TEST(Classifier, EvalFirstMatchWins) {
+  Classifier c({
+      Rule{FieldMatch::DstPort(80), {Action{{}, 2}}},
+      Rule{FieldMatch(), {Action{{}, 3}}},
+  });
+  auto out = c.Eval(WebPacket());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].in_port, 2u);
+
+  PacketHeader ssh = WebPacket();
+  ssh.dst_port = 22;
+  out = c.Eval(ssh);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].in_port, 3u);
+}
+
+TEST(Classifier, ParallelUnionsActionSets) {
+  Classifier a = Classifier::Always(Action{{}, 2});
+  Classifier b = Classifier::Always(Action{{}, 3});
+  Classifier c = a.Parallel(b);
+  auto out = c.Eval(WebPacket());
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(Classifier, ParallelRespectsFirstMatchPerSide) {
+  // Side A forwards port-80 traffic to 2, else drops; side B forwards all
+  // to 3. A port-80 packet should go to both 2 and 3.
+  Classifier a({
+      Rule{FieldMatch::DstPort(80), {Action{{}, 2}}},
+      Rule{FieldMatch(), {}},
+  });
+  Classifier b = Classifier::Always(Action{{}, 3});
+  Classifier c = a.Parallel(b);
+
+  auto out = c.Eval(WebPacket());
+  EXPECT_EQ(out.size(), 2u);
+
+  PacketHeader ssh = WebPacket();
+  ssh.dst_port = 22;
+  out = c.Eval(ssh);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].in_port, 3u);
+}
+
+TEST(Classifier, ParallelDedupesIdenticalStays) {
+  Classifier a = Classifier::Permit(FieldMatch::DstPort(80));
+  Classifier b = Classifier::Permit(FieldMatch::InPort(1));
+  Classifier c = a.Parallel(b);  // acts as OR of the two permits
+  auto out = c.Eval(WebPacket());
+  ASSERT_EQ(out.size(), 1u);  // one stay, not two copies
+  EXPECT_EQ(out[0], WebPacket());
+}
+
+TEST(Classifier, SequentialComposesRewritesAndPorts) {
+  Rewrites set_port;
+  set_port.SetDstPort(8080);
+  Classifier first = Classifier::Always(Action{set_port, net::kNoPort});
+  Classifier second({
+      Rule{FieldMatch::DstPort(8080), {Action{{}, 9}}},
+      Rule{FieldMatch(), {}},
+  });
+  Classifier c = first.Sequential(second);
+  auto out = c.Eval(WebPacket());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].dst_port, 8080);
+  EXPECT_EQ(out[0].in_port, 9u);
+}
+
+TEST(Classifier, SequentialDropShortCircuits) {
+  Classifier first = Classifier::DropAll();
+  Classifier second = Classifier::Always(Action{{}, 9});
+  Classifier c = first.Sequential(second);
+  EXPECT_TRUE(c.Eval(WebPacket()).empty());
+}
+
+TEST(Classifier, SequentialPortMoveSatisfiesInPortMatch) {
+  // fwd(7) then match(in_port=7) >> fwd(9): emulates the virtual hop.
+  Classifier first = Classifier::Always(Action{{}, 7});
+  Classifier second({
+      Rule{FieldMatch::InPort(7), {Action{{}, 9}}},
+      Rule{FieldMatch(), {}},
+  });
+  Classifier c = first.Sequential(second);
+  auto out = c.Eval(WebPacket());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].in_port, 9u);
+
+  // And a mismatched in_port match yields a drop.
+  Classifier mismatched({
+      Rule{FieldMatch::InPort(8), {Action{{}, 9}}},
+      Rule{FieldMatch(), {}},
+  });
+  EXPECT_TRUE(first.Sequential(mismatched).Eval(WebPacket()).empty());
+}
+
+TEST(Classifier, SequentialMulticastRoutesEachCopy) {
+  // First stage multicasts to ports 7 and 8; second stage sends port-7
+  // traffic to 100 and port-8 traffic to 200.
+  Classifier first =
+      Classifier::Always(Action{{}, 7}).Parallel(Classifier::Always(Action{{}, 8}));
+  Classifier second({
+      Rule{FieldMatch::InPort(7), {Action{{}, 100}}},
+      Rule{FieldMatch::InPort(8), {Action{{}, 200}}},
+      Rule{FieldMatch(), {}},
+  });
+  Classifier c = first.Sequential(second);
+  auto out = c.Eval(WebPacket());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].in_port, 100u);
+  EXPECT_EQ(out[1].in_port, 200u);
+}
+
+TEST(Classifier, NegateSwapsPermitAndDrop) {
+  Classifier permit = Classifier::Permit(FieldMatch::DstPort(80));
+  Classifier negated = permit.Negate();
+  EXPECT_TRUE(negated.Eval(WebPacket()).empty());
+  PacketHeader ssh = WebPacket();
+  ssh.dst_port = 22;
+  EXPECT_EQ(negated.Eval(ssh).size(), 1u);
+}
+
+TEST(Classifier, UnionDisjointPreservesBothBehaviors) {
+  Classifier a({
+      Rule{FieldMatch::InPort(1).WithDstPort(80), {Action{{}, 2}}},
+      Rule{FieldMatch(), {}},
+  });
+  Classifier b({
+      Rule{FieldMatch::InPort(5), {Action{{}, 6}}},
+      Rule{FieldMatch(), {}},
+  });
+  Classifier c = a.UnionDisjoint(b);
+  auto out = c.Eval(WebPacket());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].in_port, 2u);
+  PacketHeader other;
+  other.in_port = 5;
+  out = c.Eval(other);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].in_port, 6u);
+  PacketHeader third;
+  third.in_port = 9;
+  EXPECT_TRUE(c.Eval(third).empty());
+}
+
+TEST(Classifier, DedupMatchesKeepsFirst) {
+  Classifier c({
+      Rule{FieldMatch::DstPort(80), {Action{{}, 2}}},
+      Rule{FieldMatch::DstPort(80), {Action{{}, 3}}},
+      Rule{FieldMatch(), {}},
+  });
+  c.DedupMatches();
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.rules()[0].actions[0].out_port, 2u);
+}
+
+TEST(Classifier, RemoveShadowedDropsDeadRules) {
+  Classifier c({
+      Rule{FieldMatch::DstPort(80), {Action{{}, 2}}},
+      Rule{FieldMatch::DstPort(80).WithInPort(1), {Action{{}, 3}}},  // dead
+      Rule{FieldMatch(), {}},
+  });
+  c.RemoveShadowed();
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.rules()[0].actions[0].out_port, 2u);
+  EXPECT_TRUE(c.rules()[1].match.IsWildcard());
+}
+
+TEST(Classifier, RemoveShadowedMergesRedundantTail) {
+  Classifier c({
+      Rule{FieldMatch::DstPort(80), {Action{{}, 2}}},
+      Rule{FieldMatch::DstPort(22), {}},  // same as final wildcard drop
+      Rule{FieldMatch(), {}},
+  });
+  c.RemoveShadowed();
+  EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(Classifier, ToFlowRulesPreservesOrderViaPriorities) {
+  Classifier c({
+      Rule{FieldMatch::DstPort(80), {Action{{}, 2}}},
+      Rule{FieldMatch(), {}},
+  });
+  auto rules = c.ToFlowRules(1000, /*cookie=*/42);
+  ASSERT_EQ(rules.size(), 2u);
+  EXPECT_GT(rules[0].priority, rules[1].priority);
+  EXPECT_EQ(rules[0].cookie, dataplane::Cookie{42});
+  EXPECT_TRUE(rules[1].actions.empty());
+}
+
+TEST(Classifier, ToFlowRulesTurnsStayIntoDrop) {
+  Classifier c = Classifier::PassAll();
+  EXPECT_TRUE(c.HasStayActions());
+  auto rules = c.ToFlowRules(0, 0);
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_TRUE(rules[0].actions.empty());
+}
+
+}  // namespace
+}  // namespace sdx::policy

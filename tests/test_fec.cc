@@ -1,0 +1,169 @@
+#include "sdx/fec.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace sdx::core {
+namespace {
+
+net::IPv4Prefix Pfx(const char* text) {
+  return *net::IPv4Prefix::Parse(text);
+}
+
+std::vector<net::IPv4Prefix> Pfxs(std::initializer_list<const char*> texts) {
+  std::vector<net::IPv4Prefix> out;
+  for (const char* text : texts) out.push_back(Pfx(text));
+  return out;
+}
+
+// Finds the group containing `prefix`; fails the test when absent.
+const PrefixGroup& GroupOf(const std::vector<PrefixGroup>& groups,
+                           const net::IPv4Prefix& prefix) {
+  for (const PrefixGroup& group : groups) {
+    if (std::find(group.prefixes.begin(), group.prefixes.end(), prefix) !=
+        group.prefixes.end()) {
+      return group;
+    }
+  }
+  ADD_FAILURE() << "no group contains " << prefix;
+  static const PrefixGroup empty;
+  return empty;
+}
+
+TEST(FecComputer, PaperExampleFromSection42) {
+  // §4.2: C = {{p1,p2,p3}, {p1,p2,p3,p4}, {p1,p2,p4}, {p3}} yields
+  // C' = {{p1,p2},{p3},{p4}}.
+  FecComputer fec;
+  fec.AddBehaviorSet(Pfxs({"10.1.0.0/16", "10.2.0.0/16", "10.3.0.0/16"}));
+  fec.AddBehaviorSet(
+      Pfxs({"10.1.0.0/16", "10.2.0.0/16", "10.3.0.0/16", "10.4.0.0/16"}));
+  fec.AddBehaviorSet(Pfxs({"10.1.0.0/16", "10.2.0.0/16", "10.4.0.0/16"}));
+  fec.AddBehaviorSet(Pfxs({"10.3.0.0/16"}));
+
+  auto groups = fec.Compute();
+  ASSERT_EQ(groups.size(), 3u);
+
+  const PrefixGroup& g12 = GroupOf(groups, Pfx("10.1.0.0/16"));
+  EXPECT_EQ(g12.prefixes.size(), 2u);
+  EXPECT_EQ(GroupOf(groups, Pfx("10.2.0.0/16")).id, g12.id);
+
+  const PrefixGroup& g3 = GroupOf(groups, Pfx("10.3.0.0/16"));
+  EXPECT_EQ(g3.prefixes.size(), 1u);
+  const PrefixGroup& g4 = GroupOf(groups, Pfx("10.4.0.0/16"));
+  EXPECT_EQ(g4.prefixes.size(), 1u);
+  EXPECT_NE(g3.id, g4.id);
+}
+
+TEST(FecComputer, EmptyInputYieldsNoGroups) {
+  FecComputer fec;
+  EXPECT_TRUE(fec.Compute().empty());
+  fec.AddBehaviorSet({});
+  EXPECT_TRUE(fec.Compute().empty());
+}
+
+TEST(FecComputer, SingleSetSingleGroup) {
+  FecComputer fec;
+  fec.AddBehaviorSet(Pfxs({"10.0.0.0/8", "20.0.0.0/8", "30.0.0.0/8"}));
+  auto groups = fec.Compute();
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].prefixes.size(), 3u);
+  EXPECT_EQ(groups[0].member_of, std::vector<std::uint32_t>{0});
+}
+
+TEST(FecComputer, DisjointSetsStayApart) {
+  FecComputer fec;
+  fec.AddBehaviorSet(Pfxs({"10.0.0.0/8"}));
+  fec.AddBehaviorSet(Pfxs({"20.0.0.0/8"}));
+  auto groups = fec.Compute();
+  EXPECT_EQ(groups.size(), 2u);
+}
+
+TEST(FecComputer, DuplicatePrefixWithinSetCountedOnce) {
+  FecComputer fec;
+  fec.AddBehaviorSet(Pfxs({"10.0.0.0/8", "10.0.0.0/8"}));
+  auto groups = fec.Compute();
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].prefixes.size(), 1u);
+  EXPECT_EQ(groups[0].member_of.size(), 1u);
+}
+
+TEST(FecComputer, MemberOfRecordsSignature) {
+  FecComputer fec;
+  auto s0 = fec.AddBehaviorSet(Pfxs({"10.0.0.0/8", "20.0.0.0/8"}));
+  auto s1 = fec.AddBehaviorSet(Pfxs({"20.0.0.0/8", "30.0.0.0/8"}));
+  auto groups = fec.Compute();
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(GroupOf(groups, Pfx("10.0.0.0/8")).member_of,
+            (std::vector<std::uint32_t>{s0}));
+  EXPECT_EQ(GroupOf(groups, Pfx("20.0.0.0/8")).member_of,
+            (std::vector<std::uint32_t>{s0, s1}));
+  EXPECT_EQ(GroupOf(groups, Pfx("30.0.0.0/8")).member_of,
+            (std::vector<std::uint32_t>{s1}));
+}
+
+TEST(FecComputer, ClearResets) {
+  FecComputer fec;
+  fec.AddBehaviorSet(Pfxs({"10.0.0.0/8"}));
+  fec.Clear();
+  EXPECT_EQ(fec.behavior_set_count(), 0u);
+  EXPECT_TRUE(fec.Compute().empty());
+}
+
+// Property: groups partition the input (every prefix in exactly one group)
+// and are maximal (two prefixes share a group iff identical membership).
+TEST(FecComputerProperty, PartitionAndMaximality) {
+  // Deterministic pseudo-random membership over 64 prefixes and 10 sets.
+  std::vector<net::IPv4Prefix> prefixes;
+  for (int i = 0; i < 64; ++i) {
+    prefixes.push_back(
+        net::IPv4Prefix(net::IPv4Address(10, 0, static_cast<uint8_t>(i), 0),
+                        24));
+  }
+  std::vector<std::vector<bool>> member(prefixes.size(),
+                                        std::vector<bool>(10));
+  std::uint64_t state = 0x12345678;
+  auto next = [&state] {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return (state >> 33) & 1;
+  };
+  FecComputer fec;
+  for (int s = 0; s < 10; ++s) {
+    std::vector<net::IPv4Prefix> set;
+    for (std::size_t p = 0; p < prefixes.size(); ++p) {
+      if (next()) {
+        member[p][static_cast<std::size_t>(s)] = true;
+        set.push_back(prefixes[p]);
+      }
+    }
+    fec.AddBehaviorSet(set);
+  }
+  auto groups = fec.Compute();
+
+  // Partition: each prefix with nonempty membership appears exactly once.
+  std::map<net::IPv4Prefix, int> seen;
+  for (const auto& group : groups) {
+    for (const auto& prefix : group.prefixes) seen[prefix]++;
+  }
+  for (std::size_t p = 0; p < prefixes.size(); ++p) {
+    bool any = std::any_of(member[p].begin(), member[p].end(),
+                           [](bool b) { return b; });
+    EXPECT_EQ(seen[prefixes[p]], any ? 1 : 0);
+  }
+
+  // Maximality: same signature iff same group.
+  auto signature = [&](std::size_t p) { return member[p]; };
+  for (std::size_t a = 0; a < prefixes.size(); ++a) {
+    for (std::size_t b = a + 1; b < prefixes.size(); ++b) {
+      bool a_grouped = seen[prefixes[a]] == 1;
+      bool b_grouped = seen[prefixes[b]] == 1;
+      if (!a_grouped || !b_grouped) continue;
+      const PrefixGroup& ga = GroupOf(groups, prefixes[a]);
+      const PrefixGroup& gb = GroupOf(groups, prefixes[b]);
+      EXPECT_EQ(ga.id == gb.id, signature(a) == signature(b));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sdx::core

@@ -1,0 +1,136 @@
+#include "net/ipv4.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace sdx::net {
+namespace {
+
+TEST(IPv4Address, ConstructsFromOctets) {
+  IPv4Address a(192, 0, 2, 1);
+  EXPECT_EQ(a.value(), 0xC0000201u);
+  EXPECT_EQ(a.ToString(), "192.0.2.1");
+}
+
+TEST(IPv4Address, ParsesValidAddresses) {
+  EXPECT_EQ(IPv4Address::Parse("0.0.0.0"), IPv4Address(0));
+  EXPECT_EQ(IPv4Address::Parse("255.255.255.255"), IPv4Address(0xFFFFFFFFu));
+  EXPECT_EQ(IPv4Address::Parse("10.0.0.1"), IPv4Address(10, 0, 0, 1));
+  EXPECT_EQ(IPv4Address::Parse("74.125.1.1"), IPv4Address(74, 125, 1, 1));
+}
+
+TEST(IPv4Address, RejectsInvalidAddresses) {
+  EXPECT_FALSE(IPv4Address::Parse(""));
+  EXPECT_FALSE(IPv4Address::Parse("1.2.3"));
+  EXPECT_FALSE(IPv4Address::Parse("1.2.3.4.5"));
+  EXPECT_FALSE(IPv4Address::Parse("256.0.0.1"));
+  EXPECT_FALSE(IPv4Address::Parse("1.2.3.4 "));
+  EXPECT_FALSE(IPv4Address::Parse("a.b.c.d"));
+  EXPECT_FALSE(IPv4Address::Parse("01.2.3.4"));
+  EXPECT_FALSE(IPv4Address::Parse("1..2.3"));
+  EXPECT_FALSE(IPv4Address::Parse("-1.2.3.4"));
+}
+
+TEST(IPv4Address, RoundTripsThroughString) {
+  for (std::uint32_t value : {0u, 1u, 0x7F000001u, 0xC0A80101u, 0xFFFFFFFFu}) {
+    IPv4Address a(value);
+    EXPECT_EQ(IPv4Address::Parse(a.ToString()), a);
+  }
+}
+
+TEST(IPv4Address, Ordering) {
+  EXPECT_LT(IPv4Address(10, 0, 0, 1), IPv4Address(10, 0, 0, 2));
+  EXPECT_LT(IPv4Address(9, 255, 255, 255), IPv4Address(10, 0, 0, 0));
+}
+
+TEST(IPv4Prefix, MaskValues) {
+  EXPECT_EQ(IPv4Prefix::Mask(0), 0u);
+  EXPECT_EQ(IPv4Prefix::Mask(8), 0xFF000000u);
+  EXPECT_EQ(IPv4Prefix::Mask(24), 0xFFFFFF00u);
+  EXPECT_EQ(IPv4Prefix::Mask(32), 0xFFFFFFFFu);
+}
+
+TEST(IPv4Prefix, CanonicalizesHostBits) {
+  IPv4Prefix p(IPv4Address(10, 1, 2, 3), 8);
+  EXPECT_EQ(p.network(), IPv4Address(10, 0, 0, 0));
+  EXPECT_EQ(p.length(), 8);
+}
+
+TEST(IPv4Prefix, ParsesCidr) {
+  auto p = IPv4Prefix::Parse("192.168.0.0/16");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->network(), IPv4Address(192, 168, 0, 0));
+  EXPECT_EQ(p->length(), 16);
+  EXPECT_EQ(p->ToString(), "192.168.0.0/16");
+}
+
+TEST(IPv4Prefix, BareAddressParsesAsSlash32) {
+  auto p = IPv4Prefix::Parse("10.0.0.1");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->length(), 32);
+}
+
+TEST(IPv4Prefix, RejectsNonCanonicalAndMalformed) {
+  EXPECT_FALSE(IPv4Prefix::Parse("10.1.2.3/8"));  // host bits set
+  EXPECT_FALSE(IPv4Prefix::Parse("10.0.0.0/33"));
+  EXPECT_FALSE(IPv4Prefix::Parse("10.0.0.0/"));
+  EXPECT_FALSE(IPv4Prefix::Parse("/8"));
+  EXPECT_FALSE(IPv4Prefix::Parse("10.0.0.0/8x"));
+}
+
+TEST(IPv4Prefix, ContainsAddress) {
+  IPv4Prefix p(IPv4Address(10, 0, 0, 0), 8);
+  EXPECT_TRUE(p.Contains(IPv4Address(10, 0, 0, 0)));
+  EXPECT_TRUE(p.Contains(IPv4Address(10, 255, 255, 255)));
+  EXPECT_FALSE(p.Contains(IPv4Address(11, 0, 0, 0)));
+  EXPECT_FALSE(p.Contains(IPv4Address(9, 255, 255, 255)));
+}
+
+TEST(IPv4Prefix, SlashZeroContainsEverything) {
+  IPv4Prefix all(IPv4Address(0), 0);
+  EXPECT_TRUE(all.Contains(IPv4Address(0)));
+  EXPECT_TRUE(all.Contains(IPv4Address(0xFFFFFFFFu)));
+  EXPECT_TRUE(all.Contains(IPv4Prefix(IPv4Address(10, 0, 0, 0), 8)));
+}
+
+TEST(IPv4Prefix, ContainsPrefix) {
+  IPv4Prefix wide(IPv4Address(10, 0, 0, 0), 8);
+  IPv4Prefix narrow(IPv4Address(10, 1, 0, 0), 16);
+  EXPECT_TRUE(wide.Contains(narrow));
+  EXPECT_FALSE(narrow.Contains(wide));
+  EXPECT_TRUE(wide.Contains(wide));
+}
+
+TEST(IPv4Prefix, OverlapAndIntersect) {
+  IPv4Prefix wide(IPv4Address(10, 0, 0, 0), 8);
+  IPv4Prefix narrow(IPv4Address(10, 1, 0, 0), 16);
+  IPv4Prefix other(IPv4Address(11, 0, 0, 0), 8);
+
+  EXPECT_TRUE(wide.Overlaps(narrow));
+  EXPECT_TRUE(narrow.Overlaps(wide));
+  EXPECT_FALSE(wide.Overlaps(other));
+
+  EXPECT_EQ(wide.Intersect(narrow), narrow);
+  EXPECT_EQ(narrow.Intersect(wide), narrow);
+  EXPECT_FALSE(wide.Intersect(other));
+}
+
+TEST(IPv4Prefix, SiblingPrefixesDisjoint) {
+  IPv4Prefix left(IPv4Address(0, 0, 0, 0), 1);
+  IPv4Prefix right(IPv4Address(128, 0, 0, 0), 1);
+  EXPECT_FALSE(left.Overlaps(right));
+  EXPECT_EQ(left.LastAddress(), IPv4Address(127, 255, 255, 255));
+  EXPECT_EQ(right.FirstAddress(), IPv4Address(128, 0, 0, 0));
+}
+
+TEST(IPv4Prefix, HashDistinguishesLengths) {
+  std::unordered_set<IPv4Prefix> set;
+  set.insert(IPv4Prefix(IPv4Address(10, 0, 0, 0), 8));
+  set.insert(IPv4Prefix(IPv4Address(10, 0, 0, 0), 16));
+  set.insert(IPv4Prefix(IPv4Address(10, 0, 0, 0), 8));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+}  // namespace
+}  // namespace sdx::net

@@ -1,0 +1,52 @@
+#include "net/mac.h"
+
+#include <gtest/gtest.h>
+
+namespace sdx::net {
+namespace {
+
+TEST(MacAddress, ConstructsFromBytes) {
+  MacAddress m(0x0A, 0x1B, 0x2C, 0x3D, 0x4E, 0x5F);
+  EXPECT_EQ(m.value(), 0x0A1B2C3D4E5Full);
+  EXPECT_EQ(m.ToString(), "0a:1b:2c:3d:4e:5f");
+}
+
+TEST(MacAddress, MasksTo48Bits) {
+  MacAddress m(0xFFFF0A1B2C3D4E5Full);
+  EXPECT_EQ(m.value(), 0x0A1B2C3D4E5Full);
+}
+
+TEST(MacAddress, ParsesValid) {
+  auto m = MacAddress::Parse("00:11:22:aa:bb:cc");
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->value(), 0x001122AABBCCull);
+  EXPECT_EQ(MacAddress::Parse("ff:ff:ff:ff:ff:ff")->value(),
+            0xFFFFFFFFFFFFull);
+}
+
+TEST(MacAddress, RejectsInvalid) {
+  EXPECT_FALSE(MacAddress::Parse(""));
+  EXPECT_FALSE(MacAddress::Parse("00:11:22:aa:bb"));
+  EXPECT_FALSE(MacAddress::Parse("00:11:22:aa:bb:cc:dd"));
+  EXPECT_FALSE(MacAddress::Parse("0:11:22:aa:bb:cc"));
+  EXPECT_FALSE(MacAddress::Parse("00-11-22-aa-bb-cc"));
+  EXPECT_FALSE(MacAddress::Parse("zz:11:22:aa:bb:cc"));
+}
+
+TEST(MacAddress, RoundTrip) {
+  MacAddress m(0xDEADBEEF01ull);
+  EXPECT_EQ(MacAddress::Parse(m.ToString()), m);
+}
+
+TEST(MacAddress, Broadcast) {
+  EXPECT_TRUE(MacAddress(0xFFFFFFFFFFFFull).IsBroadcast());
+  EXPECT_FALSE(MacAddress(1).IsBroadcast());
+}
+
+TEST(MacAddress, Ordering) {
+  EXPECT_LT(MacAddress(1), MacAddress(2));
+  EXPECT_EQ(MacAddress(7), MacAddress(7));
+}
+
+}  // namespace
+}  // namespace sdx::net

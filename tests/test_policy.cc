@@ -1,0 +1,159 @@
+#include "policy/policy.h"
+
+#include <gtest/gtest.h>
+
+namespace sdx::policy {
+namespace {
+
+using dataplane::Rewrites;
+using net::IPv4Address;
+using net::IPv4Prefix;
+using net::PacketHeader;
+
+IPv4Prefix Pfx(const char* text) { return *IPv4Prefix::Parse(text); }
+
+PacketHeader WebPacket() {
+  PacketHeader h;
+  h.in_port = 1;
+  h.dst_ip = IPv4Address(74, 125, 1, 1);
+  h.src_ip = IPv4Address(10, 0, 0, 1);
+  h.proto = net::kProtoTcp;
+  h.dst_port = 80;
+  return h;
+}
+
+TEST(Policy, DropProducesNothing) {
+  EXPECT_TRUE(Policy::Drop().Eval(WebPacket()).empty());
+}
+
+TEST(Policy, IdentityPassesUnchanged) {
+  auto out = Policy::Identity().Eval(WebPacket());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], WebPacket());
+}
+
+TEST(Policy, FilterKeepsOrDrops) {
+  auto keep = Policy::Filter(Predicate::DstPort(80));
+  EXPECT_EQ(keep.Eval(WebPacket()).size(), 1u);
+  auto drop = Policy::Filter(Predicate::DstPort(443));
+  EXPECT_TRUE(drop.Eval(WebPacket()).empty());
+}
+
+TEST(Policy, ModRewritesField) {
+  Rewrites r;
+  r.SetDstIp(IPv4Address(74, 125, 224, 161));
+  auto out = Policy::Mod(r).Eval(WebPacket());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].dst_ip, IPv4Address(74, 125, 224, 161));
+}
+
+TEST(Policy, FwdMovesPacket) {
+  auto out = Policy::Fwd(9).Eval(WebPacket());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].in_port, 9u);
+}
+
+TEST(Policy, ParallelUnionsResults) {
+  // The paper's application-specific peering policy shape:
+  // (match(dstport=80) >> fwd(B)) + (match(dstport=443) >> fwd(C)).
+  auto policy = Policy::Guarded(Predicate::DstPort(80), Policy::Fwd(2)) +
+                Policy::Guarded(Predicate::DstPort(443), Policy::Fwd(3));
+  auto out = policy.Eval(WebPacket());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].in_port, 2u);
+
+  PacketHeader https = WebPacket();
+  https.dst_port = 443;
+  out = policy.Eval(https);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].in_port, 3u);
+
+  PacketHeader other = WebPacket();
+  other.dst_port = 22;
+  EXPECT_TRUE(policy.Eval(other).empty());  // neither matches => dropped
+}
+
+TEST(Policy, ParallelMulticasts) {
+  auto policy = Policy::Fwd(2) + Policy::Fwd(3);
+  auto out = policy.Eval(WebPacket());
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(Policy, SequentialThreadsThroughOutputs) {
+  Rewrites r;
+  r.SetDstPort(8080);
+  auto policy = Policy::Mod(r) >> Policy::Fwd(5);
+  auto out = policy.Eval(WebPacket());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].dst_port, 8080);
+  EXPECT_EQ(out[0].in_port, 5u);
+}
+
+TEST(Policy, SequentialAfterFwdSeesNewLocation) {
+  // After fwd(7) a match on in_port=7 holds — the virtual-topology hop.
+  auto policy =
+      Policy::Fwd(7) >> Policy::Guarded(Predicate::InPort(7), Policy::Fwd(9));
+  auto out = policy.Eval(WebPacket());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].in_port, 9u);
+
+  auto mismatched =
+      Policy::Fwd(7) >> Policy::Guarded(Predicate::InPort(8), Policy::Fwd(9));
+  EXPECT_TRUE(mismatched.Eval(WebPacket()).empty());
+}
+
+TEST(Policy, IfBranches) {
+  auto policy =
+      Policy::If(Predicate::DstPort(80), Policy::Fwd(2), Policy::Fwd(3));
+  EXPECT_EQ(policy.Eval(WebPacket())[0].in_port, 2u);
+  PacketHeader ssh = WebPacket();
+  ssh.dst_port = 22;
+  EXPECT_EQ(policy.Eval(ssh)[0].in_port, 3u);
+}
+
+TEST(Policy, AlgebraicSimplifications) {
+  EXPECT_EQ((Policy::Drop() + Policy::Fwd(1)).kind(), Policy::Kind::kFwd);
+  EXPECT_EQ((Policy::Fwd(1) + Policy::Drop()).kind(), Policy::Kind::kFwd);
+  EXPECT_EQ((Policy::Identity() >> Policy::Fwd(1)).kind(), Policy::Kind::kFwd);
+  EXPECT_EQ((Policy::Fwd(1) >> Policy::Identity()).kind(), Policy::Kind::kFwd);
+  EXPECT_EQ((Policy::Drop() >> Policy::Fwd(1)).kind(), Policy::Kind::kDrop);
+  EXPECT_EQ((Policy::Fwd(1) >> Policy::Drop()).kind(), Policy::Kind::kDrop);
+  EXPECT_EQ(Policy::Filter(Predicate::True()).kind(), Policy::Kind::kIdentity);
+  EXPECT_EQ(Policy::Filter(Predicate::False()).kind(), Policy::Kind::kDrop);
+  EXPECT_EQ(Policy::Mod(Rewrites()).kind(), Policy::Kind::kIdentity);
+}
+
+TEST(Policy, LoadBalancerExample) {
+  // §3.1 wide-area server load balancing: rewrite anycast destination by
+  // client prefix.
+  Rewrites to_replica1;
+  to_replica1.SetDstIp(IPv4Address(74, 125, 224, 161));
+  Rewrites to_replica2;
+  to_replica2.SetDstIp(IPv4Address(74, 125, 137, 139));
+  auto policy = Policy::Guarded(
+      Predicate::DstIp(Pfx("74.125.1.1/32")),
+      Policy::Guarded(Predicate::SrcIp(Pfx("96.25.160.0/24")),
+                      Policy::Mod(to_replica1)) +
+          Policy::Guarded(Predicate::SrcIp(Pfx("128.125.163.0/24")),
+                          Policy::Mod(to_replica2)));
+
+  PacketHeader request;
+  request.dst_ip = IPv4Address(74, 125, 1, 1);
+  request.src_ip = IPv4Address(96, 25, 160, 7);
+  auto out = policy.Eval(request);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].dst_ip, IPv4Address(74, 125, 224, 161));
+
+  request.src_ip = IPv4Address(128, 125, 163, 9);
+  out = policy.Eval(request);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].dst_ip, IPv4Address(74, 125, 137, 139));
+}
+
+TEST(Policy, ToStringIsReadable) {
+  auto policy = Policy::Guarded(Predicate::DstPort(80), Policy::Fwd(2));
+  EXPECT_EQ(policy.ToString(), "(match(dst_port=80) >> fwd(2))");
+}
+
+}  // namespace
+}  // namespace sdx::policy

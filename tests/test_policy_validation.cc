@@ -1,0 +1,136 @@
+// Eager policy validation in SdxRuntime::Set{Outbound,Inbound}Policy.
+#include <gtest/gtest.h>
+
+#include "sdx/runtime.h"
+
+namespace sdx::core {
+namespace {
+
+using policy::Predicate;
+
+class PolicyValidationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    runtime_.AddParticipant(100, 1);
+    runtime_.AddParticipant(200, 2);
+    runtime_.AddParticipant(400, 0);  // remote
+  }
+  SdxRuntime runtime_;
+};
+
+OutboundClause To(AsNumber target) {
+  OutboundClause clause;
+  clause.match = Predicate::DstPort(80);
+  clause.to = target;
+  return clause;
+}
+
+TEST_F(PolicyValidationTest, UnknownParticipantRejected) {
+  EXPECT_THROW(runtime_.SetOutboundPolicy(999, {To(200)}),
+               std::invalid_argument);
+  EXPECT_THROW(runtime_.SetInboundPolicy(999, {}), std::invalid_argument);
+}
+
+TEST_F(PolicyValidationTest, OutboundSelfTargetRejected) {
+  EXPECT_THROW(runtime_.SetOutboundPolicy(100, {To(100)}),
+               std::invalid_argument);
+}
+
+TEST_F(PolicyValidationTest, OutboundUnknownTargetRejected) {
+  EXPECT_THROW(runtime_.SetOutboundPolicy(100, {To(999)}),
+               std::invalid_argument);
+}
+
+TEST_F(PolicyValidationTest, OutboundValidAccepted) {
+  EXPECT_NO_THROW(runtime_.SetOutboundPolicy(100, {To(200), To(400)}));
+}
+
+TEST_F(PolicyValidationTest, OutboundNegatedMatchRejected) {
+  OutboundClause clause = To(200);
+  clause.match = !Predicate::DstPort(80);
+  EXPECT_THROW(runtime_.SetOutboundPolicy(100, {clause}),
+               std::invalid_argument);
+  // Nested negation is caught too.
+  clause.match = Predicate::SrcIp(*net::IPv4Prefix::Parse("10.0.0.0/8")) &&
+                 (Predicate::DstPort(80) || !Predicate::DstPort(443));
+  EXPECT_THROW(runtime_.SetOutboundPolicy(100, {clause}),
+               std::invalid_argument);
+  // The equivalent positive formulation is accepted: an earlier clause
+  // catches port 80, a later catch-all redirects the rest.
+  OutboundClause web = To(400);
+  web.match = Predicate::DstPort(80);
+  OutboundClause rest = To(200);
+  rest.match = Predicate::True();
+  EXPECT_NO_THROW(runtime_.SetOutboundPolicy(100, {web, rest}));
+}
+
+TEST_F(PolicyValidationTest, InboundPortBoundsChecked) {
+  InboundClause clause;
+  clause.port_index = 2;  // AS 200 has ports 0 and 1
+  EXPECT_THROW(runtime_.SetInboundPolicy(200, {clause}),
+               std::invalid_argument);
+  clause.port_index = -1;
+  EXPECT_THROW(runtime_.SetInboundPolicy(200, {clause}),
+               std::invalid_argument);
+  clause.port_index = 1;
+  EXPECT_NO_THROW(runtime_.SetInboundPolicy(200, {clause}));
+}
+
+TEST_F(PolicyValidationTest, RemoteNeedsVia) {
+  InboundClause clause;
+  clause.port_index = 0;
+  EXPECT_THROW(runtime_.SetInboundPolicy(400, {clause}),
+               std::invalid_argument);
+  clause.via_participant = 200;
+  EXPECT_NO_THROW(runtime_.SetInboundPolicy(400, {clause}));
+}
+
+TEST_F(PolicyValidationTest, ViaUnknownHostRejected) {
+  InboundClause clause;
+  clause.via_participant = 999;
+  EXPECT_THROW(runtime_.SetInboundPolicy(400, {clause}),
+               std::invalid_argument);
+}
+
+TEST_F(PolicyValidationTest, ViaPortBoundsChecked) {
+  InboundClause clause;
+  clause.via_participant = 100;  // AS 100 has one port
+  clause.port_index = 1;
+  EXPECT_THROW(runtime_.SetInboundPolicy(400, {clause}),
+               std::invalid_argument);
+}
+
+TEST_F(PolicyValidationTest, ChainHopsValidated) {
+  InboundClause clause;
+  clause.chain = {ChainHop{999, 0}};
+  EXPECT_THROW(runtime_.SetInboundPolicy(200, {clause}),
+               std::invalid_argument);
+  clause.chain = {ChainHop{200, 5}};
+  EXPECT_THROW(runtime_.SetInboundPolicy(200, {clause}),
+               std::invalid_argument);
+  clause.chain = {ChainHop{200, 1}, ChainHop{100, 0}};
+  EXPECT_NO_THROW(runtime_.SetInboundPolicy(200, {clause}));
+}
+
+TEST_F(PolicyValidationTest, ErrorMessagesNameTheClause) {
+  try {
+    runtime_.SetOutboundPolicy(100, {To(200), To(999)});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("clause #1"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST_F(PolicyValidationTest, RejectedPolicyLeavesOldOneInPlace) {
+  runtime_.SetOutboundPolicy(100, {To(200)});
+  EXPECT_THROW(runtime_.SetOutboundPolicy(100, {To(999)}),
+               std::invalid_argument);
+  const Participant* participant = runtime_.FindParticipant(100);
+  ASSERT_NE(participant, nullptr);
+  ASSERT_EQ(participant->outbound().size(), 1u);
+  EXPECT_EQ(participant->outbound()[0].to, 200u);
+}
+
+}  // namespace
+}  // namespace sdx::core

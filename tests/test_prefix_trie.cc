@@ -1,0 +1,153 @@
+#include "net/prefix_trie.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <unordered_map>
+
+namespace sdx::net {
+namespace {
+
+IPv4Prefix Pfx(const char* text) { return *IPv4Prefix::Parse(text); }
+
+TEST(PrefixMap, InsertFindErase) {
+  PrefixMap<int> map;
+  EXPECT_TRUE(map.Insert(Pfx("10.0.0.0/8"), 1));
+  EXPECT_FALSE(map.Insert(Pfx("10.0.0.0/8"), 2));  // overwrite
+  EXPECT_EQ(map.size(), 1u);
+  ASSERT_NE(map.Find(Pfx("10.0.0.0/8")), nullptr);
+  EXPECT_EQ(*map.Find(Pfx("10.0.0.0/8")), 2);
+  EXPECT_EQ(map.Find(Pfx("10.0.0.0/16")), nullptr);
+  EXPECT_TRUE(map.Erase(Pfx("10.0.0.0/8")));
+  EXPECT_FALSE(map.Erase(Pfx("10.0.0.0/8")));
+  EXPECT_TRUE(map.empty());
+}
+
+TEST(PrefixMap, LongestMatchPrefersMoreSpecific) {
+  PrefixMap<int> map;
+  map.Insert(Pfx("10.0.0.0/8"), 8);
+  map.Insert(Pfx("10.1.0.0/16"), 16);
+  map.Insert(Pfx("10.1.2.0/24"), 24);
+
+  auto m = map.LongestMatch(IPv4Address(10, 1, 2, 3));
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->first, Pfx("10.1.2.0/24"));
+  EXPECT_EQ(*m->second, 24);
+
+  m = map.LongestMatch(IPv4Address(10, 1, 9, 9));
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->first, Pfx("10.1.0.0/16"));
+
+  m = map.LongestMatch(IPv4Address(10, 9, 9, 9));
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->first, Pfx("10.0.0.0/8"));
+
+  EXPECT_FALSE(map.LongestMatch(IPv4Address(11, 0, 0, 1)));
+}
+
+TEST(PrefixMap, DefaultRouteMatchesAll) {
+  PrefixMap<int> map;
+  map.Insert(Pfx("0.0.0.0/0"), 0);
+  auto m = map.LongestMatch(IPv4Address(203, 0, 113, 9));
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->first, Pfx("0.0.0.0/0"));
+}
+
+TEST(PrefixMap, AllMatchesShortestFirst) {
+  PrefixMap<int> map;
+  map.Insert(Pfx("0.0.0.0/0"), 0);
+  map.Insert(Pfx("10.0.0.0/8"), 8);
+  map.Insert(Pfx("10.1.0.0/16"), 16);
+  auto all = map.AllMatches(IPv4Address(10, 1, 0, 1));
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].first.length(), 0);
+  EXPECT_EQ(all[1].first.length(), 8);
+  EXPECT_EQ(all[2].first.length(), 16);
+}
+
+TEST(PrefixMap, ForEachVisitsAllEntries) {
+  PrefixMap<int> map;
+  map.Insert(Pfx("10.0.0.0/8"), 1);
+  map.Insert(Pfx("192.168.0.0/16"), 2);
+  map.Insert(Pfx("172.16.0.0/12"), 3);
+  int sum = 0;
+  std::size_t count = 0;
+  map.ForEach([&](const IPv4Prefix&, const int& v) {
+    sum += v;
+    ++count;
+  });
+  EXPECT_EQ(count, 3u);
+  EXPECT_EQ(sum, 6);
+}
+
+TEST(PrefixMap, ForEachReconstructsPrefixes) {
+  PrefixMap<int> map;
+  map.Insert(Pfx("10.1.2.0/24"), 1);
+  map.Insert(Pfx("128.0.0.0/1"), 2);
+  std::vector<IPv4Prefix> seen;
+  map.ForEach([&](const IPv4Prefix& p, const int&) { seen.push_back(p); });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_NE(std::find(seen.begin(), seen.end(), Pfx("10.1.2.0/24")),
+            seen.end());
+  EXPECT_NE(std::find(seen.begin(), seen.end(), Pfx("128.0.0.0/1")),
+            seen.end());
+}
+
+TEST(PrefixSet, BasicMembership) {
+  PrefixSet set;
+  EXPECT_TRUE(set.Insert(Pfx("10.0.0.0/8")));
+  EXPECT_FALSE(set.Insert(Pfx("10.0.0.0/8")));
+  EXPECT_TRUE(set.Contains(Pfx("10.0.0.0/8")));
+  EXPECT_FALSE(set.Contains(Pfx("10.0.0.0/9")));
+  EXPECT_TRUE(set.Covers(IPv4Address(10, 2, 3, 4)));
+  EXPECT_FALSE(set.Covers(IPv4Address(11, 2, 3, 4)));
+  EXPECT_TRUE(set.Erase(Pfx("10.0.0.0/8")));
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(PrefixSet, LongestMatch) {
+  PrefixSet set;
+  set.Insert(Pfx("10.0.0.0/8"));
+  set.Insert(Pfx("10.128.0.0/9"));
+  auto m = set.LongestMatch(IPv4Address(10, 200, 0, 1));
+  ASSERT_TRUE(m);
+  EXPECT_EQ(*m, Pfx("10.128.0.0/9"));
+}
+
+// Property: trie longest-match agrees with a brute-force scan over a random
+// prefix population.
+TEST(PrefixTrieProperty, LongestMatchAgreesWithBruteForce) {
+  std::mt19937 rng(1234);
+  PrefixMap<int> map;
+  std::vector<std::pair<IPv4Prefix, int>> entries;
+  for (int i = 0; i < 500; ++i) {
+    auto length = static_cast<std::uint8_t>(rng() % 33);
+    IPv4Prefix p(IPv4Address(static_cast<std::uint32_t>(rng())), length);
+    map.Insert(p, i);
+    // Keep only the last value per prefix, mirroring Insert's overwrite.
+    std::erase_if(entries, [&](const auto& e) { return e.first == p; });
+    entries.emplace_back(p, i);
+  }
+  for (int trial = 0; trial < 2000; ++trial) {
+    IPv4Address address(static_cast<std::uint32_t>(rng()));
+    const std::pair<IPv4Prefix, int>* best = nullptr;
+    for (const auto& entry : entries) {
+      if (!entry.first.Contains(address)) continue;
+      if (best == nullptr || entry.first.length() > best->first.length()) {
+        best = &entry;
+      }
+    }
+    auto got = map.LongestMatch(address);
+    if (best == nullptr) {
+      EXPECT_FALSE(got);
+    } else {
+      ASSERT_TRUE(got);
+      EXPECT_EQ(got->first, best->first);
+      EXPECT_EQ(*got->second, best->second);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sdx::net

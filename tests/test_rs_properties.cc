@@ -1,0 +1,152 @@
+// Route-server property tests: bulk loading must be equivalent to
+// incremental processing, and the decision process must agree with a
+// brute-force reference under random update storms.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "rs/route_server.h"
+
+namespace sdx::rs {
+namespace {
+
+net::IPv4Prefix P(int i) {
+  return net::IPv4Prefix(
+      net::IPv4Address(10, static_cast<uint8_t>(i >> 8),
+                       static_cast<uint8_t>(i & 0xFF), 0),
+      24);
+}
+
+struct StormParams {
+  std::uint32_t seed;
+  int participants;
+  int prefixes;
+  int updates;
+};
+
+std::vector<bgp::BgpUpdate> RandomUpdates(const StormParams& params) {
+  std::mt19937 rng(params.seed);
+  std::vector<bgp::BgpUpdate> out;
+  for (int k = 0; k < params.updates; ++k) {
+    const bgp::AsNumber from = 100 + rng() % params.participants;
+    const net::IPv4Prefix prefix = P(static_cast<int>(rng()) %
+                                     params.prefixes);
+    if (rng() % 4 == 0) {
+      bgp::Withdrawal withdrawal;
+      withdrawal.from_as = from;
+      withdrawal.prefix = prefix;
+      out.emplace_back(withdrawal);
+    } else {
+      bgp::Announcement announcement;
+      announcement.from_as = from;
+      announcement.route.prefix = prefix;
+      announcement.route.as_path = {from,
+                                    static_cast<bgp::AsNumber>(
+                                        64500 + rng() % 50)};
+      if (rng() % 2) {
+        announcement.route.as_path.push_back(64000 + rng() % 20);
+      }
+      announcement.route.local_pref = 100 + rng() % 3;
+      announcement.route.med = rng() % 4;
+      announcement.route.next_hop =
+          net::IPv4Address(0xC0A80000u | (from & 0xFFFF));
+      out.emplace_back(announcement);
+    }
+  }
+  return out;
+}
+
+class RsStorm : public ::testing::TestWithParam<StormParams> {};
+
+TEST_P(RsStorm, BulkLoadEquivalentToIncremental) {
+  const StormParams params = GetParam();
+  auto updates = RandomUpdates(params);
+
+  RouteServer incremental, bulk;
+  for (int i = 0; i < params.participants; ++i) {
+    incremental.RegisterParticipant(100 + i,
+                                    net::IPv4Address(1, 0, 0, 1 + i));
+    bulk.RegisterParticipant(100 + i, net::IPv4Address(1, 0, 0, 1 + i));
+  }
+  for (const auto& update : updates) incremental.HandleUpdate(update);
+
+  bulk.BeginBulkLoad();
+  for (const auto& update : updates) bulk.HandleUpdate(update);
+  bulk.EndBulkLoad();
+
+  for (int receiver = 0; receiver < params.participants; ++receiver) {
+    for (int p = 0; p < params.prefixes; ++p) {
+      const auto* a = incremental.BestRoute(100 + receiver, P(p));
+      const auto* b = bulk.BestRoute(100 + receiver, P(p));
+      ASSERT_EQ(a == nullptr, b == nullptr)
+          << "receiver " << 100 + receiver << " prefix " << P(p);
+      if (a != nullptr) {
+        EXPECT_EQ(*a, *b) << "receiver " << 100 + receiver << " prefix "
+                          << P(p);
+      }
+    }
+  }
+}
+
+TEST_P(RsStorm, BestRouteAgreesWithBruteForce) {
+  const StormParams params = GetParam();
+  auto updates = RandomUpdates(params);
+
+  RouteServer server;
+  for (int i = 0; i < params.participants; ++i) {
+    server.RegisterParticipant(100 + i, net::IPv4Address(1, 0, 0, 1 + i));
+  }
+  // A brute-force shadow RIB: last route per (announcer, prefix).
+  std::map<std::pair<bgp::AsNumber, net::IPv4Prefix>,
+           std::optional<bgp::BgpRoute>>
+      shadow;
+  for (const auto& update : updates) {
+    server.HandleUpdate(update);
+    const auto from = bgp::UpdateFrom(update);
+    const auto prefix = bgp::UpdatePrefix(update);
+    if (const auto* a = std::get_if<bgp::Announcement>(&update)) {
+      bgp::BgpRoute route = a->route;
+      route.peer_as = from;
+      route.peer_router_id =
+          net::IPv4Address(1, 0, 0, 1 + (from - 100));
+      shadow[{from, prefix}] = route;
+    } else {
+      shadow[{from, prefix}] = std::nullopt;
+    }
+  }
+
+  for (int receiver = 0; receiver < params.participants; ++receiver) {
+    const bgp::AsNumber receiver_as = 100 + receiver;
+    for (int p = 0; p < params.prefixes; ++p) {
+      const bgp::BgpRoute* expected = nullptr;
+      for (const auto& [key, route] : shadow) {
+        if (!route || key.second != P(p)) continue;
+        if (key.first == receiver_as) continue;
+        if (route->PathContains(receiver_as)) continue;
+        if (expected == nullptr ||
+            bgp::CompareRoutes(*route, *expected) < 0) {
+          expected = &*route;
+        }
+      }
+      const auto* got = server.BestRoute(receiver_as, P(p));
+      ASSERT_EQ(expected == nullptr, got == nullptr)
+          << "receiver " << receiver_as << " prefix " << P(p);
+      if (expected != nullptr) {
+        EXPECT_EQ(*expected, *got);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Storms, RsStorm,
+    ::testing::Values(StormParams{1, 4, 8, 100},
+                      StormParams{2, 8, 16, 400},
+                      StormParams{3, 12, 30, 1000},
+                      StormParams{4, 20, 10, 1500}),
+    [](const ::testing::TestParamInfo<StormParams>& info) {
+      return "seed" + std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace sdx::rs

@@ -1,0 +1,253 @@
+// Unit tests for the policy transformations: isolation, BGP-consistency
+// filters, default forwarding, and inbound delivery.
+#include <gtest/gtest.h>
+
+#include "sdx/bgp_filter.h"
+#include "sdx/default_fwd.h"
+#include "sdx/isolation.h"
+#include "sdx/participant.h"
+
+namespace sdx::core {
+namespace {
+
+using policy::Policy;
+using policy::Predicate;
+
+net::IPv4Prefix Pfx(const char* text) {
+  return *net::IPv4Prefix::Parse(text);
+}
+
+class ComponentsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    topo_.AddParticipant(100, 1);  // A
+    topo_.AddParticipant(200, 2);  // B
+    topo_.AddParticipant(300, 1);  // C
+    rs_.RegisterParticipant(100, net::IPv4Address(1, 1, 1, 1));
+    rs_.RegisterParticipant(200, net::IPv4Address(2, 2, 2, 2));
+    rs_.RegisterParticipant(300, net::IPv4Address(3, 3, 3, 3));
+  }
+
+  void Announce(AsNumber from, const char* prefix) {
+    bgp::Announcement a;
+    a.from_as = from;
+    a.route.prefix = Pfx(prefix);
+    a.route.as_path = {from};
+    rs_.HandleUpdate(bgp::BgpUpdate{a});
+  }
+
+  VirtualTopology topo_;
+  rs::RouteServer rs_;
+};
+
+TEST_F(ComponentsTest, OutboundIsolationMatchesOnlyOwnPorts) {
+  Predicate iso_a = OutboundIsolation(topo_, 100);
+  net::PacketHeader h;
+  h.in_port = topo_.PhysicalPortOf(100, 0).id;
+  EXPECT_TRUE(iso_a.Eval(h));
+  h.in_port = topo_.PhysicalPortOf(200, 0).id;
+  EXPECT_FALSE(iso_a.Eval(h));
+  h.in_port = topo_.IngressPort(100);
+  EXPECT_FALSE(iso_a.Eval(h));
+}
+
+TEST_F(ComponentsTest, OutboundIsolationCoversAllPorts) {
+  Predicate iso_b = OutboundIsolation(topo_, 200);
+  net::PacketHeader h;
+  h.in_port = topo_.PhysicalPortOf(200, 1).id;
+  EXPECT_TRUE(iso_b.Eval(h));
+}
+
+TEST_F(ComponentsTest, RemoteParticipantOutboundIsolationIsFalse) {
+  topo_.AddParticipant(400, 0);
+  EXPECT_EQ(OutboundIsolation(topo_, 400).kind(), Predicate::Kind::kFalse);
+}
+
+TEST_F(ComponentsTest, InboundIsolationMatchesVirtualPorts) {
+  Predicate iso = InboundIsolation(topo_, 200);
+  net::PacketHeader h;
+  h.in_port = topo_.VirtualPort(200, 100);
+  EXPECT_TRUE(iso.Eval(h));
+  h.in_port = topo_.VirtualPort(100, 200);  // A's switch, not B's
+  EXPECT_FALSE(iso.Eval(h));
+  h.in_port = topo_.PhysicalPortOf(200, 0).id;
+  EXPECT_FALSE(iso.Eval(h));
+}
+
+TEST_F(ComponentsTest, IsolateOutboundGuardsPolicy) {
+  Policy p = IsolateOutbound(topo_, 100, Policy::Fwd(42));
+  net::PacketHeader own;
+  own.in_port = topo_.PhysicalPortOf(100, 0).id;
+  EXPECT_EQ(p.Eval(own).size(), 1u);
+  net::PacketHeader other;
+  other.in_port = topo_.PhysicalPortOf(300, 0).id;
+  EXPECT_TRUE(p.Eval(other).empty());
+}
+
+TEST_F(ComponentsTest, EligiblePrefixesFollowExports) {
+  Announce(200, "10.1.0.0/16");
+  Announce(200, "10.2.0.0/16");
+  rs_.DenyExport(200, 100, Pfx("10.2.0.0/16"));
+
+  OutboundClause clause;
+  clause.to = 200;
+  auto eligible = EligiblePrefixes(rs_, 100, clause);
+  ASSERT_EQ(eligible.size(), 1u);
+  EXPECT_EQ(eligible[0], Pfx("10.1.0.0/16"));
+}
+
+TEST_F(ComponentsTest, EligiblePrefixesRestrictedByClauseList) {
+  Announce(200, "10.1.0.0/16");
+  Announce(200, "10.2.0.0/16");
+  OutboundClause clause;
+  clause.to = 200;
+  clause.dst_prefixes = {Pfx("10.2.0.0/16")};
+  auto eligible = EligiblePrefixes(rs_, 100, clause);
+  ASSERT_EQ(eligible.size(), 1u);
+  EXPECT_EQ(eligible[0], Pfx("10.2.0.0/16"));
+}
+
+TEST_F(ComponentsTest, ClauseCoarseBlockAdmitsContainedExports) {
+  // A clause naming the Amazon /16 admits announced /24s inside it.
+  Announce(200, "54.230.1.0/24");
+  OutboundClause clause;
+  clause.to = 200;
+  clause.dst_prefixes = {Pfx("54.230.0.0/16")};
+  auto eligible = EligiblePrefixes(rs_, 100, clause);
+  ASSERT_EQ(eligible.size(), 1u);
+  EXPECT_EQ(eligible[0], Pfx("54.230.1.0/24"));
+}
+
+TEST_F(ComponentsTest, BgpFilterPredicateFalseWhenNothingEligible) {
+  OutboundClause clause;
+  clause.to = 200;
+  EXPECT_EQ(BgpFilterPredicate(rs_, 100, clause).kind(),
+            Predicate::Kind::kFalse);
+}
+
+TEST_F(ComponentsTest, InboundDeliveryDefaultsToPortZero) {
+  Participant b(200, 2);
+  Policy delivery = InboundDeliveryPolicy(topo_, b);
+  net::PacketHeader h;
+  h.in_port = topo_.IngressPort(200);
+  auto out = delivery.Eval(h);
+  ASSERT_EQ(out.size(), 1u);
+  const PhysicalPort& b0 = topo_.PhysicalPortOf(200, 0);
+  EXPECT_EQ(out[0].in_port, b0.id);
+  EXPECT_EQ(out[0].dst_mac, b0.mac);
+}
+
+TEST_F(ComponentsTest, InboundClausesSelectPortsBySource) {
+  // Figure 1a: B's inbound traffic engineering.
+  Participant b(200, 2);
+  InboundClause low;
+  low.match = Predicate::SrcIp(Pfx("0.0.0.0/1"));
+  low.port_index = 0;
+  InboundClause high;
+  high.match = Predicate::SrcIp(Pfx("128.0.0.0/1"));
+  high.port_index = 1;
+  b.SetInbound({low, high});
+
+  Policy delivery = InboundDeliveryPolicy(topo_, b);
+  net::PacketHeader h;
+  h.src_ip = net::IPv4Address(10, 0, 0, 1);
+  auto out = delivery.Eval(h);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].in_port, topo_.PhysicalPortOf(200, 0).id);
+
+  h.src_ip = net::IPv4Address(200, 0, 0, 1);
+  out = delivery.Eval(h);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].in_port, topo_.PhysicalPortOf(200, 1).id);
+  EXPECT_EQ(out[0].dst_mac, topo_.PhysicalPortOf(200, 1).mac);
+}
+
+TEST_F(ComponentsTest, InboundClauseFirstMatchWins) {
+  Participant b(200, 2);
+  InboundClause first;
+  first.match = Predicate::DstPort(80);
+  first.port_index = 1;
+  InboundClause second;
+  second.match = Predicate::True();
+  second.port_index = 0;
+  b.SetInbound({first, second});
+  Policy delivery = InboundDeliveryPolicy(topo_, b);
+  net::PacketHeader h;
+  h.dst_port = 80;
+  EXPECT_EQ(delivery.Eval(h)[0].in_port, topo_.PhysicalPortOf(200, 1).id);
+  h.dst_port = 22;
+  EXPECT_EQ(delivery.Eval(h)[0].in_port, topo_.PhysicalPortOf(200, 0).id);
+}
+
+TEST_F(ComponentsTest, RemoteParticipantDropsUnmatchedInbound) {
+  topo_.AddParticipant(400, 0);
+  Participant d(400, 0);
+  Policy delivery = InboundDeliveryPolicy(topo_, d);
+  net::PacketHeader h;
+  EXPECT_TRUE(delivery.Eval(h).empty());
+}
+
+TEST_F(ComponentsTest, RemoteParticipantDeliversViaHost) {
+  // The wide-area load balancer: remote AS 400 rewrites the anycast
+  // destination and delivers through B's port 1.
+  topo_.AddParticipant(400, 0);
+  Participant d(400, 0);
+  InboundClause lb;
+  lb.match = Predicate::DstIp(Pfx("74.125.1.1/32"));
+  lb.rewrites.SetDstIp(net::IPv4Address(74, 125, 137, 139));
+  lb.port_index = 1;
+  lb.via_participant = 200;
+  d.SetInbound({lb});
+
+  Policy delivery = InboundDeliveryPolicy(topo_, d);
+  net::PacketHeader h;
+  h.dst_ip = net::IPv4Address(74, 125, 1, 1);
+  auto out = delivery.Eval(h);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].dst_ip, net::IPv4Address(74, 125, 137, 139));
+  EXPECT_EQ(out[0].in_port, topo_.PhysicalPortOf(200, 1).id);
+  EXPECT_EQ(out[0].dst_mac, topo_.PhysicalPortOf(200, 1).mac);
+}
+
+TEST_F(ComponentsTest, DefaultFabricPolicyRoutesVmacsAndRealMacs) {
+  GroupTable groups;
+  AnnotatedGroup g;
+  g.id = 0;
+  g.prefixes = {Pfx("10.0.0.0/8")};
+  g.binding = {net::IPv4Address(172, 16, 0, 1), net::MacAddress(0xA0001)};
+  g.best_hop = 300;
+  groups.groups.push_back(g);
+
+  Policy fabric = DefaultFabricPolicy(topo_, groups);
+
+  net::PacketHeader vmac_packet;
+  vmac_packet.dst_mac = net::MacAddress(0xA0001);
+  auto out = fabric.Eval(vmac_packet);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].in_port, topo_.IngressPort(300));
+
+  net::PacketHeader real_packet;
+  real_packet.dst_mac = topo_.PhysicalPortOf(200, 0).mac;
+  out = fabric.Eval(real_packet);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].in_port, topo_.IngressPort(200));
+
+  net::PacketHeader unknown;
+  unknown.dst_mac = net::MacAddress(0xDEAD);
+  EXPECT_TRUE(fabric.Eval(unknown).empty());
+}
+
+TEST_F(ComponentsTest, DefaultFabricSkipsUnreachableGroups) {
+  GroupTable groups;
+  AnnotatedGroup g;
+  g.binding = {net::IPv4Address(172, 16, 0, 1), net::MacAddress(0xA0001)};
+  g.best_hop = 0;  // withdrawn everywhere
+  groups.groups.push_back(g);
+  Policy fabric = DefaultFabricPolicy(topo_, groups);
+  net::PacketHeader h;
+  h.dst_mac = net::MacAddress(0xA0001);
+  EXPECT_TRUE(fabric.Eval(h).empty());
+}
+
+}  // namespace
+}  // namespace sdx::core

@@ -1,0 +1,150 @@
+// Differential test: the scalable VNH-based pipeline must forward exactly
+// like the unoptimized §4.1 composition (ΣPi'') >> (ΣPi'') compiled over
+// destination prefixes and real next-hop MACs.
+//
+// Both stacks are fed "participant S sends a packet to dst" and must agree
+// on the final physical egress port and the delivered header fields (the
+// MAC tag differs in flight — VMAC vs real MAC — but delivery rewrites it
+// to the destination port MAC in both designs).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "policy/compile.h"
+#include "sdx/composer.h"
+#include "sdx/isolation.h"
+#include "sdx/runtime.h"
+
+namespace sdx::core {
+namespace {
+
+using policy::Predicate;
+
+constexpr AsNumber kA = 100;
+constexpr AsNumber kB = 200;
+constexpr AsNumber kC = 300;
+
+net::IPv4Prefix P(int i) {
+  return net::IPv4Prefix(net::IPv4Address(10, static_cast<uint8_t>(i), 0, 0),
+                         16);
+}
+
+class EquivalenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    runtime_.AddParticipant(kA, 1);
+    runtime_.AddParticipant(kB, 2);
+    runtime_.AddParticipant(kC, 1);
+    runtime_.route_server().DenyExport(kB, kA, P(4));
+    for (int i = 1; i <= 4; ++i) runtime_.AnnouncePrefix(kB, P(i), {kB, 900});
+    for (int i = 1; i <= 4; ++i) {
+      runtime_.AnnouncePrefix(kC, P(i),
+                              i == 3 ? std::vector<bgp::AsNumber>{kC, 901, 902}
+                                     : std::vector<bgp::AsNumber>{kC});
+    }
+    runtime_.AnnouncePrefix(kA, P(5));
+
+    OutboundClause web;
+    web.match = Predicate::DstPort(80);
+    web.to = kB;
+    OutboundClause https;
+    https.match = Predicate::DstPort(443);
+    https.to = kC;
+    runtime_.SetOutboundPolicy(kA, {web, https});
+
+    InboundClause low;
+    low.match = Predicate::SrcIp(*net::IPv4Prefix::Parse("0.0.0.0/1"));
+    low.port_index = 0;
+    InboundClause high;
+    high.match = Predicate::SrcIp(*net::IPv4Prefix::Parse("128.0.0.0/1"));
+    high.port_index = 1;
+    runtime_.SetInboundPolicy(kB, {low, high});
+
+    runtime_.FullCompile();
+
+    // Faithful side: compile (ΣP)>>(ΣP) directly.
+    Composer composer(runtime_.topology(), runtime_.route_server());
+    faithful_ = policy::Compile(
+        composer.BuildFaithfulPolicy(runtime_.participants()));
+  }
+
+  // Sends through the faithful classifier, modeling a border router that
+  // tags with the REAL next-hop MAC (no VNH in the faithful design).
+  std::vector<net::PacketHeader> SendFaithful(AsNumber from,
+                                              net::PacketHeader header) {
+    const bgp::BgpRoute* best = nullptr;
+    // Router FIB: longest matching announced prefix with a route.
+    for (int i = 1; i <= 5; ++i) {
+      if (P(i).Contains(header.dst_ip)) {
+        best = runtime_.route_server().BestRoute(from, P(i));
+        break;
+      }
+    }
+    if (best == nullptr) return {};  // router drop
+    const auto& topo = runtime_.topology();
+    header.in_port = topo.PhysicalPortOf(from, 0).id;
+    header.src_mac = topo.PhysicalPortOf(from, 0).mac;
+    header.dst_mac = topo.PhysicalPortOf(best->peer_as, 0).mac;
+    return faithful_.Eval(header);
+  }
+
+  std::vector<net::PacketHeader> SendOptimized(AsNumber from,
+                                               net::PacketHeader header) {
+    net::Packet packet{header, 100};
+    std::vector<net::PacketHeader> out;
+    for (auto& emission : runtime_.InjectFromParticipant(from, packet)) {
+      emission.packet.header.in_port = emission.out_port;
+      out.push_back(emission.packet.header);
+    }
+    return out;
+  }
+
+  SdxRuntime runtime_;
+  policy::Classifier faithful_;
+};
+
+TEST_F(EquivalenceTest, RandomTrafficAgrees) {
+  std::mt19937 rng(2024);
+  const AsNumber senders[] = {kA, kB, kC};
+  const std::uint16_t ports[] = {80, 443, 22, 8080};
+  int compared = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    net::PacketHeader h;
+    h.src_ip = net::IPv4Address(static_cast<std::uint32_t>(rng()));
+    h.dst_ip = net::IPv4Address(10, static_cast<uint8_t>(1 + rng() % 5),
+                                static_cast<uint8_t>(rng() % 256),
+                                static_cast<uint8_t>(rng() % 256));
+    h.proto = net::kProtoTcp;
+    h.src_port = static_cast<std::uint16_t>(rng());
+    h.dst_port = ports[rng() % 4];
+    const AsNumber from = senders[rng() % 3];
+
+    auto faithful = SendFaithful(from, h);
+    auto optimized = SendOptimized(from, h);
+
+    ASSERT_EQ(faithful.size(), optimized.size())
+        << "sender AS" << from << " packet " << h.ToString();
+    if (faithful.empty()) continue;
+    ++compared;
+    ASSERT_EQ(faithful.size(), 1u);
+    // Same egress port, same delivered headers (src_mac differs: the
+    // faithful design leaves the sender's source MAC; ours does too).
+    EXPECT_EQ(faithful[0].in_port, optimized[0].in_port)
+        << "sender AS" << from << " packet " << h.ToString();
+    EXPECT_EQ(faithful[0].dst_mac, optimized[0].dst_mac);
+    EXPECT_EQ(faithful[0].dst_ip, optimized[0].dst_ip);
+    EXPECT_EQ(faithful[0].dst_port, optimized[0].dst_port);
+    EXPECT_EQ(faithful[0].src_ip, optimized[0].src_ip);
+  }
+  // The scenario routes most destinations: the comparison must be real.
+  EXPECT_GT(compared, 1000);
+}
+
+TEST_F(EquivalenceTest, FaithfulClassifierIsLarge) {
+  // The ablation claim of §4.2: prefix-based compilation produces far more
+  // rules than VMAC grouping even at toy scale.
+  EXPECT_GT(faithful_.size(), runtime_.data_plane().table().size());
+}
+
+}  // namespace
+}  // namespace sdx::core

@@ -1,0 +1,144 @@
+// Service chaining through middlebox sequences (§8).
+#include <gtest/gtest.h>
+
+#include "sdx/runtime.h"
+
+namespace sdx::core {
+namespace {
+
+using policy::Predicate;
+
+net::IPv4Prefix Pfx(const char* text) {
+  return *net::IPv4Prefix::Parse(text);
+}
+
+class ServiceChainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    runtime_.AddParticipant(100, 1);  // sender
+    // AS 200: border router (port 0), scrubber (port 1), DPI box (port 2).
+    runtime_.AddParticipant(200, 3);
+    runtime_.AnnouncePrefix(200, Pfx("203.0.113.0/24"));
+
+    InboundClause chained;
+    chained.match = Predicate::DstPort(80);
+    chained.chain = {ChainHop{200, 1}, ChainHop{200, 2}};
+    chained.port_index = 0;
+    runtime_.SetInboundPolicy(200, {chained});
+    runtime_.FullCompile();
+  }
+
+  net::Packet WebPacket() {
+    net::Packet packet;
+    packet.header.src_ip = net::IPv4Address(10, 0, 0, 1);
+    packet.header.dst_ip = net::IPv4Address(203, 0, 113, 7);
+    packet.header.proto = net::kProtoTcp;
+    packet.header.dst_port = 80;
+    packet.size_bytes = 400;
+    return packet;
+  }
+
+  net::PortId PortOf(int index) {
+    return runtime_.topology().PhysicalPortOf(200, index).id;
+  }
+
+  SdxRuntime runtime_;
+};
+
+TEST_F(ServiceChainTest, TraversesEveryHopInOrder) {
+  // Stage 0: client traffic lands on the scrubber.
+  auto emissions = runtime_.InjectFromParticipant(100, WebPacket());
+  ASSERT_EQ(emissions.size(), 1u);
+  EXPECT_EQ(emissions[0].out_port, PortOf(1));
+  EXPECT_EQ(emissions[0].packet.header.dst_mac,
+            runtime_.topology().PhysicalPortOf(200, 1).mac);
+
+  // Stage 1: the scrubber re-injects; traffic moves to the DPI box.
+  emissions = runtime_.ReinjectFromPort(PortOf(1), emissions[0].packet);
+  ASSERT_EQ(emissions.size(), 1u);
+  EXPECT_EQ(emissions[0].out_port, PortOf(2));
+
+  // Stage 2: the DPI box re-injects; final delivery on the border port
+  // with the real port MAC.
+  emissions = runtime_.ReinjectFromPort(PortOf(2), emissions[0].packet);
+  ASSERT_EQ(emissions.size(), 1u);
+  EXPECT_EQ(emissions[0].out_port, PortOf(0));
+  EXPECT_EQ(emissions[0].packet.header.dst_mac,
+            runtime_.topology().PhysicalPortOf(200, 0).mac);
+}
+
+TEST_F(ServiceChainTest, NonMatchingTrafficBypassesChain) {
+  net::Packet ssh = WebPacket();
+  ssh.header.dst_port = 22;
+  auto emissions = runtime_.InjectFromParticipant(100, ssh);
+  ASSERT_EQ(emissions.size(), 1u);
+  EXPECT_EQ(emissions[0].out_port, PortOf(0));  // straight to delivery
+}
+
+TEST_F(ServiceChainTest, RewritesApplyOnlyAtFinalDelivery) {
+  InboundClause chained;
+  chained.match = Predicate::DstPort(80);
+  chained.chain = {ChainHop{200, 1}};
+  chained.rewrites.SetDstIp(net::IPv4Address(203, 0, 113, 99));
+  chained.port_index = 0;
+  runtime_.SetInboundPolicy(200, {chained});
+  runtime_.FullCompile();
+
+  auto emissions = runtime_.InjectFromParticipant(100, WebPacket());
+  ASSERT_EQ(emissions.size(), 1u);
+  EXPECT_EQ(emissions[0].out_port, PortOf(1));
+  // Not yet rewritten at the middlebox hop.
+  EXPECT_EQ(emissions[0].packet.header.dst_ip,
+            net::IPv4Address(203, 0, 113, 7));
+
+  emissions = runtime_.ReinjectFromPort(PortOf(1), emissions[0].packet);
+  ASSERT_EQ(emissions.size(), 1u);
+  EXPECT_EQ(emissions[0].out_port, PortOf(0));
+  EXPECT_EQ(emissions[0].packet.header.dst_ip,
+            net::IPv4Address(203, 0, 113, 99));
+}
+
+TEST_F(ServiceChainTest, ChainAcrossParticipants) {
+  // The middlebox may be hosted by a third participant (the paper's
+  // video-transcoder-at-port-E1 example).
+  runtime_.AddParticipant(300, 1);  // middlebox host
+  InboundClause chained;
+  chained.match = Predicate::DstPort(80);
+  chained.chain = {ChainHop{300, 0}};
+  chained.port_index = 0;
+  runtime_.SetInboundPolicy(200, {chained});
+  runtime_.FullCompile();
+
+  auto emissions = runtime_.InjectFromParticipant(100, WebPacket());
+  ASSERT_EQ(emissions.size(), 1u);
+  EXPECT_EQ(emissions[0].out_port,
+            runtime_.topology().PhysicalPortOf(300, 0).id);
+
+  emissions = runtime_.ReinjectFromPort(
+      runtime_.topology().PhysicalPortOf(300, 0).id, emissions[0].packet);
+  ASSERT_EQ(emissions.size(), 1u);
+  EXPECT_EQ(emissions[0].out_port, PortOf(0));
+}
+
+TEST_F(ServiceChainTest, ChainRulesDoNotLeakIntoHostPolicies) {
+  // AS 200 also has an outbound policy; re-injected chain traffic entering
+  // on 200's middlebox port must NOT be diverted by it.
+  runtime_.AddParticipant(300, 1);
+  runtime_.AnnouncePrefix(300, Pfx("198.51.100.0/24"));
+  OutboundClause divert;
+  divert.match = Predicate::DstPort(80);
+  divert.to = 300;
+  runtime_.SetOutboundPolicy(200, {divert});
+  runtime_.FullCompile();
+
+  auto emissions = runtime_.InjectFromParticipant(100, WebPacket());
+  ASSERT_EQ(emissions.size(), 1u);
+  ASSERT_EQ(emissions[0].out_port, PortOf(1));
+  // Re-injection continues the chain instead of hitting 200's web policy.
+  emissions = runtime_.ReinjectFromPort(PortOf(1), emissions[0].packet);
+  ASSERT_EQ(emissions.size(), 1u);
+  EXPECT_EQ(emissions[0].out_port, PortOf(2));
+}
+
+}  // namespace
+}  // namespace sdx::core

@@ -1,0 +1,150 @@
+// The BGP session frontend: participant updates flow in over sessions,
+// re-advertisements with VNH next hops flow back out.
+#include <gtest/gtest.h>
+
+#include "sdx/session_frontend.h"
+
+namespace sdx::core {
+namespace {
+
+using policy::Predicate;
+
+net::IPv4Prefix Pfx(const char* text) {
+  return *net::IPv4Prefix::Parse(text);
+}
+
+bool IsVnh(net::IPv4Address address) {
+  return net::IPv4Prefix(net::IPv4Address(172, 16, 0, 0), 12)
+      .Contains(address);
+}
+
+class SessionFrontendTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    runtime_.AddParticipant(100, 1);
+    runtime_.AddParticipant(200, 1);
+    runtime_.AddParticipant(300, 1);
+
+    OutboundClause web;
+    web.match = Predicate::DstPort(80);
+    web.to = 200;
+    runtime_.SetOutboundPolicy(100, {web});
+    runtime_.FullCompile();
+
+    frontend_ = std::make_unique<SessionFrontend>(runtime_);
+    for (AsNumber as : {100u, 200u, 300u}) frontend_->Connect(as);
+  }
+
+  bgp::BgpUpdate Announce(AsNumber from, const char* prefix,
+                          std::vector<bgp::AsNumber> path = {}) {
+    bgp::Announcement a;
+    a.from_as = from;
+    a.route.prefix = Pfx(prefix);
+    a.route.as_path =
+        path.empty() ? std::vector<bgp::AsNumber>{from} : std::move(path);
+    a.route.next_hop = runtime_.RouterIp(from);
+    return bgp::BgpUpdate{a};
+  }
+
+  SdxRuntime runtime_;
+  std::unique_ptr<SessionFrontend> frontend_;
+};
+
+TEST_F(SessionFrontendTest, ConnectRequiresRegistration) {
+  EXPECT_THROW(frontend_->Connect(999), std::invalid_argument);
+}
+
+TEST_F(SessionFrontendTest, PumpAppliesParticipantUpdates) {
+  auto* session = frontend_->FindSession(200);
+  ASSERT_NE(session, nullptr);
+  session->SendToPeer(Announce(200, "10.0.0.0/8"));
+  EXPECT_EQ(frontend_->Pump(), 1u);
+  EXPECT_NE(runtime_.route_server().BestRoute(100, Pfx("10.0.0.0/8")),
+            nullptr);
+  // The fabric forwards immediately (fast path ran).
+  net::Packet packet;
+  packet.header.dst_ip = net::IPv4Address(10, 1, 2, 3);
+  packet.header.proto = net::kProtoTcp;
+  packet.header.dst_port = 80;
+  packet.size_bytes = 100;
+  auto emissions = runtime_.InjectFromParticipant(100, packet);
+  ASSERT_EQ(emissions.size(), 1u);
+  EXPECT_EQ(emissions[0].out_port,
+            runtime_.topology().PhysicalPortOf(200, 0).id);
+}
+
+TEST_F(SessionFrontendTest, ReadvertisesWithVnhNextHop) {
+  auto* announcer = frontend_->FindSession(200);
+  announcer->SendToPeer(Announce(200, "10.0.0.0/8"));
+  frontend_->Pump();
+
+  // Receiver 100 has an outbound policy covering the new prefix: the
+  // re-advertised next hop must be a VNH from the controller pool.
+  auto* receiver = frontend_->FindSession(100);
+  auto received = receiver->DrainFromPeer();
+  ASSERT_FALSE(received.empty());
+  const auto* a = std::get_if<bgp::Announcement>(&received.back());
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->route.prefix, Pfx("10.0.0.0/8"));
+  EXPECT_TRUE(IsVnh(a->route.next_hop)) << a->route.next_hop.ToString();
+  // And the controller's ARP responder resolves it to a VMAC.
+  EXPECT_TRUE(runtime_.arp().Resolve(a->route.next_hop).has_value());
+}
+
+TEST_F(SessionFrontendTest, WithdrawalPropagates) {
+  auto* announcer = frontend_->FindSession(200);
+  announcer->SendToPeer(Announce(200, "10.0.0.0/8"));
+  frontend_->Pump();
+  frontend_->FindSession(100)->DrainFromPeer();
+
+  bgp::Withdrawal withdrawal;
+  withdrawal.from_as = 200;
+  withdrawal.prefix = Pfx("10.0.0.0/8");
+  announcer->SendToPeer(bgp::BgpUpdate{withdrawal});
+  frontend_->Pump();
+
+  auto received = frontend_->FindSession(100)->DrainFromPeer();
+  ASSERT_FALSE(received.empty());
+  EXPECT_FALSE(bgp::IsAnnouncement(received.back()));
+}
+
+TEST_F(SessionFrontendTest, AnnouncerDoesNotHearItself) {
+  auto* announcer = frontend_->FindSession(200);
+  announcer->SendToPeer(Announce(200, "10.0.0.0/8"));
+  frontend_->Pump();
+  // 200's only inbound message would be a withdrawal (no route for its own
+  // prefix) — never an announcement of its own route.
+  for (const auto& update : announcer->DrainFromPeer()) {
+    if (const auto* a = std::get_if<bgp::Announcement>(&update)) {
+      EXPECT_NE(a->route.peer_as, 200u);
+    }
+  }
+}
+
+TEST_F(SessionFrontendTest, ReplaySendsFullTable) {
+  auto* announcer = frontend_->FindSession(200);
+  announcer->SendToPeer(Announce(200, "10.0.0.0/8"));
+  announcer->SendToPeer(Announce(200, "20.0.0.0/8"));
+  frontend_->Pump();
+  frontend_->FindSession(100)->DrainFromPeer();  // discard incremental
+
+  // Session reset: close, reconnect, expect a full-table replay.
+  frontend_->FindSession(100)->Close();
+  frontend_->Connect(100);
+  auto received = frontend_->FindSession(100)->DrainFromPeer();
+  EXPECT_EQ(received.size(), 2u);
+}
+
+TEST_F(SessionFrontendTest, ClosedSessionsAreSkipped) {
+  frontend_->FindSession(300)->Close();
+  auto* announcer = frontend_->FindSession(200);
+  announcer->SendToPeer(Announce(200, "10.0.0.0/8"));
+  const auto before = frontend_->readvertisements_sent();
+  frontend_->Pump();
+  // Two established receivers (100, 200) heard about it; 300 did not.
+  EXPECT_EQ(frontend_->readvertisements_sent(), before + 2);
+  EXPECT_TRUE(frontend_->FindSession(300)->DrainFromPeer().empty());
+}
+
+}  // namespace
+}  // namespace sdx::core

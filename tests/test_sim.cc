@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.h"
+#include "sim/flow_sim.h"
+
+namespace sdx::sim {
+namespace {
+
+TEST(EventQueue, RunsEventsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.ScheduleAt(3.0, [&] { order.push_back(3); });
+  queue.ScheduleAt(1.0, [&] { order.push_back(1); });
+  queue.ScheduleAt(2.0, [&] { order.push_back(2); });
+  while (queue.RunNext()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(queue.now(), 3.0);
+  EXPECT_EQ(queue.executed(), 3u);
+}
+
+TEST(EventQueue, StableForEqualTimes) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    queue.ScheduleAt(1.0, [&order, i] { order.push_back(i); });
+  }
+  while (queue.RunNext()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, RunUntilLeavesLaterEventsQueued) {
+  EventQueue queue;
+  int ran = 0;
+  queue.ScheduleAt(1.0, [&] { ++ran; });
+  queue.ScheduleAt(5.0, [&] { ++ran; });
+  queue.RunUntil(2.0);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(queue.pending(), 1u);
+  EXPECT_EQ(queue.now(), 2.0);
+}
+
+TEST(EventQueue, HandlersMayScheduleMoreEvents) {
+  EventQueue queue;
+  int depth = 0;
+  queue.ScheduleAt(1.0, [&] {
+    ++depth;
+    queue.ScheduleAfter(1.0, [&] { ++depth; });
+  });
+  queue.RunUntil(10.0);
+  EXPECT_EQ(depth, 2);
+}
+
+TEST(EventQueue, PastSchedulingClampsToNow) {
+  EventQueue queue;
+  double seen = -1;
+  queue.ScheduleAt(5.0, [&] {
+    queue.ScheduleAt(1.0, [&] { seen = queue.now(); });
+  });
+  queue.RunUntil(10.0);
+  EXPECT_EQ(seen, 5.0);
+}
+
+// Flow simulation over a live SDX: traffic shifts at the instant a control
+// event runs (the Fig. 5a shape in miniature).
+TEST(FlowSimulator, TrafficShiftsOnPolicyInstall) {
+  core::SdxRuntime runtime;
+  runtime.AddParticipant(100, 1);  // client ISP
+  runtime.AddParticipant(200, 1);  // upstream A
+  runtime.AddParticipant(300, 1);  // upstream B
+  auto amazon = *net::IPv4Prefix::Parse("54.230.0.0/16");
+  runtime.AnnouncePrefix(200, amazon, {200, 16509});
+  runtime.AnnouncePrefix(300, amazon, {300, 64000, 16509});
+  runtime.FullCompile();
+
+  auto flows = workload::ClientFlows(100, net::IPv4Address(204, 57, 0, 1),
+                                     net::IPv4Address(54, 230, 1, 9), 3, 80);
+  FlowSimulator sim(runtime, flows);
+
+  // At t=30 the client ISP installs application-specific peering: port-80
+  // traffic via AS 300.
+  sim.ScheduleControl(30.0, [&runtime] {
+    core::OutboundClause web;
+    web.match = policy::Predicate::DstPort(80);
+    web.to = 300;
+    runtime.SetOutboundPolicy(100, {web});
+    runtime.FullCompile();
+  });
+
+  auto samples = sim.Run(60.0, 1.0);
+  ASSERT_EQ(samples.size(), 60u);
+  const net::PortId port_a = runtime.topology().PhysicalPortOf(200, 0).id;
+  const net::PortId port_b = runtime.topology().PhysicalPortOf(300, 0).id;
+
+  // Before the event: all 3 Mbps on the default path (AS 200, the shorter
+  // AS path).
+  auto at = [&](std::size_t t, net::PortId port) {
+    auto it = samples[t].mbps_by_port.find(port);
+    return it == samples[t].mbps_by_port.end() ? 0.0 : it->second;
+  };
+  EXPECT_DOUBLE_EQ(at(10, port_a), 3.0);
+  EXPECT_DOUBLE_EQ(at(10, port_b), 0.0);
+  // After: all on AS 300.
+  EXPECT_DOUBLE_EQ(at(45, port_a), 0.0);
+  EXPECT_DOUBLE_EQ(at(45, port_b), 3.0);
+  // The shift happens exactly at t=30.
+  EXPECT_DOUBLE_EQ(at(29, port_a), 3.0);
+  EXPECT_DOUBLE_EQ(at(30, port_b), 3.0);
+}
+
+TEST(FlowSimulator, DroppedTrafficAccounted) {
+  core::SdxRuntime runtime;
+  runtime.AddParticipant(100, 1);
+  runtime.AddParticipant(200, 1);
+  runtime.FullCompile();  // no routes at all
+  auto flows = workload::ClientFlows(100, net::IPv4Address(204, 57, 0, 1),
+                                     net::IPv4Address(54, 230, 1, 9), 2, 80);
+  FlowSimulator sim(runtime, flows);
+  auto samples = sim.Run(3.0, 1.0);
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_DOUBLE_EQ(samples[0].dropped_mbps, 2.0);
+  EXPECT_TRUE(samples[0].mbps_by_port.empty());
+}
+
+TEST(FlowSimulator, FlowWindowsRespected) {
+  core::SdxRuntime runtime;
+  runtime.AddParticipant(100, 1);
+  runtime.AddParticipant(200, 1);
+  auto p = *net::IPv4Prefix::Parse("54.230.0.0/16");
+  runtime.AnnouncePrefix(200, p);
+  runtime.FullCompile();
+
+  auto flows = workload::ClientFlows(100, net::IPv4Address(204, 57, 0, 1),
+                                     net::IPv4Address(54, 230, 1, 9), 1, 80);
+  flows[0].start_s = 5.0;
+  flows[0].end_s = 8.0;
+  FlowSimulator sim(runtime, flows);
+  auto samples = sim.Run(10.0, 1.0);
+  const net::PortId port = runtime.topology().PhysicalPortOf(200, 0).id;
+  for (std::size_t t = 0; t < samples.size(); ++t) {
+    const bool active = t >= 5 && t < 8;
+    auto it = samples[t].mbps_by_port.find(port);
+    const double mbps =
+        it == samples[t].mbps_by_port.end() ? 0.0 : it->second;
+    EXPECT_DOUBLE_EQ(mbps, active ? 1.0 : 0.0) << "t=" << t;
+  }
+}
+
+}  // namespace
+}  // namespace sdx::sim

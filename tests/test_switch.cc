@@ -1,0 +1,107 @@
+#include "dataplane/switch.h"
+
+#include <gtest/gtest.h>
+
+namespace sdx::dataplane {
+namespace {
+
+using net::FieldMatch;
+using net::Packet;
+using net::PacketHeader;
+
+Packet MakePacket(net::PortId in_port, std::uint16_t dst_port,
+                  std::uint32_t bytes = 1000) {
+  Packet p;
+  p.header.in_port = in_port;
+  p.header.dst_port = dst_port;
+  p.size_bytes = bytes;
+  return p;
+}
+
+TEST(SwitchDataPlane, ForwardsMatchingPacket) {
+  SwitchDataPlane sw;
+  FlowRule rule;
+  rule.priority = 10;
+  rule.match = FieldMatch::DstPort(80);
+  rule.actions = {Action{{}, 5}};
+  sw.table().Install(rule);
+
+  auto emissions = sw.Process(MakePacket(1, 80));
+  ASSERT_EQ(emissions.size(), 1u);
+  EXPECT_EQ(emissions[0].out_port, 5u);
+  EXPECT_EQ(emissions[0].packet.header.in_port, net::kNoPort);
+}
+
+TEST(SwitchDataPlane, AppliesRewritesBeforeEmission) {
+  SwitchDataPlane sw;
+  FlowRule rule;
+  rule.priority = 10;
+  rule.match = FieldMatch();
+  Action action;
+  action.rewrites.SetDstIp(net::IPv4Address(74, 125, 224, 161));
+  action.out_port = 2;
+  rule.actions = {action};
+  sw.table().Install(rule);
+
+  auto emissions = sw.Process(MakePacket(1, 80));
+  ASSERT_EQ(emissions.size(), 1u);
+  EXPECT_EQ(emissions[0].packet.header.dst_ip,
+            net::IPv4Address(74, 125, 224, 161));
+}
+
+TEST(SwitchDataPlane, MulticastEmitsOnePacketPerAction) {
+  SwitchDataPlane sw;
+  FlowRule rule;
+  rule.priority = 10;
+  rule.actions = {Action{{}, 2}, Action{{}, 3}};
+  sw.table().Install(rule);
+
+  auto emissions = sw.Process(MakePacket(1, 80));
+  ASSERT_EQ(emissions.size(), 2u);
+  EXPECT_EQ(emissions[0].out_port, 2u);
+  EXPECT_EQ(emissions[1].out_port, 3u);
+}
+
+TEST(SwitchDataPlane, DropsOnMissAndCounts) {
+  SwitchDataPlane sw;
+  auto emissions = sw.Process(MakePacket(1, 80));
+  EXPECT_TRUE(emissions.empty());
+  EXPECT_EQ(sw.dropped_packets(), 1u);
+}
+
+TEST(SwitchDataPlane, TracksPortStats) {
+  SwitchDataPlane sw;
+  FlowRule rule;
+  rule.priority = 10;
+  rule.actions = {Action{{}, 9}};
+  sw.table().Install(rule);
+
+  sw.Process(MakePacket(4, 80, 500));
+  sw.Process(MakePacket(4, 81, 700));
+
+  const PortStats& in = sw.StatsFor(4);
+  EXPECT_EQ(in.rx_packets, 2u);
+  EXPECT_EQ(in.rx_bytes, 1200u);
+  const PortStats& out = sw.StatsFor(9);
+  EXPECT_EQ(out.tx_packets, 2u);
+  EXPECT_EQ(out.tx_bytes, 1200u);
+}
+
+TEST(SwitchDataPlane, StatsForUnknownPortIsZero) {
+  SwitchDataPlane sw;
+  const PortStats& stats = sw.StatsFor(42);
+  EXPECT_EQ(stats.rx_packets, 0u);
+  EXPECT_EQ(stats.tx_packets, 0u);
+}
+
+TEST(SwitchDataPlane, ResetStatsClearsCounters) {
+  SwitchDataPlane sw;
+  sw.Process(MakePacket(1, 80));
+  EXPECT_EQ(sw.dropped_packets(), 1u);
+  sw.ResetStats();
+  EXPECT_EQ(sw.dropped_packets(), 0u);
+  EXPECT_EQ(sw.StatsFor(1).rx_packets, 0u);
+}
+
+}  // namespace
+}  // namespace sdx::dataplane

@@ -1,0 +1,157 @@
+// The two-stage compilation scheduler (§4.3.2).
+#include <gtest/gtest.h>
+
+#include "sdx/two_stage.h"
+#include "workload/policy_gen.h"
+#include "workload/topology_gen.h"
+#include "workload/update_gen.h"
+
+namespace sdx::core {
+namespace {
+
+net::IPv4Prefix P(int i) {
+  return net::IPv4Prefix(net::IPv4Address(10, static_cast<uint8_t>(i), 0, 0),
+                         16);
+}
+
+class TwoStageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    runtime_.AddParticipant(100, 1);
+    runtime_.AddParticipant(200, 1);
+    runtime_.AddParticipant(300, 1);
+    for (int i = 1; i <= 8; ++i) {
+      runtime_.AnnouncePrefix(200, P(i), {200, 900});
+      runtime_.AnnouncePrefix(300, P(i), {300});
+    }
+    OutboundClause web;
+    web.match = policy::Predicate::DstPort(80);
+    web.to = 200;
+    runtime_.SetOutboundPolicy(100, {web});
+    runtime_.FullCompile();
+  }
+
+  bgp::BgpUpdate WithdrawAt(int i, double t_s) {
+    bgp::Withdrawal withdrawal;
+    withdrawal.from_as = 300;
+    withdrawal.prefix = P(i);
+    withdrawal.time = static_cast<bgp::Timestamp>(t_s * 1e6);
+    return withdrawal;
+  }
+
+  bgp::BgpUpdate AnnounceAt(int i, double t_s, std::uint32_t lp) {
+    bgp::Announcement announcement;
+    announcement.from_as = 300;
+    announcement.route.prefix = P(i);
+    announcement.route.as_path = {300};
+    announcement.route.local_pref = lp;
+    announcement.route.next_hop = runtime_.RouterIp(300);
+    announcement.time = static_cast<bgp::Timestamp>(t_s * 1e6);
+    return announcement;
+  }
+
+  SdxRuntime runtime_;
+};
+
+TEST_F(TwoStageTest, BurstThenQuietTriggersBackgroundPass) {
+  TwoStageScheduler scheduler(runtime_);
+  // A tight burst at t≈0.
+  scheduler.OnUpdate(WithdrawAt(1, 0.00));
+  scheduler.OnUpdate(WithdrawAt(2, 0.05));
+  scheduler.OnUpdate(WithdrawAt(3, 0.10));
+  EXPECT_EQ(runtime_.fast_path_groups(), 3u);
+  EXPECT_EQ(scheduler.background_runs(), 0u);
+
+  // Still quiet at t=5: below the threshold, nothing happens.
+  EXPECT_FALSE(scheduler.Tick(5.0));
+  // t=11: idle threshold passed — background pass coalesces.
+  EXPECT_TRUE(scheduler.Tick(11.0));
+  EXPECT_EQ(runtime_.fast_path_groups(), 0u);
+  EXPECT_EQ(scheduler.background_runs(), 1u);
+  // Nothing outstanding: further ticks are no-ops.
+  EXPECT_FALSE(scheduler.Tick(100.0));
+}
+
+TEST_F(TwoStageTest, GapBetweenBurstsTriggersOptimizationBeforeNextBurst) {
+  TwoStageScheduler scheduler(runtime_);
+  scheduler.OnUpdate(WithdrawAt(1, 0.0));
+  scheduler.OnUpdate(WithdrawAt(2, 0.1));
+  // Next burst arrives 60 s later: the scheduler first coalesces the old
+  // fast-path rules, then fast-paths the new update.
+  scheduler.OnUpdate(WithdrawAt(3, 60.0));
+  EXPECT_EQ(scheduler.background_runs(), 1u);
+  EXPECT_EQ(runtime_.fast_path_groups(), 1u);  // only the new one
+}
+
+TEST_F(TwoStageTest, OutstandingCapForcesOptimization) {
+  TwoStageConfig config;
+  config.max_outstanding = 4;
+  TwoStageScheduler scheduler(runtime_, config);
+  // A continuous stream, never idle.
+  for (int i = 1; i <= 8; ++i) {
+    scheduler.OnUpdate(WithdrawAt(i, 0.1 * i));
+  }
+  EXPECT_GE(scheduler.background_runs(), 2u);
+  EXPECT_LT(runtime_.fast_path_groups(), 4u);
+  EXPECT_EQ(scheduler.fast_path_runs(), 8u);
+}
+
+TEST_F(TwoStageTest, ForwardingStaysCorrectThroughoutScheduling) {
+  TwoStageScheduler scheduler(runtime_);
+  auto probe = [&](int i) {
+    net::Packet packet;
+    packet.header.dst_ip = net::IPv4Address(10, static_cast<uint8_t>(i), 1, 1);
+    packet.header.proto = net::kProtoTcp;
+    packet.header.dst_port = 22;
+    packet.size_bytes = 64;
+    auto emissions = runtime_.InjectFromParticipant(100, packet);
+    if (emissions.empty()) return bgp::AsNumber{0};
+    const auto* port =
+        runtime_.topology().FindPhysicalPort(emissions[0].out_port);
+    return port->owner;
+  };
+
+  EXPECT_EQ(probe(1), 300u);  // best via 300
+  scheduler.OnUpdate(WithdrawAt(1, 0.0));
+  EXPECT_EQ(probe(1), 200u);  // fast path shifted it
+  scheduler.Tick(20.0);       // background pass
+  EXPECT_EQ(probe(1), 200u);  // unchanged by re-optimization
+  scheduler.OnUpdate(AnnounceAt(1, 30.0, 200));
+  EXPECT_EQ(probe(1), 300u);  // restored, again via the fast path
+}
+
+TEST_F(TwoStageTest, CalibratedTraceDrivesBothStages) {
+  // Replay a Table-1-style trace: idle gaps between bursts must produce
+  // background passes, and the table must end compact.
+  workload::TopologyParams topo;
+  topo.participants = 15;
+  topo.total_prefixes = 150;
+  topo.seed = 9;
+  auto scenario = workload::TopologyGenerator(topo).Generate();
+  workload::PolicyParams pp;
+  pp.seed = 10;
+  pp.coverage_fanout = 8;
+  auto policies = workload::PolicyGenerator(pp).Generate(scenario);
+  SdxRuntime runtime;
+  workload::Install(runtime, scenario, policies);
+  runtime.FullCompile();
+
+  auto params = workload::UpdateStreamParams::Small(150, 300, 11);
+  params.duration_seconds = 1e12;
+  auto stream = workload::UpdateGenerator(params).GenerateFor(scenario);
+
+  TwoStageScheduler scheduler(runtime);
+  for (const auto& update : stream.updates) {
+    scheduler.OnUpdate(update);
+  }
+  scheduler.Tick(static_cast<double>(
+                     bgp::UpdateTime(stream.updates.back())) /
+                     1e6 +
+                 60.0);
+  EXPECT_GT(scheduler.background_runs(), 5u);
+  EXPECT_EQ(runtime.fast_path_groups(), 0u);
+  EXPECT_EQ(scheduler.fast_path_runs(), stream.updates.size());
+}
+
+}  // namespace
+}  // namespace sdx::core

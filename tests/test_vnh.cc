@@ -1,0 +1,89 @@
+#include "sdx/vnh.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sdx::core {
+namespace {
+
+TEST(VnhAllocator, AllocatesFromPool) {
+  VnhAllocator alloc;
+  VnhBinding binding = alloc.Allocate();
+  EXPECT_TRUE(alloc.InPool(binding.vnh));
+  EXPECT_EQ(binding.vnh, net::IPv4Address(172, 16, 0, 1));
+  EXPECT_EQ(alloc.allocated_count(), 1u);
+}
+
+TEST(VnhAllocator, UniqueBindings) {
+  VnhAllocator alloc;
+  std::set<std::uint32_t> vnhs;
+  std::set<std::uint64_t> vmacs;
+  for (int i = 0; i < 1000; ++i) {
+    VnhBinding binding = alloc.Allocate();
+    EXPECT_TRUE(vnhs.insert(binding.vnh.value()).second);
+    EXPECT_TRUE(vmacs.insert(binding.vmac.value()).second);
+  }
+  EXPECT_EQ(alloc.allocated_count(), 1000u);
+}
+
+TEST(VnhAllocator, VmacLookup) {
+  VnhAllocator alloc;
+  VnhBinding binding = alloc.Allocate();
+  auto vmac = alloc.VmacFor(binding.vnh);
+  ASSERT_TRUE(vmac);
+  EXPECT_EQ(*vmac, binding.vmac);
+  EXPECT_FALSE(alloc.VmacFor(net::IPv4Address(9, 9, 9, 9)));
+}
+
+TEST(VnhAllocator, ReleaseAllowsReuse) {
+  VnhAllocator alloc;
+  VnhBinding first = alloc.Allocate();
+  alloc.Release(first);
+  EXPECT_EQ(alloc.allocated_count(), 0u);
+  EXPECT_FALSE(alloc.VmacFor(first.vnh));
+  VnhBinding second = alloc.Allocate();
+  EXPECT_EQ(second.vnh, first.vnh);  // freed address reused
+}
+
+TEST(VnhAllocator, DoubleReleaseIsIdempotent) {
+  VnhAllocator alloc;
+  VnhBinding binding = alloc.Allocate();
+  alloc.Release(binding);
+  alloc.Release(binding);
+  alloc.Allocate();
+  VnhBinding next = alloc.Allocate();
+  EXPECT_NE(next.vnh, binding.vnh);  // not handed out twice
+}
+
+TEST(VnhAllocator, SmallPoolExhausts) {
+  VnhAllocator alloc(net::IPv4Prefix(net::IPv4Address(10, 0, 0, 0), 30));
+  alloc.Allocate();
+  alloc.Allocate();  // offsets 1 and 2; 3 is the broadcast address
+  EXPECT_THROW(alloc.Allocate(), std::runtime_error);
+}
+
+TEST(VnhAllocator, RejectsTinyPool) {
+  EXPECT_THROW(
+      VnhAllocator(net::IPv4Prefix(net::IPv4Address(10, 0, 0, 0), 31)),
+      std::invalid_argument);
+}
+
+TEST(VnhAllocator, CountsTotalAllocations) {
+  VnhAllocator alloc;
+  VnhBinding a = alloc.Allocate();
+  alloc.Release(a);
+  alloc.Allocate();
+  EXPECT_EQ(alloc.total_allocations(), 2u);
+}
+
+TEST(VnhAllocator, InPoolBoundaries) {
+  VnhAllocator alloc;  // 172.16.0.0/12
+  EXPECT_TRUE(alloc.InPool(net::IPv4Address(172, 16, 0, 0)));
+  EXPECT_TRUE(alloc.InPool(net::IPv4Address(172, 31, 255, 255)));
+  EXPECT_FALSE(alloc.InPool(net::IPv4Address(172, 32, 0, 0)));
+  EXPECT_FALSE(alloc.InPool(net::IPv4Address(172, 15, 255, 255)));
+}
+
+}  // namespace
+}  // namespace sdx::core

@@ -1,0 +1,126 @@
+#include "sdx/vswitch.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sdx::core {
+namespace {
+
+TEST(VirtualTopology, PhysicalPortAllocation) {
+  VirtualTopology topo;
+  topo.AddParticipant(100, 2);
+  topo.AddParticipant(200, 1);
+
+  EXPECT_EQ(topo.PhysicalPortCount(100), 2);
+  EXPECT_EQ(topo.PhysicalPortCount(200), 1);
+  EXPECT_EQ(topo.physical_port_count(), 3u);
+
+  const PhysicalPort& a0 = topo.PhysicalPortOf(100, 0);
+  const PhysicalPort& a1 = topo.PhysicalPortOf(100, 1);
+  EXPECT_NE(a0.id, a1.id);
+  EXPECT_NE(a0.mac, a1.mac);
+  EXPECT_EQ(a0.owner, 100u);
+  EXPECT_EQ(a1.index, 1);
+}
+
+TEST(VirtualTopology, RemoteParticipantHasNoPhysicalPorts) {
+  VirtualTopology topo;
+  topo.AddParticipant(400, 0);
+  EXPECT_EQ(topo.PhysicalPortCount(400), 0);
+  EXPECT_TRUE(topo.PhysicalPortIds(400).empty());
+  EXPECT_THROW(topo.PhysicalPortOf(400, 0), std::out_of_range);
+}
+
+TEST(VirtualTopology, DuplicateRegistrationThrows) {
+  VirtualTopology topo;
+  topo.AddParticipant(100, 1);
+  EXPECT_THROW(topo.AddParticipant(100, 1), std::invalid_argument);
+}
+
+TEST(VirtualTopology, UnknownParticipantQueriesThrow) {
+  VirtualTopology topo;
+  EXPECT_THROW(topo.PhysicalPortIds(999), std::out_of_range);
+  EXPECT_THROW(topo.PhysicalPortCount(999), std::out_of_range);
+  EXPECT_THROW(topo.IngressPort(999), std::out_of_range);
+}
+
+TEST(VirtualTopology, VirtualPortsAreStableAndDirectional) {
+  VirtualTopology topo;
+  topo.AddParticipant(100, 1);
+  topo.AddParticipant(200, 1);
+
+  net::PortId ab = topo.VirtualPort(100, 200);
+  net::PortId ba = topo.VirtualPort(200, 100);
+  EXPECT_NE(ab, ba);
+  EXPECT_EQ(topo.VirtualPort(100, 200), ab);  // stable
+
+  auto found = topo.FindVirtualPort(ab);
+  ASSERT_TRUE(found);
+  EXPECT_EQ(found->first, 100u);
+  EXPECT_EQ(found->second, 200u);
+}
+
+TEST(VirtualTopology, NoSelfFacingVirtualPort) {
+  VirtualTopology topo;
+  topo.AddParticipant(100, 1);
+  EXPECT_THROW(topo.VirtualPort(100, 100), std::invalid_argument);
+}
+
+TEST(VirtualTopology, IngressPortDistinctFromPeerPorts) {
+  VirtualTopology topo;
+  topo.AddParticipant(100, 1);
+  topo.AddParticipant(200, 1);
+  net::PortId ingress = topo.IngressPort(100);
+  EXPECT_EQ(topo.IngressPort(100), ingress);
+  EXPECT_NE(ingress, topo.VirtualPort(100, 200));
+  EXPECT_TRUE(topo.IsVirtual(ingress));
+}
+
+TEST(VirtualTopology, VirtualPortIdsCoverAllPeers) {
+  VirtualTopology topo;
+  topo.AddParticipant(100, 1);
+  topo.AddParticipant(200, 1);
+  topo.AddParticipant(300, 1);
+  auto ports = topo.VirtualPortIds(100);
+  std::set<net::PortId> expected = {topo.VirtualPort(100, 200),
+                                    topo.VirtualPort(100, 300)};
+  EXPECT_EQ(std::set<net::PortId>(ports.begin(), ports.end()), expected);
+}
+
+TEST(VirtualTopology, PhysicalAndVirtualIdSpacesDisjoint) {
+  VirtualTopology topo;
+  topo.AddParticipant(100, 2);
+  topo.AddParticipant(200, 1);
+  for (net::PortId id : topo.PhysicalPortIds(100)) {
+    EXPECT_TRUE(topo.IsPhysical(id));
+    EXPECT_FALSE(topo.IsVirtual(id));
+  }
+  net::PortId v = topo.VirtualPort(100, 200);
+  EXPECT_FALSE(topo.IsPhysical(v));
+  EXPECT_TRUE(topo.IsVirtual(v));
+}
+
+TEST(VirtualTopology, FindPhysicalPortById) {
+  VirtualTopology topo;
+  topo.AddParticipant(100, 1);
+  net::PortId id = topo.PhysicalPortOf(100, 0).id;
+  const PhysicalPort* port = topo.FindPhysicalPort(id);
+  ASSERT_NE(port, nullptr);
+  EXPECT_EQ(port->owner, 100u);
+  EXPECT_EQ(topo.FindPhysicalPort(9999), nullptr);
+}
+
+TEST(VirtualTopology, MacAddressesUnique) {
+  VirtualTopology topo;
+  topo.AddParticipant(100, 2);
+  topo.AddParticipant(200, 2);
+  std::set<std::uint64_t> macs;
+  for (const PhysicalPort& port : topo.AllPhysicalPorts()) {
+    EXPECT_TRUE(macs.insert(port.mac.value()).second);
+  }
+  EXPECT_EQ(macs.size(), 4u);
+}
+
+}  // namespace
+}  // namespace sdx::core

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "workload/policy_gen.h"
+#include "workload/topology_gen.h"
+#include "workload/traffic_gen.h"
+#include "workload/update_gen.h"
+
+namespace sdx::workload {
+namespace {
+
+TopologyParams SmallTopology(int participants = 50, int prefixes = 1000,
+                             std::uint32_t seed = 5) {
+  TopologyParams p;
+  p.participants = participants;
+  p.total_prefixes = prefixes;
+  p.seed = seed;
+  return p;
+}
+
+TEST(TopologyGenerator, GeneratesRequestedShape) {
+  IxpScenario scenario = TopologyGenerator(SmallTopology()).Generate();
+  EXPECT_EQ(scenario.members.size(), 50u);
+  EXPECT_EQ(scenario.prefixes.size(), 1000u);
+  // Every prefix has at least one announcer.
+  std::set<net::IPv4Prefix> announced;
+  for (const Member& member : scenario.members) {
+    announced.insert(member.announced.begin(), member.announced.end());
+  }
+  EXPECT_EQ(announced.size(), 1000u);
+}
+
+TEST(TopologyGenerator, DeterministicInSeed) {
+  IxpScenario a = TopologyGenerator(SmallTopology()).Generate();
+  IxpScenario b = TopologyGenerator(SmallTopology()).Generate();
+  ASSERT_EQ(a.members.size(), b.members.size());
+  for (std::size_t i = 0; i < a.members.size(); ++i) {
+    EXPECT_EQ(a.members[i].as, b.members[i].as);
+    EXPECT_EQ(a.members[i].announced, b.members[i].announced);
+  }
+  IxpScenario c = TopologyGenerator(SmallTopology(50, 1000, 6)).Generate();
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.members.size(); ++i) {
+    if (a.members[i].announced != c.members[i].announced) {
+      any_difference = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(TopologyGenerator, AnnouncementsAreHeavyTailed) {
+  // §6.1: ~1% of ASes announce >50% of prefixes; 90% announce <1% each...
+  // at our synthetic scale, check that the top 5% of members carries the
+  // majority of announcement slots and the median member carries few.
+  IxpScenario scenario =
+      TopologyGenerator(SmallTopology(200, 10000)).Generate();
+  std::vector<std::size_t> counts;
+  std::size_t total = 0;
+  for (const Member& member : scenario.members) {
+    counts.push_back(member.announced.size());
+    total += member.announced.size();
+  }
+  std::sort(counts.rbegin(), counts.rend());
+  std::size_t top5 = 0;
+  for (std::size_t i = 0; i < counts.size() / 20; ++i) top5 += counts[i];
+  EXPECT_GT(static_cast<double>(top5) / static_cast<double>(total), 0.5);
+  EXPECT_LT(static_cast<double>(counts[counts.size() / 2]) /
+                static_cast<double>(total),
+            0.01);
+}
+
+TEST(TopologyGenerator, PrefixNumberIsDenseAndDisjoint) {
+  auto a = TopologyGenerator::PrefixNumber(0);
+  auto b = TopologyGenerator::PrefixNumber(1);
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(a.Overlaps(b));
+  EXPECT_EQ(a.length(), 24);
+}
+
+TEST(PolicyGenerator, AssignsPoliciesPerPaperMix) {
+  IxpScenario scenario =
+      TopologyGenerator(SmallTopology(100, 2000)).Generate();
+  GeneratedPolicies policies = PolicyGenerator(PolicyParams{}).Generate(scenario);
+
+  EXPECT_GT(policies.participants_with_policies(), 0u);
+  EXPECT_GT(policies.outbound_clause_count(), 0u);
+  EXPECT_GT(policies.inbound_clause_count(), 0u);
+
+  // Only a minority of participants install policies (§6.1: 15% / 5% / 5%
+  // of their categories).
+  EXPECT_LT(policies.participants_with_policies(), scenario.members.size() / 2);
+
+  // Eyeballs never install outbound policies.
+  std::map<bgp::AsNumber, Category> category;
+  for (const Member& member : scenario.members) {
+    category[member.as] = member.category;
+  }
+  for (const auto& [as, clauses] : policies.outbound) {
+    if (clauses.empty()) continue;
+    EXPECT_NE(category[as], Category::kEyeball) << "AS" << as;
+  }
+}
+
+TEST(PolicyGenerator, OutboundTargetsAreRealParticipants) {
+  IxpScenario scenario =
+      TopologyGenerator(SmallTopology(100, 2000)).Generate();
+  GeneratedPolicies policies = PolicyGenerator(PolicyParams{}).Generate(scenario);
+  std::set<bgp::AsNumber> members;
+  for (const Member& member : scenario.members) members.insert(member.as);
+  for (const auto& [as, clauses] : policies.outbound) {
+    for (const auto& clause : clauses) {
+      EXPECT_TRUE(members.contains(clause.to));
+      EXPECT_NE(clause.to, as);
+    }
+  }
+}
+
+TEST(PolicyGenerator, InstallIntoRuntimeCompiles) {
+  IxpScenario scenario = TopologyGenerator(SmallTopology(20, 200)).Generate();
+  GeneratedPolicies policies = PolicyGenerator(PolicyParams{}).Generate(scenario);
+  core::SdxRuntime runtime;
+  Install(runtime, scenario, policies);
+  auto stats = runtime.FullCompile();
+  EXPECT_GT(stats.flow_rule_count, 0u);
+  EXPECT_GT(stats.prefix_group_count, 0u);
+}
+
+TEST(UpdateGenerator, RespectsTotalsAndStability) {
+  auto params = UpdateStreamParams::Small(2000, 5000);
+  params.fraction_prefixes_updated = 0.12;
+  params.duration_seconds = 1e9;  // let the count bound terminate it
+  UpdateStream stream = UpdateGenerator(params).Generate();
+  EXPECT_EQ(stream.updates.size(), 5000u);
+  // Only the unstable subset is ever updated.
+  const double fraction = stream.FractionPrefixesUpdated();
+  EXPECT_LE(fraction, 0.125);
+  EXPECT_GT(fraction, 0.02);
+}
+
+TEST(UpdateGenerator, UpdatesAreTimeOrdered) {
+  auto params = UpdateStreamParams::Small(500, 2000);
+  params.duration_seconds = 1e9;
+  UpdateStream stream = UpdateGenerator(params).Generate();
+  for (std::size_t i = 1; i < stream.updates.size(); ++i) {
+    EXPECT_LE(bgp::UpdateTime(stream.updates[i - 1]),
+              bgp::UpdateTime(stream.updates[i]));
+  }
+}
+
+TEST(UpdateGenerator, BurstStatisticsMatchSection432) {
+  auto params = UpdateStreamParams::Small(5000, 20000);
+  params.duration_seconds = 1e9;
+  UpdateStream stream = UpdateGenerator(params).Generate();
+  ASSERT_GT(stream.bursts.size(), 100u);
+  // 75% of bursts affect no more than 3 prefixes.
+  EXPECT_LE(stream.BurstSizePercentile(0.75), 3u);
+  // Inter-arrival: >= 10 s in 75% of cases (25th percentile >= ~10 s is
+  // the same statement inverted); half the time over a minute.
+  EXPECT_GE(stream.InterArrivalPercentile(0.25), 8.0);
+  EXPECT_GE(stream.InterArrivalPercentile(0.5), 55.0);
+}
+
+TEST(UpdateGenerator, GenerateForUsesScenarioAnnouncers) {
+  IxpScenario scenario = TopologyGenerator(SmallTopology(20, 300)).Generate();
+  auto params = UpdateStreamParams::Small(300, 1000);
+  params.duration_seconds = 1e9;
+  UpdateStream stream = UpdateGenerator(params).GenerateFor(scenario);
+  std::set<bgp::AsNumber> members;
+  for (const Member& member : scenario.members) members.insert(member.as);
+  std::set<net::IPv4Prefix> prefixes(scenario.prefixes.begin(),
+                                     scenario.prefixes.end());
+  for (const auto& update : stream.updates) {
+    EXPECT_TRUE(members.contains(bgp::UpdateFrom(update)));
+    EXPECT_TRUE(prefixes.contains(bgp::UpdatePrefix(update)));
+  }
+}
+
+TEST(TrafficGen, ClientFlowsVaryEndpoints) {
+  auto flows = ClientFlows(100, net::IPv4Address(10, 0, 0, 1),
+                           net::IPv4Address(54, 230, 1, 9), 3, 5001);
+  ASSERT_EQ(flows.size(), 3u);
+  std::set<std::uint32_t> srcs;
+  std::set<std::uint16_t> ports;
+  for (const Flow& flow : flows) {
+    srcs.insert(flow.header.src_ip.value());
+    ports.insert(flow.header.src_port);
+    EXPECT_EQ(flow.header.proto, net::kProtoUdp);
+    EXPECT_EQ(flow.rate_mbps, 1.0);
+    EXPECT_TRUE(flow.ActiveAt(100.0));
+  }
+  EXPECT_EQ(srcs.size(), 3u);
+  EXPECT_EQ(ports.size(), 3u);
+}
+
+TEST(TrafficGen, FlowActivityWindow) {
+  Flow flow = UdpFlow(100, net::IPv4Address(1, 1, 1, 1),
+                      net::IPv4Address(2, 2, 2, 2), 1, 2);
+  flow.start_s = 10;
+  flow.end_s = 20;
+  EXPECT_FALSE(flow.ActiveAt(9.9));
+  EXPECT_TRUE(flow.ActiveAt(10.0));
+  EXPECT_TRUE(flow.ActiveAt(19.9));
+  EXPECT_FALSE(flow.ActiveAt(20.0));
+}
+
+}  // namespace
+}  // namespace sdx::workload
