@@ -67,5 +67,6 @@ int main() {
   std::printf("\nexpected: total rules grow only by the L2 delivery/guard/"
               "core bands as edges are added; per-switch load drops; "
               "agreement stays at 100%%.\n");
+  bench::WriteMetricsSnapshot(runtime, "ablation_multiswitch");
   return 0;
 }

@@ -24,7 +24,8 @@ struct ReplayResult {
 };
 
 ReplayResult Replay(bool background, const bench::BuiltScenario& built,
-                    const std::vector<bgp::BgpUpdate>& updates) {
+                    const std::vector<bgp::BgpUpdate>& updates,
+                    const char* snapshot_name = nullptr) {
   core::SdxRuntime runtime;
   workload::Install(runtime, built.scenario, built.policies);
   runtime.FullCompile();
@@ -49,6 +50,9 @@ ReplayResult Replay(bool background, const bench::BuiltScenario& built,
   result.background_runs = scheduler.background_runs();
   result.p99_ms =
       latencies_ms[static_cast<std::size_t>(0.99 * (latencies_ms.size() - 1))];
+  if (snapshot_name != nullptr) {
+    bench::WriteMetricsSnapshot(runtime, snapshot_name);
+  }
   return result;
 }
 
@@ -66,7 +70,8 @@ int main() {
 
   std::printf("%-22s %12s %14s %10s %8s\n", "mode", "final_rules",
               "outstanding", "bg_runs", "p99_ms");
-  ReplayResult two_stage = Replay(true, built, stream.updates);
+  ReplayResult two_stage =
+      Replay(true, built, stream.updates, "ablation_twostage");
   std::printf("%-22s %12zu %14zu %10llu %8.3f\n", "two-stage (paper)",
               two_stage.final_rules, two_stage.outstanding_groups,
               static_cast<unsigned long long>(two_stage.background_runs),

@@ -8,25 +8,15 @@
 //      it only runs at small scale.
 //   2. Control-plane computation (§4.3.1): compilation with and without the
 //      memoization cache on the optimized pipeline.
-#include <chrono>
 #include <cstdio>
 
+#include "obs/timer.h"
 #include "policy/compile.h"
 #include "sdx/composer.h"
 #include "sdx/default_fwd.h"
 #include "sweep_common.h"
 
 using namespace sdx;
-
-namespace {
-
-double Seconds(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
-}
-
-}  // namespace
 
 int main() {
   std::printf("Ablation 1 (§4.2): VMAC prefix grouping vs naive "
@@ -67,16 +57,16 @@ int main() {
     composer.Compose(runtime.participants(), inbound, runtime.groups(),
                      runtime.clause_set_ids(), &cache);  // warm it
 
-    auto start = std::chrono::steady_clock::now();
+    auto start = obs::Now();
     composer.Compose(runtime.participants(), inbound, runtime.groups(),
                      runtime.clause_set_ids(), &cache);
-    const double warm_sec = Seconds(start);
+    const double warm_sec = obs::SecondsSince(start);
     const auto hits = cache.hits();
 
-    start = std::chrono::steady_clock::now();
+    start = obs::Now();
     composer.Compose(runtime.participants(), inbound, runtime.groups(),
                      runtime.clause_set_ids(), /*cache=*/nullptr);
-    const double no_cache_sec = Seconds(start);
+    const double no_cache_sec = obs::SecondsSince(start);
 
     std::printf("%13d %9d %13.3f %13.3f %10llu %10zu\n", participants,
                 prefixes, warm_sec, no_cache_sec,
@@ -98,24 +88,27 @@ int main() {
 
     // Generic path: build the default policy as a big parallel composition
     // and run it through the general-purpose compiler (quadratic).
-    auto start = std::chrono::steady_clock::now();
+    auto start = obs::Now();
     auto generic = policy::Compile(
         core::DefaultFabricPolicy(runtime.topology(), runtime.groups()));
-    const double parallel_sec = Seconds(start);
+    const double parallel_sec = obs::SecondsSince(start);
 
     // Disjoint path: what the composer actually does — emit one rule per
     // group/port directly (linear). Re-measure by timing a full Compose,
     // whose default block uses the direct path.
     core::Composer composer(runtime.topology(), runtime.route_server());
     auto inbound = composer.BuildInboundPolicies(runtime.participants());
-    start = std::chrono::steady_clock::now();
+    start = obs::Now();
     composer.Compose(runtime.participants(), inbound, runtime.groups(),
                      runtime.clause_set_ids(), nullptr);
-    const double disjoint_sec = Seconds(start);
+    const double disjoint_sec = obs::SecondsSince(start);
 
     std::printf("%13d %9d %8zu %15.3f %17.3f\n", participants, prefixes,
                 runtime.groups().groups.size(), parallel_sec, disjoint_sec);
     (void)generic;
+    if (prefixes == 10000) {
+      bench::WriteMetricsSnapshot(runtime, "ablation_vnh");
+    }
   }
 
   std::printf("\nexpected: naive rules explode super-linearly (the paper's "

@@ -48,6 +48,9 @@ int main() {
     std::printf("%13d %9.3f %9.3f %9.3f %9.3f %9.3f %10zu\n", participants,
                 pct(0.10), pct(0.50), pct(0.90), pct(0.99),
                 latencies_ms.back(), latencies_ms.size());
+    if (participants == 300) {
+      bench::WriteMetricsSnapshot(runtime, "fig10_update_latency");
+    }
   }
   std::printf("\nexpected shape (paper): sub-second for virtually all "
               "updates (<100 ms most of the time on their Python "

@@ -12,6 +12,7 @@
 
 #include "sdx/runtime.h"
 #include "sim/flow_sim.h"
+#include "sweep_common.h"
 #include "workload/traffic_gen.h"
 
 using namespace sdx;
@@ -67,5 +68,6 @@ int main() {
   std::printf("# expected shape (paper): all traffic via AS A until 565 s; "
               "port-80 flow via AS B in [565, 1253); everything back via "
               "AS A after the withdrawal at 1253 s.\n");
+  bench::WriteMetricsSnapshot(sdx, "fig5a_peering");
   return 0;
 }

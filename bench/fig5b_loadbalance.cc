@@ -9,6 +9,7 @@
 
 #include "sdx/runtime.h"
 #include "sim/flow_sim.h"
+#include "sweep_common.h"
 #include "workload/traffic_gen.h"
 
 using namespace sdx;
@@ -76,5 +77,6 @@ int main() {
   std::printf("# expected shape (paper): all requests to instance #1 until "
               "246 s; the 204.57.0.67 client's flow shifts to instance #2 "
               "afterwards.\n");
+  bench::WriteMetricsSnapshot(sdx, "fig5b_loadbalance");
   return 0;
 }

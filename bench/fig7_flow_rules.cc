@@ -26,6 +26,9 @@ int main() {
       auto stats = bench::BuildAndCompile(runtime, built);
       std::printf("%13d %13d %13zu %13zu\n", participants, prefixes,
                   stats.prefix_group_count, stats.flow_rule_count);
+      if (participants == 300 && prefixes == 25000) {
+        bench::WriteMetricsSnapshot(runtime, "fig7_flow_rules");
+      }
     }
     std::printf("\n");
   }

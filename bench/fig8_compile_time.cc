@@ -28,6 +28,9 @@ int main() {
       std::printf("%13d %13d %13zu %15.3f %13zu\n", participants, prefixes,
                   stats.prefix_group_count, stats.seconds,
                   runtime.cache().TotalRules());
+      if (participants == 300 && prefixes == 25000) {
+        bench::WriteMetricsSnapshot(runtime, "fig8_compile_time");
+      }
     }
     std::printf("\n");
   }

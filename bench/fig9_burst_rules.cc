@@ -55,6 +55,9 @@ int main() {
       // burst, exactly as the runtime does between real bursts (§4.3.2).
       runtime.RunBackgroundOptimization();
     }
+    if (participants == 300) {
+      bench::WriteMetricsSnapshot(runtime, "fig9_burst_rules");
+    }
     std::printf("\n");
   }
   std::printf("expected shape (paper): linear in burst size; slope grows "

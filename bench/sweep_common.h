@@ -5,7 +5,9 @@
 #pragma once
 
 #include <cstdio>
+#include <string>
 
+#include "obs/metrics.h"
 #include "sdx/runtime.h"
 #include "workload/policy_gen.h"
 #include "workload/topology_gen.h"
@@ -51,6 +53,25 @@ inline core::CompileStats BuildAndCompile(core::SdxRuntime& runtime,
                                           const BuiltScenario& built) {
   workload::Install(runtime, built.scenario, built.policies);
   return runtime.FullCompile();
+}
+
+// Writes the runtime's metrics snapshot to BENCH_<name>.metrics.json in the
+// working directory, next to the figure's printed data, so each bench run
+// leaves a machine-diffable record (per-stage compile times, drop counts,
+// cache behavior) for cross-PR comparison. Called once per bench, usually
+// on the largest configuration's runtime.
+inline void WriteMetricsSnapshot(core::SdxRuntime& runtime,
+                                 const std::string& bench_name) {
+  const std::string path = "BENCH_" + bench_name + ".metrics.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  const std::string json = runtime.SnapshotMetrics().ToJson();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("metrics snapshot: %s\n", path.c_str());
 }
 
 }  // namespace sdx::bench

@@ -51,7 +51,12 @@ std::vector<Emission> MultiSwitchFabric::ProcessFromEdge(
     const net::Packet& packet, int max_hops) {
   std::vector<Emission> out;
   auto entry = SwitchOfEdgePort(packet.header.in_port);
-  if (!entry) return out;
+  if (!entry) {
+    // Traffic entering outside the declared edge-port space violates the
+    // fabric's isolation contract.
+    drops_.Record(obs::DropReason::kIsolationViolation);
+    return out;
+  }
 
   struct InFlight {
     SwitchId at;
@@ -72,7 +77,7 @@ std::vector<Emission> MultiSwitchFabric::ProcessFromEdge(
         continue;
       }
       if (current.hops + 1 > max_hops) {
-        ++hop_limit_drops_;
+        drops_.Record(obs::DropReason::kHopLimit);
         continue;
       }
       // Cross the internal link: the packet arrives at the far switch on
@@ -86,6 +91,12 @@ std::vector<Emission> MultiSwitchFabric::ProcessFromEdge(
     }
   }
   return out;
+}
+
+obs::DropCounters MultiSwitchFabric::AggregateDrops() const {
+  obs::DropCounters total = drops_;
+  for (const auto& [id, sw] : switches_) total += sw.drops();
+  return total;
 }
 
 std::size_t MultiSwitchFabric::TotalRules() const {

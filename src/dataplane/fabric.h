@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "dataplane/switch.h"
+#include "obs/drop_reason.h"
 
 namespace sdx::dataplane {
 
@@ -45,8 +46,18 @@ class MultiSwitchFabric {
   std::vector<Emission> ProcessFromEdge(const net::Packet& packet,
                                         int max_hops = 8);
 
-  std::uint64_t hop_limit_drops() const { return hop_limit_drops_; }
+  std::uint64_t hop_limit_drops() const {
+    return drops_.count(obs::DropReason::kHopLimit);
+  }
   std::size_t switch_count() const { return switches_.size(); }
+
+  // Fabric-level drops (hop limit, injection on an unknown edge port) —
+  // excludes the per-switch table drops, which live on each switch.
+  const obs::DropCounters& drops() const { return drops_; }
+
+  // One per-reason view over the whole fabric: fabric-level drops plus
+  // every member switch's table-miss/explicit-drop counters.
+  obs::DropCounters AggregateDrops() const;
 
   // Total installed rules across all switches (for the deployment bench).
   std::size_t TotalRules() const;
@@ -61,7 +72,7 @@ class MultiSwitchFabric {
   // (switch, port) -> far end of the internal link.
   std::map<std::pair<SwitchId, net::PortId>, Endpoint> links_;
   std::map<net::PortId, SwitchId> edge_ports_;
-  std::uint64_t hop_limit_drops_ = 0;
+  obs::DropCounters drops_;
 };
 
 }  // namespace sdx::dataplane

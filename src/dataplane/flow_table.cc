@@ -58,6 +58,7 @@ std::optional<ActionList> FlowTable::Process(const net::Packet& packet) const {
     ++miss_count_;
     return std::nullopt;
   }
+  ++hit_count_;
   ++rule->packet_count;
   rule->byte_count += packet.size_bytes;
   return rule->actions;

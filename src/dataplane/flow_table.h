@@ -39,10 +39,18 @@ class FlowTable {
   std::size_t size() const { return rules_.size(); }
   bool empty() const { return rules_.empty(); }
 
+  // Lookup outcome counters. A "hit" is any matched rule (including
+  // explicit drop rules); a "miss" is no rule matching at all.
+  std::uint64_t hit_count() const { return hit_count_; }
   std::uint64_t miss_count() const { return miss_count_; }
+  void ResetCounters() { hit_count_ = miss_count_ = 0; }
 
  private:
   std::vector<FlowRule> rules_;  // descending priority, stable
+  // `mutable` because Process() is logically const (it does not change
+  // which packets match which rules) but must tally outcomes — the same
+  // convention as the per-rule packet/byte counters it updates.
+  mutable std::uint64_t hit_count_ = 0;
   mutable std::uint64_t miss_count_ = 0;
 };
 

@@ -9,8 +9,12 @@ std::vector<Emission> SwitchDataPlane::Process(const net::Packet& packet) {
 
   auto actions = table_.Process(packet);
   std::vector<Emission> out;
-  if (!actions || actions->empty()) {
-    ++dropped_packets_;
+  if (!actions) {
+    drops_.Record(obs::DropReason::kTableMiss);
+    return out;
+  }
+  if (actions->empty()) {
+    drops_.Record(obs::DropReason::kExplicitDrop);
     return out;
   }
   out.reserve(actions->size());
@@ -36,7 +40,8 @@ const PortStats& SwitchDataPlane::StatsFor(net::PortId port) const {
 
 void SwitchDataPlane::ResetStats() {
   port_stats_.clear();
-  dropped_packets_ = 0;
+  drops_.Reset();
+  table_.ResetCounters();
 }
 
 }  // namespace sdx::dataplane

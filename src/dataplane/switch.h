@@ -13,6 +13,7 @@
 
 #include "dataplane/flow_table.h"
 #include "net/packet.h"
+#include "obs/drop_reason.h"
 
 namespace sdx::dataplane {
 
@@ -41,14 +42,16 @@ class SwitchDataPlane {
 
   const PortStats& StatsFor(net::PortId port) const;
 
-  std::uint64_t dropped_packets() const { return dropped_packets_; }
+  // Per-reason drop accounting: table misses vs explicit drop rules.
+  const obs::DropCounters& drops() const { return drops_; }
+  std::uint64_t dropped_packets() const { return drops_.total(); }
 
   void ResetStats();
 
  private:
   FlowTable table_;
   std::unordered_map<net::PortId, PortStats> port_stats_;
-  std::uint64_t dropped_packets_ = 0;
+  obs::DropCounters drops_;
 };
 
 }  // namespace sdx::dataplane

@@ -1,0 +1,86 @@
+// Drop-reason taxonomy: every packet the runtime refuses to deliver is
+// attributed to exactly one of these reasons, at the layer that decided to
+// drop it.
+//
+//   kNoFibRoute         — border router FIB had no route for the destination
+//   kArpUnresolved      — FIB next hop did not resolve to a MAC
+//   kTableMiss          — no flow rule matched (compiler bug: the SDX always
+//                         installs catch-alls)
+//   kExplicitDrop       — a rule matched and its action list was empty
+//   kIsolationViolation — traffic entered from an unregistered participant
+//                         or a port outside the fabric's physical port space
+//   kHopLimit           — multi-switch fabric hop limit exceeded (rule loop)
+//
+// DropCounters is the fixed-size per-reason counter block embedded in the
+// data plane and the runtime; it is deliberately a plain array so that
+// recording a drop on the packet path is a single increment.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace sdx::obs {
+
+enum class DropReason : std::uint8_t {
+  kNoFibRoute = 0,
+  kArpUnresolved,
+  kTableMiss,
+  kExplicitDrop,
+  kIsolationViolation,
+  kHopLimit,
+};
+
+inline constexpr std::size_t kDropReasonCount = 6;
+
+// Stable metric-name token for a reason (e.g. "table_miss").
+constexpr const char* DropReasonName(DropReason reason) {
+  switch (reason) {
+    case DropReason::kNoFibRoute: return "no_fib_route";
+    case DropReason::kArpUnresolved: return "arp_unresolved";
+    case DropReason::kTableMiss: return "table_miss";
+    case DropReason::kExplicitDrop: return "explicit_drop";
+    case DropReason::kIsolationViolation: return "isolation_violation";
+    case DropReason::kHopLimit: return "hop_limit";
+  }
+  return "unknown";
+}
+
+class DropCounters {
+ public:
+  void Record(DropReason reason) {
+    ++counts_[static_cast<std::size_t>(reason)];
+  }
+
+  std::uint64_t count(DropReason reason) const {
+    return counts_[static_cast<std::size_t>(reason)];
+  }
+
+  std::uint64_t total() const {
+    std::uint64_t sum = 0;
+    for (std::uint64_t c : counts_) sum += c;
+    return sum;
+  }
+
+  void Reset() { counts_.fill(0); }
+
+  // Element-wise sum, for rolling per-layer counters into one view.
+  DropCounters& operator+=(const DropCounters& other) {
+    for (std::size_t i = 0; i < kDropReasonCount; ++i) {
+      counts_[i] += other.counts_[i];
+    }
+    return *this;
+  }
+
+ private:
+  std::array<std::uint64_t, kDropReasonCount> counts_{};
+};
+
+// All reasons, in declaration order (for iteration in exporters/tests).
+inline constexpr std::array<DropReason, kDropReasonCount> kAllDropReasons = {
+    DropReason::kNoFibRoute,      DropReason::kArpUnresolved,
+    DropReason::kTableMiss,       DropReason::kExplicitDrop,
+    DropReason::kIsolationViolation, DropReason::kHopLimit,
+};
+
+}  // namespace sdx::obs

@@ -1,0 +1,216 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace sdx::obs {
+
+namespace {
+
+// JSON number formatting: shortest round-trip-ish representation without
+// locale dependence. %.17g is exact for doubles; %.9g keeps the files
+// readable and is far below measurement noise for latencies.
+std::string JsonNumber(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  // JSON has no inf/nan; clamp to null-free sentinels (never produced by
+  // the registry in practice, but the exporter must not emit invalid JSON).
+  std::string s(buf);
+  if (s.find("inf") != std::string::npos ||
+      s.find("nan") != std::string::npos) {
+    return "0";
+  }
+  return s;
+}
+
+std::string JsonString(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)),
+      bucket_counts_(upper_bounds_.size() + 1, 0) {}
+
+std::vector<double> Histogram::LatencyBuckets() {
+  // 1-2.5-5 decade steps from 1µs to 60s: fine enough for percentile
+  // interpolation across the compile/update/packet time scales.
+  std::vector<double> bounds;
+  for (double decade = 1e-6; decade < 10.0; decade *= 10.0) {
+    bounds.push_back(decade);
+    bounds.push_back(decade * 2.5);
+    bounds.push_back(decade * 5.0);
+  }
+  bounds.push_back(10.0);
+  bounds.push_back(30.0);
+  bounds.push_back(60.0);
+  return bounds;
+}
+
+void Histogram::Observe(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  const auto it =
+      std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), value);
+  ++bucket_counts_[static_cast<std::size_t>(it - upper_bounds_.begin())];
+}
+
+double Histogram::Percentile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count_);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < bucket_counts_.size(); ++i) {
+    cumulative += bucket_counts_[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (bucket_counts_[i] == 0) continue;
+    // Interpolate within bucket i: [lower, upper) assumed uniform.
+    const double lower = i == 0 ? 0.0 : upper_bounds_[i - 1];
+    const double upper =
+        i < upper_bounds_.size() ? upper_bounds_[i] : max_;
+    const double into_bucket =
+        (rank - static_cast<double>(cumulative - bucket_counts_[i])) /
+        static_cast<double>(bucket_counts_[i]);
+    const double v = lower + into_bucket * (upper - lower);
+    return std::clamp(v, min_, max_);
+  }
+  return max_;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, Histogram()).first;
+  }
+  return it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> upper_bounds) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, Histogram(std::move(upper_bounds))).first;
+  }
+  return it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter.value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge.value();
+  }
+  for (const auto& [name, hist] : histograms_) {
+    MetricsSnapshot::HistogramView view;
+    view.count = hist.count();
+    view.sum = hist.sum();
+    view.min = hist.min();
+    view.max = hist.max();
+    view.p50 = hist.Percentile(0.50);
+    view.p95 = hist.Percentile(0.95);
+    view.p99 = hist.Percentile(0.99);
+    view.upper_bounds = hist.upper_bounds();
+    view.bucket_counts = hist.bucket_counts();
+    snap.histograms[name] = std::move(view);
+  }
+  return snap;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    os << (first ? "\n" : ",\n") << "    " << JsonString(name) << ": "
+       << value;
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    os << (first ? "\n" : ",\n") << "    " << JsonString(name) << ": "
+       << JsonNumber(value);
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    os << (first ? "\n" : ",\n") << "    " << JsonString(name) << ": {"
+       << "\"count\": " << h.count << ", \"sum\": " << JsonNumber(h.sum)
+       << ", \"min\": " << JsonNumber(h.min)
+       << ", \"max\": " << JsonNumber(h.max)
+       << ", \"p50\": " << JsonNumber(h.p50)
+       << ", \"p95\": " << JsonNumber(h.p95)
+       << ", \"p99\": " << JsonNumber(h.p99) << ", \"buckets\": [";
+    // Only emit occupied buckets: the fixed layout has ~25 buckets per
+    // histogram and most are empty; snapshots stay diffable and small.
+    bool first_bucket = true;
+    for (std::size_t i = 0; i < h.bucket_counts.size(); ++i) {
+      if (h.bucket_counts[i] == 0) continue;
+      os << (first_bucket ? "" : ", ") << "{\"le\": "
+         << (i < h.upper_bounds.size() ? JsonNumber(h.upper_bounds[i])
+                                       : std::string("\"inf\""))
+         << ", \"count\": " << h.bucket_counts[i] << "}";
+      first_bucket = false;
+    }
+    os << "]}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : counters) {
+    os << name << " " << value << "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    os << name << " " << JsonNumber(value) << "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    os << name << " count=" << h.count << " sum=" << JsonNumber(h.sum)
+       << " p50=" << JsonNumber(h.p50) << " p95=" << JsonNumber(h.p95)
+       << " p99=" << JsonNumber(h.p99) << " max=" << JsonNumber(h.max)
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sdx::obs

@@ -1,0 +1,126 @@
+// MetricsRegistry: named counters, gauges, and fixed-bucket latency
+// histograms for the whole SDX stack. Dependency-free (standard library
+// only) by design — every layer can link against it.
+//
+// Usage pattern: resolve a handle once (`registry.GetCounter("x")` returns
+// a stable reference for the registry's lifetime), then increment/observe
+// through the handle on the hot path — no string lookups per event.
+//
+// Metric naming scheme (see DESIGN.md "Observability"):
+//   <component>.<object>[.<detail>]   e.g. "dataplane.drop.table_miss",
+//   "compile.stage.vnh_allocation.seconds", "rs.as65001.announcements".
+//
+// Histograms use fixed upper-bound buckets plus an overflow bucket;
+// percentiles (p50/p95/p99) are extracted by linear interpolation within
+// the containing bucket, which is exact enough for latency reporting and
+// keeps Observe() O(#buckets) worst case (binary search, no allocation).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sdx::obs {
+
+class Counter {
+ public:
+  void Increment(std::uint64_t n = 1) { value_ += n; }
+  void Set(std::uint64_t v) { value_ = v; }  // for syncing external tallies
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  void Add(double v) { value_ += v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+class Histogram {
+ public:
+  // `upper_bounds` must be strictly increasing; an implicit +inf overflow
+  // bucket is appended. Default: latency buckets from 1µs to 60s.
+  explicit Histogram(std::vector<double> upper_bounds = LatencyBuckets());
+
+  void Observe(double value);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  // Value at quantile q in [0,1], interpolated within the containing
+  // bucket (clamped to the observed min/max). 0 when empty.
+  double Percentile(double q) const;
+
+  const std::vector<double>& upper_bounds() const { return upper_bounds_; }
+  const std::vector<std::uint64_t>& bucket_counts() const {
+    return bucket_counts_;
+  }
+
+  // Roughly exponential 1µs..60s latency buckets (seconds).
+  static std::vector<double> LatencyBuckets();
+
+ private:
+  std::vector<double> upper_bounds_;          // ascending, finite
+  std::vector<std::uint64_t> bucket_counts_;  // size = bounds + 1 (overflow)
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Point-in-time copy of every metric, exportable as JSON or text.
+struct MetricsSnapshot {
+  struct HistogramView {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    std::vector<double> upper_bounds;
+    std::vector<std::uint64_t> bucket_counts;
+  };
+
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramView> histograms;
+
+  // {"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum,
+  //  min, max, p50, p95, p99, buckets: [{le, count}, ...]}}}
+  std::string ToJson() const;
+  // Human-readable one-metric-per-line dump.
+  std::string ToText() const;
+};
+
+class MetricsRegistry {
+ public:
+  // Handles are stable for the registry's lifetime (node-based map).
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+  Histogram& GetHistogram(const std::string& name,
+                          std::vector<double> upper_bounds);
+
+  MetricsSnapshot Snapshot() const;
+
+  std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace sdx::obs

@@ -1,0 +1,21 @@
+// Shared wall-clock helpers for the observability layer.
+//
+// Every timed path in the tree (runtime compilation, benches, spans) goes
+// through these two functions so "seconds" means the same thing everywhere:
+// steady_clock, converted to double seconds.
+#pragma once
+
+#include <chrono>
+
+namespace sdx::obs {
+
+using Clock = std::chrono::steady_clock;
+
+inline Clock::time_point Now() { return Clock::now(); }
+
+// Elapsed seconds since `start`.
+inline double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace sdx::obs

@@ -1,0 +1,49 @@
+#include "obs/trace.h"
+
+#include <sstream>
+
+namespace sdx::obs {
+
+std::size_t Tracer::BeginSpan(std::string name) {
+  SpanRecord record;
+  record.name = std::move(name);
+  record.depth = static_cast<int>(open_.size());
+  record.parent = open_.empty() ? SpanRecord::kNoParent : open_.back();
+  const std::size_t index = spans_.size();
+  spans_.push_back(std::move(record));
+  open_.push_back(index);
+  return index;
+}
+
+void Tracer::EndSpan(std::size_t index, double seconds) {
+  if (index >= spans_.size()) return;
+  spans_[index].seconds = seconds;
+  while (!open_.empty()) {
+    const std::size_t top = open_.back();
+    open_.pop_back();
+    if (top == index) break;
+  }
+}
+
+void Tracer::Clear() {
+  spans_.clear();
+  open_.clear();
+}
+
+double Tracer::SecondsFor(const std::string& name) const {
+  for (const SpanRecord& span : spans_) {
+    if (span.name == name) return span.seconds;
+  }
+  return 0.0;
+}
+
+std::string Tracer::Render() const {
+  std::ostringstream os;
+  for (const SpanRecord& span : spans_) {
+    for (int i = 0; i < span.depth; ++i) os << "  ";
+    os << span.name << " " << span.seconds * 1e3 << " ms\n";
+  }
+  return os.str();
+}
+
+}  // namespace sdx::obs

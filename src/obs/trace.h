@@ -1,0 +1,103 @@
+// Hierarchical trace spans and RAII timers.
+//
+// A Tracer records one operation's span tree (e.g. one FullCompile): spans
+// are appended in start order with their depth and parent index, so the
+// finished vector *is* the pre-order rendering of the tree. The runtime
+// clears the tracer at the start of each traced operation and copies the
+// finished spans into that operation's stats, so callers get a per-stage
+// breakdown without ever touching the tracer directly.
+//
+// All primitives accept a null Tracer*/Histogram*/double* and become
+// no-ops, so instrumented code paths need no conditionals.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/timer.h"
+
+namespace sdx::obs {
+
+struct SpanRecord {
+  std::string name;
+  int depth = 0;                 // 0 = root span
+  std::size_t parent = kNoParent;  // index into the tracer's span vector
+  double seconds = 0.0;
+
+  static constexpr std::size_t kNoParent = static_cast<std::size_t>(-1);
+};
+
+class Tracer {
+ public:
+  // Starts a span nested under the currently open one. Returns its index.
+  std::size_t BeginSpan(std::string name);
+  // Closes span `index` with its measured duration. Spans close LIFO
+  // (enforced by TraceSpan's scoping); closing out of order is tolerated
+  // by popping the stack down to `index`.
+  void EndSpan(std::size_t index, double seconds);
+
+  void Clear();
+
+  // Finished (and still-open, zero-duration) spans in start order.
+  const std::vector<SpanRecord>& spans() const { return spans_; }
+
+  // The recorded duration of the first span with this name, or 0.
+  double SecondsFor(const std::string& name) const;
+
+  // Indented one-span-per-line rendering, for logs and debugging.
+  std::string Render() const;
+
+ private:
+  std::vector<SpanRecord> spans_;
+  std::vector<std::size_t> open_;  // stack of open span indices
+};
+
+// RAII span: begins on construction, ends (and records the duration) on
+// destruction. Null tracer → no-op.
+class TraceSpan {
+ public:
+  TraceSpan(Tracer* tracer, std::string name) : tracer_(tracer) {
+    if (tracer_ != nullptr) {
+      index_ = tracer_->BeginSpan(std::move(name));
+      start_ = Now();
+    }
+  }
+  ~TraceSpan() {
+    if (tracer_ != nullptr) tracer_->EndSpan(index_, SecondsSince(start_));
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  Tracer* tracer_ = nullptr;
+  std::size_t index_ = 0;
+  Clock::time_point start_{};
+};
+
+// RAII timer: adds the scope's elapsed seconds to a double and/or observes
+// it into a histogram. Either sink may be null.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* sink, Histogram* histogram = nullptr)
+      : sink_(sink), histogram_(histogram), start_(Now()) {}
+  explicit ScopedTimer(Histogram* histogram)
+      : histogram_(histogram), start_(Now()) {}
+  ~ScopedTimer() {
+    const double elapsed = SecondsSince(start_);
+    if (sink_ != nullptr) *sink_ += elapsed;
+    if (histogram_ != nullptr) histogram_->Observe(elapsed);
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  double* sink_ = nullptr;
+  Histogram* histogram_ = nullptr;
+  Clock::time_point start_;
+};
+
+}  // namespace sdx::obs

@@ -15,11 +15,13 @@ const Classifier* CompilationCache::Get(const void* id) const {
 void CompilationCache::Put(const void* id,
                            std::shared_ptr<const void> keepalive,
                            Classifier classifier) {
-  entries_.insert_or_assign(
+  auto [it, inserted] = entries_.insert_or_assign(
       id, Entry{std::move(keepalive), std::move(classifier)});
+  if (!inserted) ++evictions_;
 }
 
 void CompilationCache::Clear() {
+  evictions_ += entries_.size();
   entries_.clear();
   hits_ = 0;
   misses_ = 0;

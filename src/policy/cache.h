@@ -26,8 +26,12 @@ class CompilationCache {
   void Clear();
 
   std::size_t size() const { return entries_.size(); }
+  // Hit/miss counters reset with Clear() (they describe the current
+  // compilation generation); `evictions` accumulates across generations —
+  // every entry ever dropped by Clear() or displaced by Put().
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
 
   // Rough memory footprint (rule counts), for the §6.3 cache-size estimate.
   std::size_t TotalRules() const;
@@ -40,6 +44,7 @@ class CompilationCache {
   std::unordered_map<const void*, Entry> entries_;
   mutable std::uint64_t hits_ = 0;
   mutable std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace sdx::policy

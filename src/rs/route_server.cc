@@ -102,12 +102,14 @@ std::vector<BestRouteChange> RouteServer::HandleUpdate(
 
   bool changed = false;
   if (const auto* a = std::get_if<bgp::Announcement>(&update)) {
+    ++announcer.counters.announcements;
     bgp::BgpRoute route = a->route;
     route.peer_as = from;
     route.peer_router_id = announcer.router_id;
     changed = announcer.adj_rib_in.Announce(route);
     announcers_[prefix].insert(from);
   } else {
+    ++announcer.counters.withdrawals;
     changed = announcer.adj_rib_in.Withdraw(prefix).has_value();
     auto ann = announcers_.find(prefix);
     if (ann != announcers_.end()) {
@@ -151,7 +153,10 @@ void RouteServer::EndBulkLoad() {
     for (auto& [receiver, state] : participants_) {
       for (const bgp::BgpRoute* candidate : candidates) {
         if (candidate->peer_as == receiver) continue;
-        if (!ExportAllowed(candidate->peer_as, receiver, prefix)) continue;
+        if (!ExportAllowed(candidate->peer_as, receiver, prefix)) {
+          ++export_suppressions_;
+          continue;
+        }
         if (candidate->PathContains(receiver)) continue;
         state.loc_rib.Set(*candidate);
         break;
@@ -177,7 +182,12 @@ std::optional<BestRouteChange> RouteServer::RecomputeBest(
   auto ann = announcers_.find(prefix);
   if (ann != announcers_.end()) {
     for (AsNumber announcer_as : ann->second) {
-      if (!ExportAllowed(announcer_as, receiver, prefix)) continue;
+      if (!ExportAllowed(announcer_as, receiver, prefix)) {
+        // Self-announcements are never "exported", so a receiver skipping
+        // its own route is not a policy suppression.
+        if (announcer_as != receiver) ++export_suppressions_;
+        continue;
+      }
       const auto& announcer_state = participants_.at(announcer_as);
       const bgp::BgpRoute* route = announcer_state.adj_rib_in.Find(prefix);
       if (route == nullptr || route->PathContains(receiver)) continue;
@@ -194,11 +204,18 @@ std::optional<BestRouteChange> RouteServer::RecomputeBest(
   if (best == nullptr) {
     if (!old_best) return std::nullopt;
     state.loc_rib.Remove(prefix);
+    ++state.counters.best_route_changes;
     return BestRouteChange{receiver, prefix, old_best, std::nullopt};
   }
   if (old_best && *old_best == *best) return std::nullopt;
   state.loc_rib.Set(*best);
+  ++state.counters.best_route_changes;
   return BestRouteChange{receiver, prefix, old_best, *best};
+}
+
+const ParticipantCounters* RouteServer::CountersFor(AsNumber as) const {
+  auto it = participants_.find(as);
+  return it == participants_.end() ? nullptr : &it->second.counters;
 }
 
 const bgp::BgpRoute* RouteServer::BestRoute(

@@ -36,6 +36,13 @@ namespace sdx::rs {
 
 using bgp::AsNumber;
 
+// Per-participant update-processing counters (operator observability).
+struct ParticipantCounters {
+  std::uint64_t announcements = 0;      // announcements received from this AS
+  std::uint64_t withdrawals = 0;        // withdrawals received from this AS
+  std::uint64_t best_route_changes = 0;  // churn: Loc-RIB changes seen BY it
+};
+
 // Emitted whenever a participant's best route for a prefix changes.
 struct BestRouteChange {
   AsNumber receiver = 0;
@@ -136,11 +143,20 @@ class RouteServer {
 
   std::uint64_t updates_processed() const { return updates_processed_; }
 
+  // Update/withdraw/churn counters for one participant; nullptr when
+  // unregistered.
+  const ParticipantCounters* CountersFor(AsNumber as) const;
+
+  // Times an export policy (deny entry or control community) suppressed a
+  // candidate route during best-route selection.
+  std::uint64_t export_suppressions() const { return export_suppressions_; }
+
  private:
   struct ParticipantState {
     net::IPv4Address router_id;
     bgp::AdjRibIn adj_rib_in;  // routes announced *by* this participant
     bgp::LocRib loc_rib;       // best routes *for* this participant
+    ParticipantCounters counters;
   };
 
   // Recomputes the best route for (receiver, prefix); returns the change
@@ -155,6 +171,7 @@ class RouteServer {
   std::unordered_map<net::IPv4Prefix, std::set<AsNumber>> announcers_;
   std::function<void(const BestRouteChange&)> on_change_;
   std::uint64_t updates_processed_ = 0;
+  std::uint64_t export_suppressions_ = 0;
   bool bulk_loading_ = false;
   std::uint16_t rs_as_ = 64999;
 };

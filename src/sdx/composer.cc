@@ -81,103 +81,115 @@ CompiledSdx Composer::Compose(
     const std::map<AsNumber, Participant>& participants,
     const InboundPolicies& inbound_policies, const GroupTable& groups,
     const ClauseSetIds& clause_set_ids,
-    policy::CompilationCache* cache) const {
+    policy::CompilationCache* cache, obs::Tracer* tracer) const {
   // Inbound blocks, compiled once per participant and reused for every
   // sender that targets them (memoization-friendly: one Policy object each).
   std::map<AsNumber, Classifier> inbound_blocks;
-  for (const auto& [as, inbound_policy] : inbound_policies) {
-    inbound_blocks.emplace(as, Compile(inbound_policy, cache));
+  {
+    obs::TraceSpan span(tracer, "inbound_blocks");
+    for (const auto& [as, inbound_policy] : inbound_policies) {
+      inbound_blocks.emplace(as, Compile(inbound_policy, cache));
+    }
   }
 
   std::vector<Rule> final_rules;
   CompiledSdx result;
 
-  // Service-chain transit rules sit at the very top: a middlebox port
-  // belongs to some participant whose own policies must not capture the
-  // re-injected traffic (see ChainStagePolicy).
-  for (const auto& [as, participant] : participants) {
-    Policy chain_policy = ChainStagePolicy(*topo_, participant);
-    if (chain_policy.kind() == Policy::Kind::kDrop) continue;
-    result.override_rule_count +=
-        AppendForwardingRules(Compile(chain_policy, cache), final_rules);
-  }
+  {
+    obs::TraceSpan span(tracer, "override_blocks");
 
-  // Override blocks: each sender's clauses, expanded over their eligible
-  // VMACs, composed ONLY against the inbound block of the clause's target
-  // ("most SDX policies only concern a subset of the participants").
-  // Clause blocks of one sender stack in clause-priority order; blocks of
-  // different senders are disjoint by in-port, so plain concatenation is
-  // the composition ("most SDX policies are disjoint").
-  for (const auto& [as, sender] : participants) {
-    const auto& clauses = sender.outbound();
-    for (int i = 0; i < static_cast<int>(clauses.size()); ++i) {
-      const OutboundClause& clause = clauses[static_cast<std::size_t>(i)];
-      auto set_it = clause_set_ids.find({as, i});
-      if (set_it == clause_set_ids.end()) continue;
-      auto groups_it = groups.groups_in_set.find(set_it->second);
-      if (groups_it == groups.groups_in_set.end()) continue;
-      auto target = inbound_blocks.find(clause.to);
-      if (target == inbound_blocks.end()) continue;
-      Classifier block =
-          ClauseBlock(as, clause, groups_it->second, groups, cache)
-              .Sequential(target->second);
+    // Service-chain transit rules sit at the very top: a middlebox port
+    // belongs to some participant whose own policies must not capture the
+    // re-injected traffic (see ChainStagePolicy).
+    for (const auto& [as, participant] : participants) {
+      Policy chain_policy = ChainStagePolicy(*topo_, participant);
+      if (chain_policy.kind() == Policy::Kind::kDrop) continue;
       result.override_rule_count +=
-          AppendForwardingRules(block, final_rules);
+          AppendForwardingRules(Compile(chain_policy, cache), final_rules);
     }
-  }
 
-  Classifier all_inbound = Classifier::DropAll();
-  for (const auto& [as, block] : inbound_blocks) {
-    all_inbound = all_inbound.UnionDisjoint(block);
-  }
-
-  // Per-sender default exceptions: senders whose own best route for a
-  // group differs from the shared default (see AnnotatedGroup). These sit
-  // above the shared block — they carry an in-port match, so they are
-  // disjoint across senders (and across groups by VMAC).
-  std::vector<Rule> exception_rules;
-  for (const AnnotatedGroup& group : groups.groups) {
-    for (const auto& [sender, hop] : group.per_sender_best) {
-      if (hop == 0 || !participants.contains(hop)) continue;
-      const net::PortId ingress = topo_->IngressPort(hop);
-      for (net::PortId port : topo_->PhysicalPortIds(sender)) {
-        exception_rules.push_back(
-            Rule{net::FieldMatch::InPort(port).WithDstMac(
-                     group.binding.vmac),
-                 {dataplane::Action{{}, ingress}}});
+    // Override blocks: each sender's clauses, expanded over their eligible
+    // VMACs, composed ONLY against the inbound block of the clause's target
+    // ("most SDX policies only concern a subset of the participants").
+    // Clause blocks of one sender stack in clause-priority order; blocks of
+    // different senders are disjoint by in-port, so plain concatenation is
+    // the composition ("most SDX policies are disjoint").
+    for (const auto& [as, sender] : participants) {
+      const auto& clauses = sender.outbound();
+      for (int i = 0; i < static_cast<int>(clauses.size()); ++i) {
+        const OutboundClause& clause = clauses[static_cast<std::size_t>(i)];
+        auto set_it = clause_set_ids.find({as, i});
+        if (set_it == clause_set_ids.end()) continue;
+        auto groups_it = groups.groups_in_set.find(set_it->second);
+        if (groups_it == groups.groups_in_set.end()) continue;
+        auto target = inbound_blocks.find(clause.to);
+        if (target == inbound_blocks.end()) continue;
+        Classifier block =
+            ClauseBlock(as, clause, groups_it->second, groups, cache)
+                .Sequential(target->second);
+        result.override_rule_count +=
+            AppendForwardingRules(block, final_rules);
       }
     }
   }
-  if (!exception_rules.empty()) {
-    exception_rules.push_back(Rule{net::FieldMatch(), {}});
+
+  {
+    obs::TraceSpan span(tracer, "default_blocks");
+
+    Classifier all_inbound = Classifier::DropAll();
+    for (const auto& [as, block] : inbound_blocks) {
+      all_inbound = all_inbound.UnionDisjoint(block);
+    }
+
+    // Per-sender default exceptions: senders whose own best route for a
+    // group differs from the shared default (see AnnotatedGroup). These sit
+    // above the shared block — they carry an in-port match, so they are
+    // disjoint across senders (and across groups by VMAC).
+    std::vector<Rule> exception_rules;
+    for (const AnnotatedGroup& group : groups.groups) {
+      for (const auto& [sender, hop] : group.per_sender_best) {
+        if (hop == 0 || !participants.contains(hop)) continue;
+        const net::PortId ingress = topo_->IngressPort(hop);
+        for (net::PortId port : topo_->PhysicalPortIds(sender)) {
+          exception_rules.push_back(
+              Rule{net::FieldMatch::InPort(port).WithDstMac(
+                       group.binding.vmac),
+                   {dataplane::Action{{}, ingress}}});
+        }
+      }
+    }
+    if (!exception_rules.empty()) {
+      exception_rules.push_back(Rule{net::FieldMatch(), {}});
+      result.default_rule_count += AppendForwardingRules(
+          Classifier(std::move(exception_rules)).Sequential(all_inbound),
+          final_rules);
+    }
+
+    // Shared default block: VMAC/real-MAC forwarding into every inbound
+    // block. Rules are disjoint by dst MAC, so they are emitted directly.
+    std::vector<Rule> default_rules;
+    default_rules.reserve(groups.groups.size() +
+                          topo_->physical_port_count() + 1);
+    for (const AnnotatedGroup& group : groups.groups) {
+      if (group.best_hop == 0 || !participants.contains(group.best_hop)) {
+        continue;
+      }
+      default_rules.push_back(
+          Rule{net::FieldMatch::DstMac(group.binding.vmac),
+               {dataplane::Action{{}, topo_->IngressPort(group.best_hop)}}});
+    }
+    for (const PhysicalPort& port : topo_->AllPhysicalPorts()) {
+      default_rules.push_back(
+          Rule{net::FieldMatch::DstMac(port.mac),
+               {dataplane::Action{{}, topo_->IngressPort(port.owner)}}});
+    }
+    default_rules.push_back(Rule{net::FieldMatch(), {}});
     result.default_rule_count += AppendForwardingRules(
-        Classifier(std::move(exception_rules)).Sequential(all_inbound),
+        Classifier(std::move(default_rules)).Sequential(all_inbound),
         final_rules);
   }
 
-  // Shared default block: VMAC/real-MAC forwarding into every inbound
-  // block. Rules are disjoint by dst MAC, so they are emitted directly.
-  std::vector<Rule> default_rules;
-  default_rules.reserve(groups.groups.size() +
-                        topo_->physical_port_count() + 1);
-  for (const AnnotatedGroup& group : groups.groups) {
-    if (group.best_hop == 0 || !participants.contains(group.best_hop)) {
-      continue;
-    }
-    default_rules.push_back(
-        Rule{net::FieldMatch::DstMac(group.binding.vmac),
-             {dataplane::Action{{}, topo_->IngressPort(group.best_hop)}}});
-  }
-  for (const PhysicalPort& port : topo_->AllPhysicalPorts()) {
-    default_rules.push_back(
-        Rule{net::FieldMatch::DstMac(port.mac),
-             {dataplane::Action{{}, topo_->IngressPort(port.owner)}}});
-  }
-  default_rules.push_back(Rule{net::FieldMatch(), {}});
-  result.default_rule_count += AppendForwardingRules(
-      Classifier(std::move(default_rules)).Sequential(all_inbound),
-      final_rules);
-
+  obs::TraceSpan span(tracer, "finalize_classifier");
   final_rules.push_back(Rule{net::FieldMatch(), {}});
   Classifier final_classifier(std::move(final_rules));
   final_classifier.DedupMatches();

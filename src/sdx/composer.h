@@ -29,6 +29,7 @@
 #include <map>
 #include <utility>
 
+#include "obs/trace.h"
 #include "policy/cache.h"
 #include "policy/classifier.h"
 #include "policy/compile.h"
@@ -65,11 +66,14 @@ class Composer {
   InboundPolicies BuildInboundPolicies(
       const std::map<AsNumber, Participant>& participants) const;
 
+  // `tracer` (optional) receives child spans for the composition stages:
+  // inbound_blocks / override_blocks / default_blocks.
   CompiledSdx Compose(const std::map<AsNumber, Participant>& participants,
                       const InboundPolicies& inbound_policies,
                       const GroupTable& groups,
                       const ClauseSetIds& clause_set_ids,
-                      policy::CompilationCache* cache) const;
+                      policy::CompilationCache* cache,
+                      obs::Tracer* tracer = nullptr) const;
 
   // Compiles just the rules affected by one prefix group — the §4.3.2 fast
   // path. Produces the group's default rule plus any override rules whose

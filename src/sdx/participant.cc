@@ -49,11 +49,18 @@ std::optional<net::IPv4Address> BorderRouter::NextHopFor(
 }
 
 std::optional<net::Packet> BorderRouter::EmitPacket(
-    net::Packet packet, const dataplane::ArpResponder& arp) const {
+    net::Packet packet, const dataplane::ArpResponder& arp,
+    obs::DropReason* drop_reason) const {
   auto next_hop = NextHopFor(packet.header.dst_ip);
-  if (!next_hop) return std::nullopt;  // no route: router drops
+  if (!next_hop) {  // no route: router drops
+    if (drop_reason != nullptr) *drop_reason = obs::DropReason::kNoFibRoute;
+    return std::nullopt;
+  }
   auto mac = arp.Resolve(*next_hop);
-  if (!mac) return std::nullopt;  // unresolvable next hop
+  if (!mac) {  // unresolvable next hop
+    if (drop_reason != nullptr) *drop_reason = obs::DropReason::kArpUnresolved;
+    return std::nullopt;
+  }
   packet.header.dst_mac = *mac;
   packet.header.src_mac = port_mac_;
   packet.header.in_port = attach_port_;

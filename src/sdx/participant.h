@@ -27,6 +27,7 @@
 #include "net/ipv4.h"
 #include "net/packet.h"
 #include "net/prefix_trie.h"
+#include "obs/drop_reason.h"
 #include "policy/predicate.h"
 #include "sdx/vswitch.h"
 
@@ -126,10 +127,12 @@ class BorderRouter {
   // the next hop (VMAC for VNHs, real port MAC otherwise), set dst MAC and
   // the ingress port. Returns nullopt when the destination is unroutable or
   // ARP fails — the router drops it, which is how the SDX guarantees a
-  // participant never sends traffic it has no route for.
+  // participant never sends traffic it has no route for. When provided,
+  // `drop_reason` is set to kNoFibRoute / kArpUnresolved on failure.
   std::optional<net::Packet> EmitPacket(net::Packet packet,
-                                        const dataplane::ArpResponder& arp)
-      const;
+                                        const dataplane::ArpResponder& arp,
+                                        obs::DropReason* drop_reason =
+                                            nullptr) const;
 
  private:
   AsNumber as_;

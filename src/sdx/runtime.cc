@@ -3,18 +3,12 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/timer.h"
 #include "sdx/bgp_filter.h"
 
 namespace sdx::core {
-namespace {
 
-double SecondsSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
-}
-
-}  // namespace
+using obs::SecondsSince;
 
 SdxRuntime::SdxRuntime() : composer_(topology_, route_server_) {}
 
@@ -138,7 +132,7 @@ net::IPv4Address SdxRuntime::RouterIp(AsNumber as) const {
   return it->second;
 }
 
-void SdxRuntime::RecomputeGroups() {
+void SdxRuntime::RecomputeGroups(obs::Tracer* tracer) {
   // Release previous bindings (including fast-path singletons).
   for (const AnnotatedGroup& group : groups_.groups) {
     arp_.Unbind(group.binding.vnh);
@@ -154,65 +148,74 @@ void SdxRuntime::RecomputeGroups() {
   clause_set_ids_.clear();
 
   FecComputer fec;
-  std::vector<net::IPv4Prefix> overridden;  // union over all clause sets
+  std::vector<PrefixGroup> computed;
+  {
+    obs::TraceSpan span(tracer, "fec_compute");
+    std::vector<net::IPv4Prefix> overridden;  // union over all clause sets
 
-  // Pass 1: one behavior set per outbound clause (its eligible prefixes).
-  for (const auto& [as, participant] : participants_) {
-    const auto& clauses = participant.outbound();
-    for (int i = 0; i < static_cast<int>(clauses.size()); ++i) {
-      auto eligible = EligiblePrefixes(route_server_, as,
-                                       clauses[static_cast<std::size_t>(i)]);
-      clause_set_ids_[{as, i}] = fec.AddBehaviorSet(eligible);
-      overridden.insert(overridden.end(), eligible.begin(), eligible.end());
-    }
-  }
-
-  // Prefixes whose best route leads to a *remote* participant (wide-area
-  // load balancing, §3.2) must be grouped too: there is no physical port
-  // MAC for the border routers to tag with, so reaching the remote's
-  // virtual switch requires a VNH/VMAC.
-  for (const net::IPv4Prefix& prefix : route_server_.AllPrefixes()) {
-    const bgp::BgpRoute* best = route_server_.GlobalBest(prefix);
-    if (best == nullptr) continue;
-    auto it = participants_.find(best->peer_as);
-    if (it != participants_.end() && it->second.remote()) {
-      overridden.push_back(prefix);
-    }
-  }
-
-  // Pass 2: group overridden prefixes by their default forwarding
-  // behavior. Two prefixes may share a group only if they share the route
-  // server's (global) best next hop AND every sender's own best next hop —
-  // a sender whose view differs (the best-hop announcer itself, or a
-  // receiver the route is not exported to) needs its own exception rule,
-  // and that must be uniform across the group.
-  std::sort(overridden.begin(), overridden.end());
-  overridden.erase(std::unique(overridden.begin(), overridden.end()),
-                   overridden.end());
-  std::map<AsNumber, std::vector<net::IPv4Prefix>> by_next_hop;
-  std::map<std::pair<AsNumber, AsNumber>, std::vector<net::IPv4Prefix>>
-      by_sender_view;
-  for (const net::IPv4Prefix& prefix : overridden) {
-    const bgp::BgpRoute* best = route_server_.GlobalBest(prefix);
-    const AsNumber global_hop = best == nullptr ? 0 : best->peer_as;
-    by_next_hop[global_hop].push_back(prefix);
-    for (const auto& [sender, router] : routers_) {
-      const bgp::BgpRoute* own = route_server_.BestRoute(sender, prefix);
-      const AsNumber own_hop = own == nullptr ? 0 : own->peer_as;
-      if (own_hop != global_hop) {
-        by_sender_view[{sender, own_hop}].push_back(prefix);
+    // Pass 1: one behavior set per outbound clause (its eligible prefixes).
+    for (const auto& [as, participant] : participants_) {
+      const auto& clauses = participant.outbound();
+      for (int i = 0; i < static_cast<int>(clauses.size()); ++i) {
+        auto eligible = EligiblePrefixes(
+            route_server_, as, clauses[static_cast<std::size_t>(i)]);
+        clause_set_ids_[{as, i}] = fec.AddBehaviorSet(eligible);
+        overridden.insert(overridden.end(), eligible.begin(), eligible.end());
       }
     }
-  }
-  for (const auto& [next_hop, prefixes] : by_next_hop) {
-    fec.AddBehaviorSet(prefixes);
-  }
-  for (const auto& [view, prefixes] : by_sender_view) {
-    fec.AddBehaviorSet(prefixes);
+
+    // Prefixes whose best route leads to a *remote* participant (wide-area
+    // load balancing, §3.2) must be grouped too: there is no physical port
+    // MAC for the border routers to tag with, so reaching the remote's
+    // virtual switch requires a VNH/VMAC.
+    for (const net::IPv4Prefix& prefix : route_server_.AllPrefixes()) {
+      const bgp::BgpRoute* best = route_server_.GlobalBest(prefix);
+      if (best == nullptr) continue;
+      auto it = participants_.find(best->peer_as);
+      if (it != participants_.end() && it->second.remote()) {
+        overridden.push_back(prefix);
+      }
+    }
+
+    // Pass 2: group overridden prefixes by their default forwarding
+    // behavior. Two prefixes may share a group only if they share the route
+    // server's (global) best next hop AND every sender's own best next hop —
+    // a sender whose view differs (the best-hop announcer itself, or a
+    // receiver the route is not exported to) needs its own exception rule,
+    // and that must be uniform across the group.
+    std::sort(overridden.begin(), overridden.end());
+    overridden.erase(std::unique(overridden.begin(), overridden.end()),
+                     overridden.end());
+    std::map<AsNumber, std::vector<net::IPv4Prefix>> by_next_hop;
+    std::map<std::pair<AsNumber, AsNumber>, std::vector<net::IPv4Prefix>>
+        by_sender_view;
+    for (const net::IPv4Prefix& prefix : overridden) {
+      const bgp::BgpRoute* best = route_server_.GlobalBest(prefix);
+      const AsNumber global_hop = best == nullptr ? 0 : best->peer_as;
+      by_next_hop[global_hop].push_back(prefix);
+      for (const auto& [sender, router] : routers_) {
+        const bgp::BgpRoute* own = route_server_.BestRoute(sender, prefix);
+        const AsNumber own_hop = own == nullptr ? 0 : own->peer_as;
+        if (own_hop != global_hop) {
+          by_sender_view[{sender, own_hop}].push_back(prefix);
+        }
+      }
+    }
+    for (const auto& [next_hop, prefixes] : by_next_hop) {
+      fec.AddBehaviorSet(prefixes);
+    }
+    for (const auto& [view, prefixes] : by_sender_view) {
+      fec.AddBehaviorSet(prefixes);
+    }
+
+    // Pass 3: the minimum disjoint subsets.
+    computed = fec.Compute();
   }
 
-  // Pass 3: the minimum disjoint subsets.
-  for (PrefixGroup& group : fec.Compute()) {
+  // VNH allocation: bind each computed group to a fresh VNH/VMAC and
+  // annotate it with its default next hop and per-sender exceptions.
+  obs::TraceSpan span(tracer, "vnh_allocation");
+  for (PrefixGroup& group : computed) {
     AnnotatedGroup annotated;
     annotated.id = group.id;
     annotated.prefixes = std::move(group.prefixes);
@@ -268,33 +271,53 @@ void SdxRuntime::ReadvertiseRoutes() {
 }
 
 CompileStats SdxRuntime::FullCompile() {
-  const auto start = std::chrono::steady_clock::now();
+  const auto start = obs::Now();
   CompileStats stats;
 
-  RecomputeGroups();
-  ReadvertiseRoutes();
+  tracer_.Clear();
+  {
+    obs::TraceSpan root(&tracer_, "full_compile");
+    {
+      obs::TraceSpan span(&tracer_, "recompute_groups");
+      RecomputeGroups(&tracer_);
+    }
+    {
+      obs::TraceSpan span(&tracer_, "readvertise_routes");
+      ReadvertiseRoutes();
+    }
 
-  // Fresh generation: drop stale memoization entries (old policy objects
-  // are gone) and rebuild the shared inbound-block policies.
-  cache_.Clear();
-  inbound_policies_ = composer_.BuildInboundPolicies(participants_);
+    CompiledSdx compiled;
+    {
+      obs::TraceSpan span(&tracer_, "policy_composition");
+      // Fresh generation: drop stale memoization entries (old policy
+      // objects are gone) and rebuild the shared inbound-block policies.
+      cache_.Clear();
+      inbound_policies_ = composer_.BuildInboundPolicies(participants_);
+      compiled =
+          composer_.Compose(participants_, inbound_policies_, groups_,
+                            clause_set_ids_, &cache_, &tracer_);
+    }
 
-  CompiledSdx compiled = composer_.Compose(
-      participants_, inbound_policies_, groups_, clause_set_ids_, &cache_);
+    {
+      obs::TraceSpan span(&tracer_, "rule_install");
+      const dataplane::Cookie old_generation = generation_;
+      ++generation_;
+      data_plane_.table().InstallAll(
+          compiled.classifier.ToFlowRules(kNormalPriorityBase, generation_));
+      data_plane_.table().RemoveByCookie(old_generation);
+      data_plane_.table().RemoveByCookie(kFastPathCookie);
+    }
 
-  const dataplane::Cookie old_generation = generation_;
-  ++generation_;
-  data_plane_.table().InstallAll(
-      compiled.classifier.ToFlowRules(kNormalPriorityBase, generation_));
-  data_plane_.table().RemoveByCookie(old_generation);
-  data_plane_.table().RemoveByCookie(kFastPathCookie);
-
-  stats.prefix_group_count = groups_.groups.size();
-  stats.flow_rule_count = data_plane_.table().size();
-  stats.override_rule_count = compiled.override_rule_count;
-  stats.default_rule_count = compiled.default_rule_count;
-  stats.vnh_count = vnh_.allocated_count();
+    stats.prefix_group_count = groups_.groups.size();
+    stats.flow_rule_count = data_plane_.table().size();
+    stats.override_rule_count = compiled.override_rule_count;
+    stats.default_rule_count = compiled.default_rule_count;
+    stats.vnh_count = vnh_.allocated_count();
+  }
   stats.seconds = SecondsSince(start);
+  stats.stages = tracer_.spans();
+  metrics_.GetCounter("compile.count").Increment();
+  RecordTrace("compile", stats.seconds);
   return stats;
 }
 
@@ -315,14 +338,32 @@ std::vector<std::uint32_t> SdxRuntime::SetsContaining(
 }
 
 UpdateStats SdxRuntime::ApplyBgpUpdate(const bgp::BgpUpdate& update) {
-  const auto start = std::chrono::steady_clock::now();
+  const auto start = obs::Now();
   UpdateStats stats;
 
-  auto changes = route_server_.HandleUpdate(update);
-  if (changes.empty()) {
-    stats.seconds = SecondsSince(start);
-    return stats;
+  tracer_.Clear();
+  {
+    obs::TraceSpan root(&tracer_, "apply_bgp_update");
+    FastPathUpdate(update, stats);
   }
+  stats.seconds = SecondsSince(start);
+  stats.stages = tracer_.spans();
+  metrics_.GetCounter("bgp_update.count").Increment();
+  if (stats.best_route_changed) {
+    metrics_.GetCounter("bgp_update.best_route_changed").Increment();
+  }
+  RecordTrace("bgp_update", stats.seconds);
+  return stats;
+}
+
+void SdxRuntime::FastPathUpdate(const bgp::BgpUpdate& update,
+                                UpdateStats& stats) {
+  std::vector<rs::BestRouteChange> changes;
+  {
+    obs::TraceSpan span(&tracer_, "rib_update");
+    changes = route_server_.HandleUpdate(update);
+  }
+  if (changes.empty()) return;
   stats.best_route_changed = true;
 
   // §4.3.2 fast path: bypass VNH optimality entirely — assume a fresh VNH
@@ -330,36 +371,49 @@ UpdateStats SdxRuntime::ApplyBgpUpdate(const bgp::BgpUpdate& update) {
   // policy that relate to it.
   const net::IPv4Prefix prefix = bgp::UpdatePrefix(update);
   AnnotatedGroup group;
-  group.id = static_cast<GroupId>(groups_.groups.size() + fast_groups_.size());
-  group.prefixes = {prefix};
-  group.member_of = SetsContaining(prefix);
-  group.binding = vnh_.Allocate();
-  const bgp::BgpRoute* best = route_server_.GlobalBest(prefix);
-  group.best_hop = best == nullptr ? 0 : best->peer_as;
-  for (const auto& [sender, router] : routers_) {
-    const bgp::BgpRoute* own = route_server_.BestRoute(sender, prefix);
-    const AsNumber own_hop = own == nullptr ? 0 : own->peer_as;
-    if (own_hop != group.best_hop) group.per_sender_best[sender] = own_hop;
+  {
+    obs::TraceSpan span(&tracer_, "group_construction");
+    group.id =
+        static_cast<GroupId>(groups_.groups.size() + fast_groups_.size());
+    group.prefixes = {prefix};
+    group.member_of = SetsContaining(prefix);
+    group.binding = vnh_.Allocate();
+    const bgp::BgpRoute* best = route_server_.GlobalBest(prefix);
+    group.best_hop = best == nullptr ? 0 : best->peer_as;
+    for (const auto& [sender, router] : routers_) {
+      const bgp::BgpRoute* own = route_server_.BestRoute(sender, prefix);
+      const AsNumber own_hop = own == nullptr ? 0 : own->peer_as;
+      if (own_hop != group.best_hop) group.per_sender_best[sender] = own_hop;
+    }
   }
 
-  policy::Classifier slice = composer_.ComposeForGroup(
-      participants_, inbound_policies_, group, clause_set_ids_, &cache_);
-  // Each fast-path slice gets its own priority band above the previous
-  // ones, so a re-updated prefix's newest rules shadow its older ones. The
-  // stride bounds the slice size (clauses × inbound rules per group).
-  constexpr std::int32_t kFastPathBandStride = 4096;
-  auto rules = slice.ToFlowRules(
-      kFastPathPriorityBase +
-          static_cast<std::int32_t>(fast_groups_.size()) *
-              kFastPathBandStride,
-      kFastPathCookie);
-  stats.rules_added = 0;
-  for (auto& rule : rules) {
-    if (rule.actions.empty() && rule.match.IsWildcard()) continue;  // no drop
-    data_plane_.table().Install(rule);
-    ++stats.rules_added;
+  policy::Classifier slice;
+  {
+    obs::TraceSpan span(&tracer_, "slice_compile");
+    slice = composer_.ComposeForGroup(participants_, inbound_policies_,
+                                      group, clause_set_ids_, &cache_);
   }
 
+  {
+    obs::TraceSpan span(&tracer_, "rule_install");
+    // Each fast-path slice gets its own priority band above the previous
+    // ones, so a re-updated prefix's newest rules shadow its older ones.
+    // The stride bounds the slice size (clauses × inbound rules per group).
+    constexpr std::int32_t kFastPathBandStride = 4096;
+    auto rules = slice.ToFlowRules(
+        kFastPathPriorityBase +
+            static_cast<std::int32_t>(fast_groups_.size()) *
+                kFastPathBandStride,
+        kFastPathCookie);
+    stats.rules_added = 0;
+    for (auto& rule : rules) {
+      if (rule.actions.empty() && rule.match.IsWildcard()) continue;  // no drop
+      data_plane_.table().Install(rule);
+      ++stats.rules_added;
+    }
+  }
+
+  obs::TraceSpan span(&tracer_, "readvertise");
   // Re-advertise: the updated prefix now resolves to the fresh VNH for all
   // receivers that still have a route; receivers that lost it drop the FIB
   // entry.
@@ -374,9 +428,6 @@ UpdateStats SdxRuntime::ApplyBgpUpdate(const bgp::BgpUpdate& update) {
   }
   fast_group_of_[prefix] = fast_groups_.size();
   fast_groups_.push_back(std::move(group));
-
-  stats.seconds = SecondsSince(start);
-  return stats;
 }
 
 std::map<AsNumber, ParticipantTraffic> SdxRuntime::TrafficByParticipant()
@@ -409,16 +460,108 @@ std::optional<net::IPv4Address> SdxRuntime::AdvertisedNextHop(
 std::vector<dataplane::Emission> SdxRuntime::InjectFromParticipant(
     AsNumber as, net::Packet packet) {
   auto it = routers_.find(as);
-  if (it == routers_.end()) return {};
-  auto tagged = it->second.EmitPacket(std::move(packet), arp_);
-  if (!tagged) return {};
+  if (it == routers_.end()) {
+    // Traffic sourced outside the participant registry (or from a remote
+    // participant with no physical router) violates isolation.
+    ingress_drops_.Record(obs::DropReason::kIsolationViolation);
+    return {};
+  }
+  obs::DropReason reason = obs::DropReason::kNoFibRoute;
+  auto tagged = it->second.EmitPacket(std::move(packet), arp_, &reason);
+  if (!tagged) {
+    ingress_drops_.Record(reason);
+    return {};
+  }
   return data_plane_.Process(*tagged);
 }
 
 std::vector<dataplane::Emission> SdxRuntime::ReinjectFromPort(
     net::PortId port, net::Packet packet) {
+  if (!topology_.IsPhysical(port)) {
+    // Middleboxes may only re-inject on real fabric attachments.
+    ingress_drops_.Record(obs::DropReason::kIsolationViolation);
+    return {};
+  }
   packet.header.in_port = port;
   return data_plane_.Process(packet);
+}
+
+void SdxRuntime::RecordTrace(const char* prefix, double total_seconds) {
+  const std::string base(prefix);
+  metrics_.GetHistogram(base + ".seconds").Observe(total_seconds);
+  for (const obs::SpanRecord& span : tracer_.spans()) {
+    if (span.parent == obs::SpanRecord::kNoParent) continue;  // = total
+    metrics_.GetHistogram(base + ".stage." + span.name + ".seconds")
+        .Observe(span.seconds);
+  }
+}
+
+obs::DropCounters SdxRuntime::DropCounts() const {
+  obs::DropCounters total = ingress_drops_;
+  total += data_plane_.drops();
+  return total;
+}
+
+obs::MetricsSnapshot SdxRuntime::SnapshotMetrics() {
+  // Drop accounting, one counter per reason.
+  const obs::DropCounters drops = DropCounts();
+  for (obs::DropReason reason : obs::kAllDropReasons) {
+    metrics_
+        .GetCounter(std::string("drop.") + obs::DropReasonName(reason))
+        .Set(drops.count(reason));
+  }
+
+  // Data plane.
+  const dataplane::FlowTable& table = data_plane_.table();
+  metrics_.GetGauge("dataplane.flow_table.rules")
+      .Set(static_cast<double>(table.size()));
+  metrics_.GetCounter("dataplane.flow_table.hits").Set(table.hit_count());
+  metrics_.GetCounter("dataplane.flow_table.misses").Set(table.miss_count());
+
+  // Compilation state + memoization cache.
+  metrics_.GetGauge("compile.prefix_groups")
+      .Set(static_cast<double>(groups_.groups.size()));
+  metrics_.GetGauge("compile.fast_path_groups")
+      .Set(static_cast<double>(fast_groups_.size()));
+  metrics_.GetGauge("compile.vnh_allocated")
+      .Set(static_cast<double>(vnh_.allocated_count()));
+  metrics_.GetCounter("cache.hits").Set(cache_.hits());
+  metrics_.GetCounter("cache.misses").Set(cache_.misses());
+  metrics_.GetCounter("cache.evictions").Set(cache_.evictions());
+  metrics_.GetGauge("cache.entries").Set(static_cast<double>(cache_.size()));
+  metrics_.GetGauge("cache.rules")
+      .Set(static_cast<double>(cache_.TotalRules()));
+
+  // Route server, global and per participant.
+  metrics_.GetCounter("rs.updates_processed")
+      .Set(route_server_.updates_processed());
+  metrics_.GetCounter("rs.export_suppressions")
+      .Set(route_server_.export_suppressions());
+  for (const auto& [as, participant] : participants_) {
+    const rs::ParticipantCounters* counters = route_server_.CountersFor(as);
+    if (counters == nullptr) continue;
+    const std::string base = "rs.as" + std::to_string(as) + ".";
+    metrics_.GetCounter(base + "announcements").Set(counters->announcements);
+    metrics_.GetCounter(base + "withdrawals").Set(counters->withdrawals);
+    metrics_.GetCounter(base + "best_route_changes")
+        .Set(counters->best_route_changes);
+  }
+
+  // Traffic totals per participant, from the port counters.
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  for (const auto& [as, traffic] : TrafficByParticipant()) {
+    const std::string base = "traffic.as" + std::to_string(as) + ".";
+    metrics_.GetCounter(base + "sent_packets").Set(traffic.sent_packets);
+    metrics_.GetCounter(base + "received_packets")
+        .Set(traffic.received_packets);
+    sent += traffic.sent_packets;
+    received += traffic.received_packets;
+  }
+  metrics_.GetCounter("traffic.sent_packets").Set(sent);
+  metrics_.GetCounter("traffic.received_packets").Set(received);
+
+  return metrics_.Snapshot();
 }
 
 const Participant* SdxRuntime::FindParticipant(AsNumber as) const {

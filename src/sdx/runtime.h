@@ -32,6 +32,9 @@
 
 #include "dataplane/arp.h"
 #include "dataplane/switch.h"
+#include "obs/drop_reason.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "policy/cache.h"
 #include "rs/route_server.h"
 #include "sdx/composer.h"
@@ -50,12 +53,21 @@ struct CompileStats {
   std::size_t default_rule_count = 0;
   std::size_t vnh_count = 0;
   double seconds = 0.0;
+  // Per-stage breakdown of this compilation, in start order (pre-order of
+  // the span tree): recompute_groups{fec_compute, vnh_allocation},
+  // readvertise_routes, policy_composition{inbound_blocks, override_blocks,
+  // default_blocks, finalize_classifier}, rule_install.
+  std::vector<obs::SpanRecord> stages;
 };
 
 struct UpdateStats {
   bool best_route_changed = false;
   std::size_t rules_added = 0;
   double seconds = 0.0;
+  // §4.3.2 fast-path stages: rib_update, group_construction, slice_compile,
+  // rule_install, readvertise (absent when the update changed no best
+  // route).
+  std::vector<obs::SpanRecord> stages;
 };
 
 // Per-participant traffic totals derived from the fabric's port counters
@@ -131,6 +143,24 @@ class SdxRuntime {
   // Traffic totals per participant, from the switch port counters.
   std::map<AsNumber, ParticipantTraffic> TrafficByParticipant() const;
 
+  // --- Observability -----------------------------------------------------
+  // The runtime-wide metrics registry. Compile/update latency histograms
+  // are recorded live; component counters (drops, cache, route server,
+  // traffic) are synced into it by SnapshotMetrics().
+  obs::MetricsRegistry& metrics() { return metrics_; }
+
+  // Span tree of the most recent FullCompile()/ApplyBgpUpdate().
+  const obs::Tracer& last_trace() const { return tracer_; }
+
+  // Per-reason drop totals across the whole pipeline: border-router drops
+  // (no_fib_route, arp_unresolved), injection-time isolation violations,
+  // and the data plane's table_miss/explicit_drop counters. Every packet
+  // the runtime refuses to deliver lands in exactly one bucket.
+  obs::DropCounters DropCounts() const;
+
+  // Syncs component counters into the registry and snapshots everything.
+  obs::MetricsSnapshot SnapshotMetrics();
+
   // The next hop the route server advertises to `receiver` for `prefix`:
   // the prefix group's VNH (including fast-path singletons) when grouped,
   // the announcing participant's router address otherwise, nullopt when no
@@ -144,8 +174,15 @@ class SdxRuntime {
   static constexpr dataplane::Cookie kFastPathCookie = 1;
 
   // Rebuilds behavior sets + FEC groups + VNH bindings from current
-  // policies and RIBs.
-  void RecomputeGroups();
+  // policies and RIBs. Emits fec_compute / vnh_allocation child spans.
+  void RecomputeGroups(obs::Tracer* tracer);
+
+  // Observes the current trace into `<prefix>.seconds` (whole operation)
+  // and `<prefix>.stage.<name>.seconds` histograms.
+  void RecordTrace(const char* prefix, double total_seconds);
+
+  // Body of ApplyBgpUpdate, run under its root span.
+  void FastPathUpdate(const bgp::BgpUpdate& update, UpdateStats& stats);
 
   // Re-advertises next hops: rebuilds every border router FIB and the VNH
   // ARP bindings.
@@ -176,6 +213,12 @@ class SdxRuntime {
   // Prefix -> index into fast_groups_ (the fast-path overlay of group_of).
   std::unordered_map<net::IPv4Prefix, std::size_t> fast_group_of_;
   std::uint32_t next_router_index_ = 1;
+
+  obs::MetricsRegistry metrics_;
+  obs::Tracer tracer_;
+  // Drops decided before the fabric: border-router FIB/ARP failures and
+  // injection-time isolation violations.
+  obs::DropCounters ingress_drops_;
 };
 
 }  // namespace sdx::core

@@ -1,0 +1,423 @@
+// Unit tests for the observability primitives: histogram bucketing and
+// percentile extraction, span nesting, registry handle stability, drop
+// counters, and the snapshot JSON/text exporters (including a grammar-level
+// validation of ToJson()'s output).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <set>
+#include <string>
+
+#include "obs/drop_reason.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
+#include "obs/trace.h"
+
+namespace sdx::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+TEST(Histogram, EmptyIsAllZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.Percentile(0.5), 0.0);
+}
+
+TEST(Histogram, BucketsObservationsByUpperBound) {
+  Histogram h({1.0, 10.0, 100.0});
+  ASSERT_EQ(h.bucket_counts().size(), 4u);  // 3 finite + overflow
+
+  h.Observe(0.5);    // <= 1
+  h.Observe(1.0);    // <= 1 (bounds are inclusive)
+  h.Observe(5.0);    // <= 10
+  h.Observe(100.0);  // <= 100
+  h.Observe(1e6);    // overflow
+
+  EXPECT_EQ(h.bucket_counts()[0], 2u);
+  EXPECT_EQ(h.bucket_counts()[1], 1u);
+  EXPECT_EQ(h.bucket_counts()[2], 1u);
+  EXPECT_EQ(h.bucket_counts()[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 5.0 + 100.0 + 1e6);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 1e6);
+}
+
+TEST(Histogram, PercentileInterpolatesWithinBucket) {
+  Histogram h({10.0, 20.0, 30.0});
+  // 10 observations in (10, 20]: percentiles land inside that bucket.
+  for (int i = 1; i <= 10; ++i) h.Observe(10.0 + i);
+  const double p50 = h.Percentile(0.5);
+  EXPECT_GE(p50, 10.0);
+  EXPECT_LE(p50, 20.0);
+  // p0/p100 clamp to the observed extremes, not the bucket edges.
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 11.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 20.0);
+}
+
+TEST(Histogram, PercentilePicksTheRightBucket) {
+  Histogram h({1.0, 2.0, 3.0, 4.0});
+  // 90 observations <= 1, 10 in (3, 4]: p50 is in the first bucket, p99 in
+  // the last.
+  for (int i = 0; i < 90; ++i) h.Observe(0.5);
+  for (int i = 0; i < 10; ++i) h.Observe(3.5);
+  EXPECT_LE(h.Percentile(0.50), 1.0);
+  EXPECT_GT(h.Percentile(0.99), 3.0);
+}
+
+TEST(Histogram, DefaultLatencyBucketsAreStrictlyIncreasing) {
+  const auto bounds = Histogram::LatencyBuckets();
+  ASSERT_GE(bounds.size(), 2u);
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+  EXPECT_LE(bounds.front(), 1e-6);  // covers microsecond compiles
+  EXPECT_GE(bounds.back(), 60.0);   // covers pathological minute-long ones
+}
+
+// ---------------------------------------------------------------------------
+// Tracer / TraceSpan
+
+TEST(Tracer, RecordsNestedSpansInPreOrder) {
+  Tracer tracer;
+  {
+    TraceSpan root(&tracer, "root");
+    {
+      TraceSpan a(&tracer, "a");
+      TraceSpan a1(&tracer, "a1");
+    }
+    TraceSpan b(&tracer, "b");
+  }
+  const auto& spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[0].name, "root");
+  EXPECT_EQ(spans[0].depth, 0);
+  EXPECT_EQ(spans[0].parent, SpanRecord::kNoParent);
+  EXPECT_EQ(spans[1].name, "a");
+  EXPECT_EQ(spans[1].depth, 1);
+  EXPECT_EQ(spans[1].parent, 0u);
+  EXPECT_EQ(spans[2].name, "a1");
+  EXPECT_EQ(spans[2].depth, 2);
+  EXPECT_EQ(spans[2].parent, 1u);
+  EXPECT_EQ(spans[3].name, "b");
+  EXPECT_EQ(spans[3].depth, 1);
+  EXPECT_EQ(spans[3].parent, 0u);
+  // Parent spans cover their children.
+  EXPECT_GE(spans[0].seconds, spans[1].seconds);
+  EXPECT_GE(spans[1].seconds, spans[2].seconds);
+}
+
+TEST(Tracer, SecondsForAndClear) {
+  Tracer tracer;
+  const std::size_t idx = tracer.BeginSpan("work");
+  tracer.EndSpan(idx, 1.5);
+  EXPECT_DOUBLE_EQ(tracer.SecondsFor("work"), 1.5);
+  EXPECT_DOUBLE_EQ(tracer.SecondsFor("absent"), 0.0);
+  tracer.Clear();
+  EXPECT_TRUE(tracer.spans().empty());
+}
+
+TEST(Tracer, NullTracerSpanIsANoOp) {
+  TraceSpan span(nullptr, "ignored");  // must not crash
+  SUCCEED();
+}
+
+TEST(Tracer, RenderIndentsByDepth) {
+  Tracer tracer;
+  {
+    TraceSpan root(&tracer, "root");
+    TraceSpan child(&tracer, "child");
+  }
+  const std::string text = tracer.Render();
+  EXPECT_NE(text.find("root"), std::string::npos);
+  EXPECT_NE(text.find("child"), std::string::npos);
+}
+
+TEST(ScopedTimer, AccumulatesIntoSinkAndHistogram) {
+  double sink = 0.0;
+  Histogram h;
+  {
+    ScopedTimer timer(&sink, &h);
+  }
+  {
+    ScopedTimer timer(&sink, &h);
+  }
+  EXPECT_GE(sink, 0.0);
+  EXPECT_EQ(h.count(), 2u);
+  { ScopedTimer none(static_cast<double*>(nullptr)); }  // null sink ok
+}
+
+// ---------------------------------------------------------------------------
+// DropCounters
+
+TEST(DropCounters, RecordsAndMerges) {
+  DropCounters a;
+  a.Record(DropReason::kTableMiss);
+  a.Record(DropReason::kTableMiss);
+  a.Record(DropReason::kNoFibRoute);
+  EXPECT_EQ(a.count(DropReason::kTableMiss), 2u);
+  EXPECT_EQ(a.total(), 3u);
+
+  DropCounters b;
+  b.Record(DropReason::kTableMiss);
+  b.Record(DropReason::kHopLimit);
+  a += b;
+  EXPECT_EQ(a.count(DropReason::kTableMiss), 3u);
+  EXPECT_EQ(a.count(DropReason::kHopLimit), 1u);
+  EXPECT_EQ(a.total(), 5u);
+
+  a.Reset();
+  EXPECT_EQ(a.total(), 0u);
+}
+
+TEST(DropCounters, EveryReasonHasAUniqueName) {
+  std::set<std::string> names;
+  for (DropReason reason : kAllDropReasons) {
+    names.insert(DropReasonName(reason));
+  }
+  EXPECT_EQ(names.size(), kDropReasonCount);
+}
+
+// ---------------------------------------------------------------------------
+// Registry + snapshot
+
+TEST(MetricsRegistry, HandlesAreStableAndShared) {
+  MetricsRegistry registry;
+  Counter& c1 = registry.GetCounter("x");
+  c1.Increment(2);
+  Counter& c2 = registry.GetCounter("x");
+  EXPECT_EQ(&c1, &c2);
+  EXPECT_EQ(c2.value(), 2u);
+  // Same name in different kinds are distinct metrics.
+  registry.GetGauge("x").Set(1.5);
+  registry.GetHistogram("x").Observe(0.25);
+  EXPECT_EQ(registry.size(), 3u);
+}
+
+TEST(MetricsRegistry, SnapshotCopiesEverything) {
+  MetricsRegistry registry;
+  registry.GetCounter("hits").Increment(7);
+  registry.GetGauge("fill").Set(0.5);
+  Histogram& h = registry.GetHistogram("lat", {1.0, 2.0});
+  h.Observe(0.5);
+  h.Observe(1.5);
+
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.at("hits"), 7u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("fill"), 0.5);
+  const auto& view = snap.histograms.at("lat");
+  EXPECT_EQ(view.count, 2u);
+  EXPECT_DOUBLE_EQ(view.sum, 2.0);
+  EXPECT_DOUBLE_EQ(view.min, 0.5);
+  EXPECT_DOUBLE_EQ(view.max, 1.5);
+  EXPECT_GT(view.p50, 0.0);
+  ASSERT_EQ(view.upper_bounds.size(), 2u);
+  ASSERT_EQ(view.bucket_counts.size(), 3u);
+}
+
+// Minimal JSON grammar checker — enough to prove ToJson() emits valid JSON
+// and to collect an object's keys, without a JSON dependency.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool Valid() {
+    pos_ = 0;
+    if (!Value()) return false;
+    Space();
+    return pos_ == text_.size();
+  }
+
+  // Keys of the top-level object (empty if the value is not an object).
+  std::set<std::string> TopLevelKeys() {
+    pos_ = 0;
+    top_keys_.clear();
+    collect_depth_ = 1;
+    Value();
+    return top_keys_;
+  }
+
+ private:
+  void Space() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* word) {
+    const std::size_t n = std::string(word).size();
+    if (text_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool String(std::string* out = nullptr) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    std::string value;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+      }
+      value.push_back(text_[pos_++]);
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    if (out != nullptr) *out = value;
+    return true;
+  }
+
+  bool Number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Value() {
+    Space();
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    ++depth_;
+    Space();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      --depth_;
+      return true;
+    }
+    while (true) {
+      Space();
+      std::string key;
+      if (!String(&key)) return false;
+      if (depth_ == collect_depth_) top_keys_.insert(key);
+      Space();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      if (!Value()) return false;
+      Space();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    if (pos_ >= text_.size() || text_[pos_] != '}') return false;
+    ++pos_;
+    --depth_;
+    return true;
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    Space();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      if (!Value()) return false;
+      Space();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    if (pos_ >= text_.size() || text_[pos_] != ']') return false;
+    ++pos_;
+    return true;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+  int collect_depth_ = -1;
+  std::set<std::string> top_keys_;
+};
+
+TEST(MetricsSnapshot, ToJsonIsValidJsonWithTheDocumentedSchema) {
+  MetricsRegistry registry;
+  registry.GetCounter("drop.table_miss").Increment(3);
+  registry.GetGauge("cache.fill").Set(0.75);
+  Histogram& h = registry.GetHistogram("compile.seconds");
+  h.Observe(0.001);
+  h.Observe(0.25);
+
+  const std::string json = registry.Snapshot().ToJson();
+  JsonChecker checker(json);
+  ASSERT_TRUE(checker.Valid()) << json;
+  EXPECT_EQ(checker.TopLevelKeys(),
+            (std::set<std::string>{"counters", "gauges", "histograms"}));
+
+  // Histogram entries expose the documented fields.
+  for (const char* field :
+       {"\"count\"", "\"sum\"", "\"min\"", "\"max\"", "\"p50\"", "\"p95\"",
+        "\"p99\"", "\"buckets\"", "\"le\""}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field;
+  }
+  EXPECT_NE(json.find("\"drop.table_miss\": 3"), std::string::npos) << json;
+}
+
+TEST(MetricsSnapshot, ToJsonEscapesStrings) {
+  MetricsRegistry registry;
+  registry.GetCounter("weird\"name\\with\nstuff").Increment();
+  const std::string json = registry.Snapshot().ToJson();
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.Valid()) << json;
+}
+
+TEST(MetricsSnapshot, EmptyRegistrySnapshotsToValidJson) {
+  MetricsRegistry registry;
+  const std::string json = registry.Snapshot().ToJson();
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.Valid()) << json;
+}
+
+TEST(MetricsSnapshot, ToTextMentionsEveryMetric) {
+  MetricsRegistry registry;
+  registry.GetCounter("a.count").Increment();
+  registry.GetGauge("b.fill").Set(1.0);
+  registry.GetHistogram("c.seconds").Observe(0.1);
+  const std::string text = registry.Snapshot().ToText();
+  EXPECT_NE(text.find("a.count"), std::string::npos);
+  EXPECT_NE(text.find("b.fill"), std::string::npos);
+  EXPECT_NE(text.find("c.seconds"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Timer
+
+TEST(Timer, SecondsSinceIsNonNegativeAndMonotone) {
+  const auto start = Now();
+  const double a = SecondsSince(start);
+  const double b = SecondsSince(start);
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace sdx::obs
