@@ -50,6 +50,19 @@ int main() {
                 latencies_ms.back(), latencies_ms.size());
     if (participants == 300) {
       bench::WriteMetricsSnapshot(runtime, "fig10_update_latency");
+      // Flight-recorder tail of the stream's recent past, for
+      // `sdxmon print/tail/chain` (DESIGN.md §7).
+      if (std::FILE* f = std::fopen("BENCH_fig10_update_latency.journal.jsonl",
+                                    "w")) {
+        const std::string jsonl = runtime.journal()->ToJsonl();
+        std::fwrite(jsonl.data(), 1, jsonl.size(), f);
+        std::fclose(f);
+        std::printf("journal: BENCH_fig10_update_latency.journal.jsonl "
+                    "(%zu events retained, %llu recorded)\n",
+                    runtime.journal()->size(),
+                    static_cast<unsigned long long>(
+                        runtime.journal()->total_recorded()));
+      }
     }
   }
   std::printf("\nexpected shape (paper): sub-second for virtually all "

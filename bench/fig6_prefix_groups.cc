@@ -12,7 +12,9 @@
 #include <cstdio>
 #include <random>
 
+#include "obs/timer.h"
 #include "sdx/fec.h"
+#include "sweep_common.h"
 #include "workload/topology_gen.h"
 
 using namespace sdx;
@@ -44,6 +46,12 @@ int main() {
   std::printf("%10s %16s %16s %16s\n", "prefixes", "100 participants",
               "200 participants", "300 participants");
 
+  // Per-configuration group counts (gauges) and MDS compute latencies
+  // (histogram), exported for the cross-PR regression differ.
+  obs::MetricsRegistry metrics;
+  obs::Histogram& compute_seconds =
+      metrics.GetHistogram("fig6.fec_compute.seconds");
+
   std::mt19937 rng(7);
   for (int x = 5000; x <= 25000; x += 5000) {
     std::printf("%10d", x);
@@ -69,11 +77,19 @@ int main() {
         }
         if (!restricted.empty()) fec.AddBehaviorSet(restricted);
       }
-      std::printf(" %16zu", fec.Compute().size());
+      const auto start = obs::Now();
+      const std::size_t group_count = fec.Compute().size();
+      compute_seconds.Observe(obs::SecondsSince(start));
+      metrics
+          .GetGauge("fig6.groups.n" + std::to_string(n) + ".x" +
+                    std::to_string(x))
+          .Set(static_cast<double>(group_count));
+      std::printf(" %16zu", group_count);
     }
     std::printf("\n");
   }
   std::printf("\nexpected shape (paper): sub-linear growth; group/prefix "
               "ratio falls with x; more participants => more groups.\n");
+  bench::WriteMetricsSnapshot(metrics.Snapshot(), "fig6_prefix_groups");
   return 0;
 }

@@ -6,20 +6,30 @@
 // shape: super-linear (roughly quadratic) growth in the number of prefix
 // groups, increasing with the participant count. Absolute times differ
 // radically from the paper's Python prototype.
+// Pass --no-journal to measure with the flight recorder detached; the
+// journal must stay within a few percent of that (full compiles record
+// only aggregate events by design — see DESIGN.md §7).
 #include <cstdio>
+#include <cstring>
 
 #include "policy/cache.h"
 #include "sweep_common.h"
 
 using namespace sdx;
 
-int main() {
-  std::printf("Figure 8: initial compilation time vs prefix groups\n");
+int main(int argc, char** argv) {
+  bool journal = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no-journal") == 0) journal = false;
+  }
+  std::printf("Figure 8: initial compilation time vs prefix groups "
+              "(journal %s)\n", journal ? "on" : "off");
   std::printf("%13s %13s %13s %15s %13s\n", "participants", "prefixes",
               "prefix_groups", "compile_sec", "cache_rules");
   for (int participants : {100, 200, 300}) {
     for (int prefixes : {2000, 5000, 10000, 15000, 20000, 25000}) {
       core::SdxRuntime runtime;
+      if (!journal) runtime.DisableJournal();
       auto built = bench::MakeScenario(participants, prefixes,
                                        /*seed=*/2000 + participants,
                                        /*policy_scale=*/1.0,

@@ -4,10 +4,12 @@
 #include <benchmark/benchmark.h>
 
 #include <random>
+#include <string>
 
 #include "net/prefix_trie.h"
 #include "policy/compile.h"
 #include "sdx/fec.h"
+#include "sweep_common.h"
 #include "workload/topology_gen.h"
 
 using namespace sdx;
@@ -135,6 +137,42 @@ void BM_PolicyCompile(benchmark::State& state) {
 }
 BENCHMARK(BM_PolicyCompile)->Range(8, 256)->Complexity();
 
+// Console reporter that also tees each benchmark's per-iteration real time
+// into a latency histogram (one observation per run), so microbench
+// timings land in BENCH_microbench_core.metrics.json and the `sdxmon diff`
+// percentile-ratio thresholds apply to them across PRs.
+class MetricsReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit MetricsReporter(obs::MetricsRegistry* metrics)
+      : metrics_(metrics) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      if (run.iterations == 0) continue;
+      std::string name = "microbench." + run.benchmark_name() + ".seconds";
+      for (char& c : name) {
+        if (c == '/') c = '.';
+      }
+      metrics_->GetHistogram(name).Observe(run.real_accumulated_time /
+                                           static_cast<double>(run.iterations));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  obs::MetricsRegistry* metrics_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  obs::MetricsRegistry metrics;
+  MetricsReporter reporter(&metrics);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  bench::WriteMetricsSnapshot(metrics.Snapshot(), "microbench_core");
+  return 0;
+}

@@ -55,12 +55,12 @@ inline core::CompileStats BuildAndCompile(core::SdxRuntime& runtime,
   return runtime.FullCompile();
 }
 
-// Writes the runtime's metrics snapshot to BENCH_<name>.metrics.json in the
-// working directory, next to the figure's printed data, so each bench run
-// leaves a machine-diffable record (per-stage compile times, drop counts,
-// cache behavior) for cross-PR comparison. Called once per bench, usually
-// on the largest configuration's runtime.
-inline void WriteMetricsSnapshot(core::SdxRuntime& runtime,
+// Writes a metrics snapshot to BENCH_<name>.metrics.json in the working
+// directory, next to the figure's printed data, so each bench run leaves a
+// machine-diffable record (per-stage compile times, drop counts, cache
+// behavior) for cross-PR comparison via `sdxmon diff`. Called once per
+// bench, usually on the largest configuration.
+inline void WriteMetricsSnapshot(const obs::MetricsSnapshot& snapshot,
                                  const std::string& bench_name) {
   const std::string path = "BENCH_" + bench_name + ".metrics.json";
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -68,10 +68,16 @@ inline void WriteMetricsSnapshot(core::SdxRuntime& runtime,
     std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
     return;
   }
-  const std::string json = runtime.SnapshotMetrics().ToJson();
+  const std::string json = snapshot.ToJson();
   std::fwrite(json.data(), 1, json.size(), f);
   std::fclose(f);
   std::printf("metrics snapshot: %s\n", path.c_str());
+}
+
+// Runtime-backed benches: sync component counters first, then snapshot.
+inline void WriteMetricsSnapshot(core::SdxRuntime& runtime,
+                                 const std::string& bench_name) {
+  WriteMetricsSnapshot(runtime.SnapshotMetrics(), bench_name);
 }
 
 }  // namespace sdx::bench

@@ -12,7 +12,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
+#include "sweep_common.h"
 #include "workload/update_gen.h"
 
 using namespace sdx;
@@ -114,5 +116,25 @@ int main(int argc, char** argv) {
               streams[0].InterArrivalPercentile(0.5),
               streams[1].InterArrivalPercentile(0.5),
               streams[2].InterArrivalPercentile(0.5));
+
+  // Stream-shape metrics per dataset, for the cross-PR regression differ:
+  // update counts as counters, the scale-free statistics as gauges.
+  obs::MetricsRegistry metrics;
+  for (int i = 0; i < 3; ++i) {
+    std::string base = "table1.";
+    base += kPaper[i].name;
+    metrics.GetCounter(base + ".updates").Set(streams[i].updates.size());
+    metrics.GetGauge(base + ".prefixes")
+        .Set(static_cast<double>(streams[i].params.prefixes));
+    metrics.GetGauge(base + ".fraction_updated")
+        .Set(streams[i].FractionPrefixesUpdated());
+    metrics.GetGauge(base + ".burst_size_p75")
+        .Set(static_cast<double>(streams[i].BurstSizePercentile(0.75)));
+    metrics.GetGauge(base + ".inter_arrival_p25")
+        .Set(streams[i].InterArrivalPercentile(0.25));
+    metrics.GetGauge(base + ".inter_arrival_p50")
+        .Set(streams[i].InterArrivalPercentile(0.5));
+  }
+  bench::WriteMetricsSnapshot(metrics.Snapshot(), "table1_datasets");
   return 0;
 }

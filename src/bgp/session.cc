@@ -4,6 +4,19 @@ namespace sdx::bgp {
 
 bool BgpSession::SendToPeer(BgpUpdate update) {
   if (!established()) return false;
+  if (journal_ != nullptr) {
+    // Session ingress is where an update's causal journey begins: assign
+    // the provenance id here so everything downstream (route-server
+    // decision, compiled rules, re-advertisements) shares it.
+    std::uint64_t id = UpdateProvenance(update);
+    if (id == obs::kNoUpdateId) {
+      id = journal_->NextUpdateId();
+      SetUpdateProvenance(update, id);
+    }
+    journal_->Record(obs::JournalEventType::kBgpSessionRx, id, local_as_,
+                     IsAnnouncement(update) ? 1 : 0, 0,
+                     UpdatePrefix(update).ToString());
+  }
   to_peer_.push_back(std::move(update));
   ++sent_to_peer_;
   return true;
@@ -17,6 +30,12 @@ std::vector<BgpUpdate> BgpSession::DrainFromPeer() {
 
 bool BgpSession::SendToLocal(BgpUpdate update) {
   if (!established()) return false;
+  if (journal_ != nullptr) {
+    journal_->Record(obs::JournalEventType::kBgpSessionTx,
+                     UpdateProvenance(update), local_as_,
+                     IsAnnouncement(update) ? 1 : 0, 0,
+                     UpdatePrefix(update).ToString());
+  }
   to_local_.push_back(std::move(update));
   ++sent_to_local_;
   return true;

@@ -24,6 +24,14 @@ bool IsAnnouncement(const BgpUpdate& update) {
   return std::holds_alternative<Announcement>(update);
 }
 
+std::uint64_t UpdateProvenance(const BgpUpdate& update) {
+  return std::visit([](const auto& u) { return u.update_id; }, update);
+}
+
+void SetUpdateProvenance(BgpUpdate& update, std::uint64_t update_id) {
+  std::visit([update_id](auto& u) { u.update_id = update_id; }, update);
+}
+
 std::string ToString(const BgpUpdate& update) {
   std::ostringstream os;
   if (const auto* announcement = std::get_if<Announcement>(&update)) {

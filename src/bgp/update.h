@@ -22,16 +22,28 @@ struct Announcement {
   AsNumber from_as = 0;
   BgpRoute route;
   Timestamp time = 0;
+  // Flight-recorder provenance (obs/journal.h): the update id stamped when
+  // this message entered the control plane; 0 = not yet assigned. Carried
+  // with the message through queues and layers so every derived event —
+  // decision, group, flow rule, re-advertisement — can name its cause.
+  // Deliberately excluded from equality: provenance tags a message's
+  // journey, not its identity.
+  std::uint64_t update_id = 0;
 
-  friend bool operator==(const Announcement&, const Announcement&) = default;
+  friend bool operator==(const Announcement& a, const Announcement& b) {
+    return a.from_as == b.from_as && a.route == b.route && a.time == b.time;
+  }
 };
 
 struct Withdrawal {
   AsNumber from_as = 0;
   net::IPv4Prefix prefix;
   Timestamp time = 0;
+  std::uint64_t update_id = 0;  // see Announcement::update_id
 
-  friend bool operator==(const Withdrawal&, const Withdrawal&) = default;
+  friend bool operator==(const Withdrawal& a, const Withdrawal& b) {
+    return a.from_as == b.from_as && a.prefix == b.prefix && a.time == b.time;
+  }
 };
 
 using BgpUpdate = std::variant<Announcement, Withdrawal>;
@@ -40,6 +52,10 @@ AsNumber UpdateFrom(const BgpUpdate& update);
 net::IPv4Prefix UpdatePrefix(const BgpUpdate& update);
 Timestamp UpdateTime(const BgpUpdate& update);
 bool IsAnnouncement(const BgpUpdate& update);
+
+// Journal provenance carried by the message (0 = unassigned).
+std::uint64_t UpdateProvenance(const BgpUpdate& update);
+void SetUpdateProvenance(BgpUpdate& update, std::uint64_t update_id);
 
 std::string ToString(const BgpUpdate& update);
 std::ostream& operator<<(std::ostream& os, const BgpUpdate& update);

@@ -5,6 +5,12 @@
 namespace sdx::dataplane {
 
 void FlowTable::Install(FlowRule rule) {
+  if (journal_ != nullptr) {
+    journal_->Record(obs::JournalEventType::kFlowRuleInstall,
+                     journal_->current_update_id(), switch_id_,
+                     static_cast<std::uint64_t>(rule.priority), rule.cookie,
+                     rule.ToString());
+  }
   // Insert after the last rule with priority >= rule.priority so that the
   // ordering is stable for equal priorities.
   auto pos = std::upper_bound(
@@ -16,6 +22,11 @@ void FlowTable::Install(FlowRule rule) {
 }
 
 void FlowTable::InstallAll(std::vector<FlowRule> rules) {
+  if (journal_ != nullptr && !rules.empty()) {
+    journal_->Record(obs::JournalEventType::kFlowRulesBulk,
+                     journal_->current_update_id(), switch_id_,
+                     rules.size(), rules.front().cookie);
+  }
   std::stable_sort(rules.begin(), rules.end(),
                    [](const FlowRule& a, const FlowRule& b) {
                      return a.priority > b.priority;
@@ -37,13 +48,38 @@ void FlowTable::InstallAll(std::vector<FlowRule> rules) {
 
 std::size_t FlowTable::RemoveByCookie(Cookie cookie) {
   const auto before = rules_.size();
-  std::erase_if(rules_, [cookie](const FlowRule& rule) {
-    return rule.cookie == cookie;
+  // Under a live update id every removed rule is journaled individually —
+  // that id caused each deletion; background retirement is one aggregate.
+  const bool per_rule =
+      journal_ != nullptr &&
+      journal_->current_update_id() != obs::kNoUpdateId;
+  std::erase_if(rules_, [&](const FlowRule& rule) {
+    if (rule.cookie != cookie) return false;
+    if (per_rule) {
+      journal_->Record(obs::JournalEventType::kFlowRuleDelete,
+                       journal_->current_update_id(), switch_id_,
+                       static_cast<std::uint64_t>(rule.priority), rule.cookie,
+                       rule.ToString());
+    }
+    return true;
   });
-  return before - rules_.size();
+  const std::size_t removed = before - rules_.size();
+  if (journal_ != nullptr && !per_rule && removed > 0) {
+    journal_->Record(obs::JournalEventType::kFlowRulesRetire,
+                     journal_->current_update_id(), switch_id_, removed,
+                     cookie);
+  }
+  return removed;
 }
 
-void FlowTable::Clear() { rules_.clear(); }
+void FlowTable::Clear() {
+  if (journal_ != nullptr && !rules_.empty()) {
+    journal_->Record(obs::JournalEventType::kFlowRulesRetire,
+                     journal_->current_update_id(), switch_id_, rules_.size(),
+                     kNoCookie, "clear");
+  }
+  rules_.clear();
+}
 
 const FlowRule* FlowTable::Lookup(const net::PacketHeader& header) const {
   for (const FlowRule& rule : rules_) {

@@ -6,16 +6,32 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
 #include "dataplane/flow_rule.h"
 #include "net/packet.h"
+#include "obs/journal.h"
 
 namespace sdx::dataplane {
 
 class FlowTable {
  public:
+  // Wires the control-plane flight recorder (null → no-op). Flow-mod
+  // events are tagged with the journal's ambient update id, so rules
+  // installed by the §4.3.2 fast path name the BGP update that caused
+  // them. Per-rule events are recorded for the incremental paths
+  // (Install, and RemoveByCookie under a live update id); the bulk paths
+  // (InstallAll, generation retirement) record one aggregate event — a
+  // full compile is a generation swap, not per-update causality.
+  // `switch_id` distinguishes tables in multi-switch deployments.
+  void SetJournal(obs::Journal* journal, std::uint32_t switch_id = 0) {
+    journal_ = journal;
+    switch_id_ = switch_id;
+  }
+  obs::Journal* journal() const { return journal_; }
+
   // Installs a rule, preserving priority order (stable for ties).
   void Install(FlowRule rule);
 
@@ -47,6 +63,8 @@ class FlowTable {
 
  private:
   std::vector<FlowRule> rules_;  // descending priority, stable
+  obs::Journal* journal_ = nullptr;
+  std::uint32_t switch_id_ = 0;
   // `mutable` because Process() is logically const (it does not change
   // which packets match which rules) but must tally outcomes — the same
   // convention as the per-rule packet/byte counters it updates.

@@ -1,0 +1,58 @@
+// Minimal JSON reader/writer helpers for the observability tooling.
+//
+// Just enough JSON for our own exports — the metrics snapshots
+// (MetricsSnapshot::ToJson) and the journal JSONL (Journal::ToJsonl) —
+// which sdxmon and the bench-metrics differ parse back. Not a general
+// validator: it accepts the full JSON grammar but stores every number as a
+// double (fine: our exporters emit doubles and modest counters) and keeps
+// object members in sorted map order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sdx::obs::json {
+
+struct Value {
+  enum class Type : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::map<std::string, Value> object;
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_object() const { return type == Type::kObject; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const Value* Find(const std::string& key) const;
+  // Member number (0.0 / "" fallback when absent or mistyped).
+  double NumberAt(const std::string& key) const;
+  std::string StringAt(const std::string& key) const;
+};
+
+// Parses exactly one JSON document (trailing whitespace allowed); throws
+// std::runtime_error with an offset-bearing message on malformed input.
+Value Parse(const std::string& text);
+
+// Writer helpers shared by the exporters: escaped + quoted string, and a
+// locale-independent shortest-ish number rendering (inf/nan clamp to 0,
+// which JSON cannot represent).
+std::string Quote(const std::string& s);
+std::string Number(double v);
+
+}  // namespace sdx::obs::json

@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cstdio>
 #include <sstream>
 
@@ -124,6 +125,13 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name,
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(name, Histogram(std::move(upper_bounds))).first;
+  } else if (it->second.upper_bounds() != upper_bounds) {
+    // First-wins: the existing layout is kept (observations already landed
+    // in its buckets), but a silently ignored bucket layout is a caller
+    // bug — count it so tests and operators can see it, and fail loudly in
+    // debug builds.
+    ++bounds_conflicts_;
+    assert(false && "GetHistogram: bucket bounds differ from existing");
   }
   return it->second;
 }

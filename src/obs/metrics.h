@@ -108,8 +108,19 @@ class MetricsRegistry {
   Counter& GetCounter(const std::string& name);
   Gauge& GetGauge(const std::string& name);
   Histogram& GetHistogram(const std::string& name);
+  // First-wins: when `name` already exists, its original bucket layout is
+  // kept and `upper_bounds` is ignored — re-bucketing live observations is
+  // impossible. A mismatched layout asserts in debug builds and bumps
+  // histogram_bounds_conflicts() in release ones; don't rely on the second
+  // layout ever taking effect.
   Histogram& GetHistogram(const std::string& name,
                           std::vector<double> upper_bounds);
+
+  // Times GetHistogram(name, bounds) hit an existing histogram with a
+  // DIFFERENT bucket layout (the requested bounds were ignored).
+  std::uint64_t histogram_bounds_conflicts() const {
+    return bounds_conflicts_;
+  }
 
   MetricsSnapshot Snapshot() const;
 
@@ -121,6 +132,7 @@ class MetricsRegistry {
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;
+  std::uint64_t bounds_conflicts_ = 0;
 };
 
 }  // namespace sdx::obs

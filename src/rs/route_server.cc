@@ -121,9 +121,23 @@ std::vector<BestRouteChange> RouteServer::HandleUpdate(
   std::vector<BestRouteChange> changes;
   if (!changed || bulk_loading_) return changes;
 
+  const obs::UpdateId provenance =
+      journal_ != nullptr && bgp::UpdateProvenance(update) == obs::kNoUpdateId
+          ? journal_->current_update_id()
+          : bgp::UpdateProvenance(update);
+  // Scope the ambient id so suppression events inside RecomputeBest inherit
+  // this update's provenance too.
+  obs::UpdateIdScope ambient(journal_, provenance);
   for (auto& [receiver, state] : participants_) {
     if (receiver == from) continue;
     if (auto change = RecomputeBest(receiver, prefix)) {
+      if (journal_ != nullptr) {
+        journal_->Record(
+            obs::JournalEventType::kRsDecision, provenance, receiver,
+            change->new_best ? change->new_best->peer_as : 0,
+            change->old_best ? change->old_best->peer_as : 0,
+            prefix.ToString());
+      }
       changes.push_back(*change);
       if (on_change_) on_change_(*change);
     }
@@ -185,7 +199,14 @@ std::optional<BestRouteChange> RouteServer::RecomputeBest(
       if (!ExportAllowed(announcer_as, receiver, prefix)) {
         // Self-announcements are never "exported", so a receiver skipping
         // its own route is not a policy suppression.
-        if (announcer_as != receiver) ++export_suppressions_;
+        if (announcer_as != receiver) {
+          ++export_suppressions_;
+          if (journal_ != nullptr) {
+            journal_->Record(obs::JournalEventType::kRsExportSuppressed,
+                             journal_->current_update_id(), receiver,
+                             announcer_as, 0, prefix.ToString());
+          }
+        }
         continue;
       }
       const auto& announcer_state = participants_.at(announcer_as);

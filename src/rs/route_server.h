@@ -31,6 +31,7 @@
 #include "bgp/route.h"
 #include "bgp/update.h"
 #include "net/ipv4.h"
+#include "obs/journal.h"
 
 namespace sdx::rs {
 
@@ -55,6 +56,14 @@ class RouteServer {
  public:
   // Registers a participant peering session. Router id breaks decision ties.
   void RegisterParticipant(AsNumber as, net::IPv4Address router_id);
+
+  // Wires the control-plane flight recorder (null → no-op): HandleUpdate
+  // records one rs_decision event per best-route change, and export-policy
+  // suppressions during best-route selection record rs_export_suppressed —
+  // both tagged with the triggering update's provenance id (falling back to
+  // the journal's ambient id). Bulk loading records nothing.
+  void SetJournal(obs::Journal* journal) { journal_ = journal; }
+  obs::Journal* journal() const { return journal_; }
 
   bool IsRegistered(AsNumber as) const;
   std::vector<AsNumber> Participants() const;
@@ -170,6 +179,7 @@ class RouteServer {
   // Which prefixes each participant announced (for reverse queries).
   std::unordered_map<net::IPv4Prefix, std::set<AsNumber>> announcers_;
   std::function<void(const BestRouteChange&)> on_change_;
+  obs::Journal* journal_ = nullptr;
   std::uint64_t updates_processed_ = 0;
   std::uint64_t export_suppressions_ = 0;
   bool bulk_loading_ = false;

@@ -38,6 +38,15 @@ MultiSwitchDeployment::MultiSwitchDeployment(const VirtualTopology& topo,
   }
 }
 
+void MultiSwitchDeployment::SetJournal(obs::Journal* journal) {
+  fabric_.FindSwitch(kCore)->table().SetJournal(journal, kCore);
+  for (int e = 1; e <= edge_switches_; ++e) {
+    auto edge = static_cast<dataplane::SwitchId>(e);
+    fabric_.FindSwitch(edge)->table().SetJournal(
+        journal, static_cast<std::uint32_t>(edge));
+  }
+}
+
 dataplane::SwitchId MultiSwitchDeployment::EdgeOf(net::PortId port) const {
   auto it = edge_of_port_.find(port);
   if (it == edge_of_port_.end()) {

@@ -22,6 +22,7 @@
 
 #include "dataplane/fabric.h"
 #include "dataplane/flow_rule.h"
+#include "obs/journal.h"
 #include "sdx/vswitch.h"
 
 namespace sdx::core {
@@ -35,6 +36,11 @@ class MultiSwitchDeployment {
   // Installs a compiled single-switch rule set across the fabric,
   // replacing any previous deployment.
   void Install(const std::vector<dataplane::FlowRule>& rules);
+
+  // Wires every switch's flow table to the flight recorder, each under its
+  // own switch id, so flow-mod events are per-switch attributable (core =
+  // 0, edges = 1..edge_count). Null → no-op.
+  void SetJournal(obs::Journal* journal);
 
   dataplane::MultiSwitchFabric& fabric() { return fabric_; }
   const dataplane::MultiSwitchFabric& fabric() const { return fabric_; }

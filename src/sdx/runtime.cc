@@ -10,7 +10,21 @@ namespace sdx::core {
 
 using obs::SecondsSince;
 
-SdxRuntime::SdxRuntime() : composer_(topology_, route_server_) {}
+SdxRuntime::SdxRuntime() : composer_(topology_, route_server_) {
+  EnableJournal();
+}
+
+void SdxRuntime::EnableJournal(std::size_t capacity) {
+  journal_ = std::make_unique<obs::Journal>(capacity);
+  route_server_.SetJournal(journal_.get());
+  data_plane_.table().SetJournal(journal_.get());
+}
+
+void SdxRuntime::DisableJournal() {
+  route_server_.SetJournal(nullptr);
+  data_plane_.table().SetJournal(nullptr);
+  journal_.reset();
+}
 
 Participant& SdxRuntime::AddParticipant(AsNumber as, int physical_ports) {
   if (participants_.contains(as)) {
@@ -274,6 +288,12 @@ CompileStats SdxRuntime::FullCompile() {
   const auto start = obs::Now();
   CompileStats stats;
 
+  // A full compile is a generation swap, journaled as aggregates (begin/
+  // end plus the flow table's bulk events) under the ambient id — per-
+  // entity provenance is the fast path's domain.
+  obs::JournalRecord(journal_.get(), obs::JournalEventType::kCompileBegin,
+                     journal_ ? journal_->current_update_id()
+                              : obs::kNoUpdateId);
   tracer_.Clear();
   {
     obs::TraceSpan root(&tracer_, "full_compile");
@@ -316,6 +336,11 @@ CompileStats SdxRuntime::FullCompile() {
   }
   stats.seconds = SecondsSince(start);
   stats.stages = tracer_.spans();
+  obs::JournalRecord(journal_.get(), obs::JournalEventType::kCompileEnd,
+                     journal_ ? journal_->current_update_id()
+                              : obs::kNoUpdateId,
+                     stats.prefix_group_count, stats.flow_rule_count,
+                     static_cast<std::uint64_t>(stats.seconds * 1e6));
   metrics_.GetCounter("compile.count").Increment();
   RecordTrace("compile", stats.seconds);
   return stats;
@@ -341,6 +366,19 @@ UpdateStats SdxRuntime::ApplyBgpUpdate(const bgp::BgpUpdate& update) {
   const auto start = obs::Now();
   UpdateStats stats;
 
+  // Provenance: session-delivered updates arrive pre-stamped (see
+  // BgpSession::SendToPeer); directly injected ones get their id here.
+  obs::UpdateId update_id = bgp::UpdateProvenance(update);
+  if (journal_ != nullptr && update_id == obs::kNoUpdateId) {
+    update_id = journal_->NextUpdateId();
+  }
+  obs::UpdateIdScope ambient(journal_.get(), update_id);
+  obs::JournalRecord(journal_.get(), obs::JournalEventType::kBgpUpdateBegin,
+                     update_id, bgp::UpdateFrom(update),
+                     bgp::IsAnnouncement(update) ? 1 : 0, 0,
+                     journal_ ? bgp::UpdatePrefix(update).ToString()
+                              : std::string());
+
   tracer_.Clear();
   {
     obs::TraceSpan root(&tracer_, "apply_bgp_update");
@@ -348,6 +386,10 @@ UpdateStats SdxRuntime::ApplyBgpUpdate(const bgp::BgpUpdate& update) {
   }
   stats.seconds = SecondsSince(start);
   stats.stages = tracer_.spans();
+  obs::JournalRecord(journal_.get(), obs::JournalEventType::kBgpUpdateEnd,
+                     update_id, stats.rules_added,
+                     stats.best_route_changed ? 1 : 0,
+                     static_cast<std::uint64_t>(stats.seconds * 1e6));
   metrics_.GetCounter("bgp_update.count").Increment();
   if (stats.best_route_changed) {
     metrics_.GetCounter("bgp_update.best_route_changed").Increment();
@@ -384,6 +426,15 @@ void SdxRuntime::FastPathUpdate(const bgp::BgpUpdate& update,
       const bgp::BgpRoute* own = route_server_.BestRoute(sender, prefix);
       const AsNumber own_hop = own == nullptr ? 0 : own->peer_as;
       if (own_hop != group.best_hop) group.per_sender_best[sender] = own_hop;
+    }
+    if (journal_ != nullptr) {
+      const obs::UpdateId id = journal_->current_update_id();
+      journal_->Record(obs::JournalEventType::kFecGroupCreate, id, group.id,
+                       group.prefixes.size(), group.member_of.size(),
+                       prefix.ToString());
+      journal_->Record(obs::JournalEventType::kVnhBind, id, group.id,
+                       group.binding.vnh.value(), 0,
+                       group.binding.vnh.ToString());
     }
   }
 

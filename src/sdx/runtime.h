@@ -27,12 +27,14 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "dataplane/arp.h"
 #include "dataplane/switch.h"
 #include "obs/drop_reason.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "policy/cache.h"
@@ -152,6 +154,23 @@ class SdxRuntime {
   // Span tree of the most recent FullCompile()/ApplyBgpUpdate().
   const obs::Tracer& last_trace() const { return tracer_; }
 
+  // The control-plane flight recorder (DESIGN.md §7): typed events tagged
+  // with per-update provenance ids, threaded from session delivery through
+  // route-server decisions, group/VNH changes, and every flow-mod. Enabled
+  // by default at Journal::kDefaultCapacity; nullptr when disabled (every
+  // instrumented layer holds a null pointer then — the trace.h no-op
+  // convention).
+  obs::Journal* journal() { return journal_.get(); }
+  const obs::Journal* journal() const { return journal_.get(); }
+
+  // Recreates the journal at `capacity` (also how tests shrink the ring)
+  // and rewires the route server and flow table. Sessions connected by a
+  // SessionFrontend before the call keep their old pointer — (re)enable
+  // before connecting sessions.
+  void EnableJournal(std::size_t capacity = obs::Journal::kDefaultCapacity);
+  // Detaches and destroys the journal; all recording becomes a no-op.
+  void DisableJournal();
+
   // Per-reason drop totals across the whole pipeline: border-router drops
   // (no_fib_route, arp_unresolved), injection-time isolation violations,
   // and the data plane's table_miss/explicit_drop counters. Every packet
@@ -216,6 +235,7 @@ class SdxRuntime {
 
   obs::MetricsRegistry metrics_;
   obs::Tracer tracer_;
+  std::unique_ptr<obs::Journal> journal_;
   // Drops decided before the fabric: border-router FIB/ARP failures and
   // injection-time isolation violations.
   obs::DropCounters ingress_drops_;

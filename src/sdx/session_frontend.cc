@@ -15,6 +15,9 @@ bgp::BgpSession& SessionFrontend::Connect(AsNumber as) {
       as, std::make_unique<bgp::BgpSession>(as,
                                             runtime_->route_server()
                                                 .route_server_as()));
+  // Sessions share the runtime's flight recorder: updates get their
+  // provenance id stamped at session ingress (SendToPeer).
+  it->second->SetJournal(runtime_->journal());
   // A newly established (or re-established after a reset) session gets a
   // full-table replay, like any BGP session bring-up.
   const bool was_established = !inserted && it->second->established();
@@ -34,14 +37,18 @@ std::size_t SessionFrontend::Pump() {
     if (!session->established()) continue;
     for (bgp::BgpUpdate& update : session->DrainFromLocal()) {
       runtime_->ApplyBgpUpdate(update);
-      Readvertise(bgp::UpdatePrefix(update));
+      // The drained update carries its session-ingress provenance id; the
+      // re-advertisements it triggers inherit it, closing the causal loop
+      // announcement → decision → rules → exports.
+      Readvertise(bgp::UpdatePrefix(update), bgp::UpdateProvenance(update));
       ++processed;
     }
   }
   return processed;
 }
 
-void SessionFrontend::Readvertise(const net::IPv4Prefix& prefix) {
+void SessionFrontend::Readvertise(const net::IPv4Prefix& prefix,
+                                  std::uint64_t provenance) {
   for (auto& [receiver, session] : sessions_) {
     if (!session->established()) continue;
     const bgp::BgpRoute* best =
@@ -50,6 +57,7 @@ void SessionFrontend::Readvertise(const net::IPv4Prefix& prefix) {
       bgp::Withdrawal withdrawal;
       withdrawal.from_as = runtime_->route_server().route_server_as();
       withdrawal.prefix = prefix;
+      withdrawal.update_id = provenance;
       session->SendToLocal(bgp::BgpUpdate{withdrawal});
     } else {
       bgp::Announcement announcement;
@@ -60,6 +68,7 @@ void SessionFrontend::Readvertise(const net::IPv4Prefix& prefix) {
       // prefix needs no grouping).
       auto next_hop = runtime_->AdvertisedNextHop(receiver, prefix);
       announcement.route.next_hop = next_hop.value_or(best->next_hop);
+      announcement.update_id = provenance;
       session->SendToLocal(bgp::BgpUpdate{announcement});
     }
     ++readvertisements_sent_;

@@ -44,8 +44,11 @@ class SessionFrontend {
   }
 
  private:
-  // Re-advertises the state of `prefix` to every established session.
-  void Readvertise(const net::IPv4Prefix& prefix);
+  // Re-advertises the state of `prefix` to every established session,
+  // stamping each outgoing message with the provenance id of the update
+  // that triggered it (0 for unprompted re-advertisement).
+  void Readvertise(const net::IPv4Prefix& prefix,
+                   std::uint64_t provenance = 0);
 
   SdxRuntime* runtime_;
   // node-stable storage: sessions are referenced by participants.

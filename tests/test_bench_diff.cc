@@ -1,0 +1,169 @@
+// The bench-metrics regression differ and the JSON reader underneath it:
+// threshold semantics (counter rel+abs, per-quantile ratios, noise floor),
+// membership changes, and a round trip through the real
+// MetricsSnapshot::ToJson exporter.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/bench_diff.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace sdx::obs {
+namespace {
+
+// --- json::Parse ----------------------------------------------------------
+
+TEST(Json, ParsesScalarsArraysObjects) {
+  json::Value v = json::Parse(
+      R"({"a": 1.5, "b": "x\"y", "c": [true, null, -2e3], "d": {}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_DOUBLE_EQ(v.NumberAt("a"), 1.5);
+  EXPECT_EQ(v.StringAt("b"), "x\"y");
+  const json::Value* c = v.Find("c");
+  ASSERT_TRUE(c != nullptr && c->is_array());
+  ASSERT_EQ(c->array.size(), 3u);
+  EXPECT_TRUE(c->array[0].boolean);
+  EXPECT_TRUE(c->array[1].is_null());
+  EXPECT_DOUBLE_EQ(c->array[2].number, -2000.0);
+  EXPECT_TRUE(v.Find("d")->is_object());
+  EXPECT_EQ(v.Find("missing"), nullptr);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(json::Parse(""), std::runtime_error);
+  EXPECT_THROW(json::Parse("{"), std::runtime_error);
+  EXPECT_THROW(json::Parse("{\"a\": }"), std::runtime_error);
+  EXPECT_THROW(json::Parse("[1, 2,]"), std::runtime_error);
+  EXPECT_THROW(json::Parse("{} trailing"), std::runtime_error);
+  EXPECT_THROW(json::Parse("\"unterminated"), std::runtime_error);
+}
+
+TEST(Json, QuoteEscapes) {
+  EXPECT_EQ(json::Quote("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+  json::Value v = json::Parse(json::Quote("a\"b\\c\nd\te"));
+  EXPECT_EQ(v.string, "a\"b\\c\nd\te");
+}
+
+// --- DiffMetrics ----------------------------------------------------------
+
+json::Value Snapshot(const std::string& counters, const std::string& gauges,
+                     const std::string& histograms) {
+  return json::Parse("{\"counters\": {" + counters + "}, \"gauges\": {" +
+                     gauges + "}, \"histograms\": {" + histograms + "}}");
+}
+
+std::string Hist(double count, double p50, double p95, double p99) {
+  std::ostringstream os;
+  os << "{\"count\": " << count << ", \"sum\": 0, \"min\": 0, \"max\": 0, "
+     << "\"p50\": " << p50 << ", \"p95\": " << p95 << ", \"p99\": " << p99
+     << ", \"buckets\": []}";
+  return os.str();
+}
+
+TEST(BenchDiffTest, IdenticalSnapshotsAreClean) {
+  json::Value snap = Snapshot("\"a\": 100", "\"g\": 2.5",
+                              "\"h\": " + Hist(10, 1e-3, 2e-3, 3e-3));
+  BenchDiff diff = DiffMetrics(snap, snap);
+  EXPECT_FALSE(diff.regression);
+  EXPECT_TRUE(diff.deltas.empty());
+  EXPECT_EQ(diff.Render(), "no differences\n");
+}
+
+TEST(BenchDiffTest, DoubledP95IsARegression) {
+  json::Value before =
+      Snapshot("", "", "\"h\": " + Hist(10, 1e-3, 2e-3, 3e-3));
+  json::Value after =
+      Snapshot("", "", "\"h\": " + Hist(10, 1e-3, 4e-3, 3e-3));
+  BenchDiff diff = DiffMetrics(before, after);
+  EXPECT_TRUE(diff.regression);
+  ASSERT_FALSE(diff.deltas.empty());
+  // Flagged deltas sort first.
+  EXPECT_EQ(diff.deltas[0].metric, "histogram h p95");
+  EXPECT_TRUE(diff.deltas[0].regressed);
+  EXPECT_NE(diff.Render().find("verdict: REGRESSION"), std::string::npos);
+}
+
+TEST(BenchDiffTest, ImprovementIsNotARegression) {
+  json::Value before =
+      Snapshot("", "", "\"h\": " + Hist(10, 4e-3, 4e-3, 4e-3));
+  json::Value after =
+      Snapshot("", "", "\"h\": " + Hist(10, 1e-3, 1e-3, 1e-3));
+  BenchDiff diff = DiffMetrics(before, after);
+  EXPECT_FALSE(diff.regression);
+  EXPECT_FALSE(diff.deltas.empty());  // still reported, informationally
+}
+
+TEST(BenchDiffTest, NoiseFloorSuppressesTinyLatencies) {
+  // 1µs -> 10µs is a 10x slowdown, but both sit below the 20µs floor.
+  json::Value before = Snapshot("", "", "\"h\": " + Hist(10, 1e-6, 1e-6, 1e-6));
+  json::Value after = Snapshot("", "", "\"h\": " + Hist(10, 1e-5, 1e-5, 1e-5));
+  EXPECT_FALSE(DiffMetrics(before, after).regression);
+  // Lowering the floor makes the same delta a regression.
+  BenchDiffOptions strict;
+  strict.noise_floor_seconds = 1e-7;
+  EXPECT_TRUE(DiffMetrics(before, after, strict).regression);
+}
+
+TEST(BenchDiffTest, CounterNeedsBothRelativeAndAbsoluteChange) {
+  // Small tally: huge relative change, tiny absolute change -> fine.
+  EXPECT_FALSE(DiffMetrics(Snapshot("\"c\": 2", "", ""),
+                           Snapshot("\"c\": 10", "", ""))
+                   .regression);
+  // Large tally: large absolute change, small relative change -> fine.
+  EXPECT_FALSE(DiffMetrics(Snapshot("\"c\": 10000", "", ""),
+                           Snapshot("\"c\": 10100", "", ""))
+                   .regression);
+  // Both thresholds crossed -> flagged, in either direction.
+  EXPECT_TRUE(DiffMetrics(Snapshot("\"c\": 100", "", ""),
+                          Snapshot("\"c\": 200", "", ""))
+                  .regression);
+  EXPECT_TRUE(DiffMetrics(Snapshot("\"c\": 200", "", ""),
+                          Snapshot("\"c\": 50", "", ""))
+                  .regression);
+}
+
+TEST(BenchDiffTest, GaugesAreInformationalOnly) {
+  BenchDiff diff = DiffMetrics(Snapshot("", "\"g\": 1", ""),
+                               Snapshot("", "\"g\": 1000", ""));
+  EXPECT_FALSE(diff.regression);
+  ASSERT_EQ(diff.deltas.size(), 1u);
+  EXPECT_EQ(diff.deltas[0].metric, "gauge g");
+  EXPECT_FALSE(diff.deltas[0].regressed);
+}
+
+TEST(BenchDiffTest, MembershipChangesAreReportedNotFlagged) {
+  BenchDiff diff = DiffMetrics(Snapshot("\"old\": 1", "", ""),
+                               Snapshot("\"new\": 1", "", ""));
+  EXPECT_FALSE(diff.regression);
+  ASSERT_EQ(diff.only_before.size(), 1u);
+  ASSERT_EQ(diff.only_after.size(), 1u);
+  EXPECT_EQ(diff.only_before[0], "counter old");
+  EXPECT_EQ(diff.only_after[0], "counter new");
+}
+
+TEST(BenchDiffTest, RejectsNonSnapshotDocuments) {
+  EXPECT_THROW(DiffMetrics(json::Parse("{}"), json::Parse("{}")),
+               std::runtime_error);
+  EXPECT_THROW(DiffMetrics(json::Parse("{\"counters\": {}}"),
+                           json::Parse("{\"counters\": {}}")),
+               std::runtime_error);
+}
+
+TEST(BenchDiffTest, RealSnapshotRoundTripSelfDiffsClean) {
+  MetricsRegistry registry;
+  registry.GetCounter("rs.updates").Increment(12345);
+  registry.GetGauge("groups").Set(37.5);
+  Histogram& h = registry.GetHistogram("compile.seconds");
+  for (int i = 1; i <= 100; ++i) h.Observe(i * 1e-4);
+  const std::string exported = registry.Snapshot().ToJson();
+  json::Value doc = json::Parse(exported);  // the exporter emits valid JSON
+  EXPECT_DOUBLE_EQ(doc.Find("counters")->NumberAt("rs.updates"), 12345.0);
+  BenchDiff diff = DiffMetrics(doc, doc);
+  EXPECT_FALSE(diff.regression);
+  EXPECT_TRUE(diff.deltas.empty());
+}
+
+}  // namespace
+}  // namespace sdx::obs

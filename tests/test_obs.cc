@@ -70,6 +70,27 @@ TEST(Histogram, PercentilePicksTheRightBucket) {
   EXPECT_GT(h.Percentile(0.99), 3.0);
 }
 
+TEST(Histogram, PercentileExtremesWithSingleObservation) {
+  Histogram h({1.0, 10.0});
+  h.Observe(3.0);
+  // One observation: every quantile is that observation.
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 3.0);
+}
+
+TEST(Histogram, PercentileExtremesClampToObservedRange) {
+  Histogram h({10.0, 20.0});
+  h.Observe(2.0);
+  h.Observe(15.0);
+  // q=0 and q=1 never interpolate past what was actually seen.
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 15.0);
+  // Overflow-bucket observations clamp to the max, not to infinity.
+  h.Observe(1e9);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 1e9);
+}
+
 TEST(Histogram, DefaultLatencyBucketsAreStrictlyIncreasing) {
   const auto bounds = Histogram::LatencyBuckets();
   ASSERT_GE(bounds.size(), 2u);
@@ -120,6 +141,29 @@ TEST(Tracer, SecondsForAndClear) {
   EXPECT_DOUBLE_EQ(tracer.SecondsFor("absent"), 0.0);
   tracer.Clear();
   EXPECT_TRUE(tracer.spans().empty());
+}
+
+TEST(Tracer, EndSpanOutOfOrderPopsDownToTheClosedSpan) {
+  Tracer tracer;
+  const std::size_t root = tracer.BeginSpan("root");
+  const std::size_t a = tracer.BeginSpan("a");
+  const std::size_t a1 = tracer.BeginSpan("a1");
+  // Close the middle span without closing its child first: the stack pops
+  // down to `a`, implicitly abandoning `a1` (which keeps its 0 duration).
+  tracer.EndSpan(a, 2.0);
+  // The next span nests under root, not under the abandoned subtree.
+  const std::size_t b = tracer.BeginSpan("b");
+  tracer.EndSpan(b, 1.0);
+  tracer.EndSpan(root, 5.0);
+
+  const auto& spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_DOUBLE_EQ(spans[a].seconds, 2.0);
+  EXPECT_DOUBLE_EQ(spans[a1].seconds, 0.0);  // never closed
+  EXPECT_EQ(spans[b].parent, root);
+  EXPECT_EQ(spans[b].depth, 1);
+  // Closing a bogus index is ignored, not a crash.
+  tracer.EndSpan(999, 1.0);
 }
 
 TEST(Tracer, NullTracerSpanIsANoOp) {
@@ -197,6 +241,27 @@ TEST(MetricsRegistry, HandlesAreStableAndShared) {
   registry.GetGauge("x").Set(1.5);
   registry.GetHistogram("x").Observe(0.25);
   EXPECT_EQ(registry.size(), 3u);
+}
+
+TEST(MetricsRegistry, HistogramBoundsConflictIsDetectedNotSilent) {
+  MetricsRegistry registry;
+  registry.GetHistogram("lat", {1.0, 2.0}).Observe(0.5);
+  // Re-resolving with the same layout is the normal handle pattern.
+  registry.GetHistogram("lat", {1.0, 2.0});
+  registry.GetHistogram("lat");  // bound-less lookup never conflicts
+  EXPECT_EQ(registry.histogram_bounds_conflicts(), 0u);
+
+  // A different layout for an existing histogram is a caller bug:
+  // first-wins (re-bucketing live observations is impossible), an assert
+  // fires in debug builds, and release builds count the conflict.
+  EXPECT_DEBUG_DEATH(registry.GetHistogram("lat", {5.0}), "bucket bounds");
+#ifdef NDEBUG
+  EXPECT_EQ(registry.histogram_bounds_conflicts(), 1u);
+#endif
+  // The original layout and its observations survive either way.
+  const Histogram& h = registry.GetHistogram("lat");
+  EXPECT_EQ(h.upper_bounds(), (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(h.count(), 1u);
 }
 
 TEST(MetricsRegistry, SnapshotCopiesEverything) {

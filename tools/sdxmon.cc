@@ -1,0 +1,250 @@
+// sdxmon: operator CLI for the SDX observability exports.
+//
+//   sdxmon print <file>                   pretty-print a journal JSONL or a
+//                                         BENCH_*.metrics.json snapshot
+//                                         (format auto-detected)
+//   sdxmon tail  <journal.jsonl> [--since=SEQ]
+//                                         events with seq >= SEQ, plus a gap
+//                                         warning when the ring overwrote
+//                                         events the cursor never saw
+//   sdxmon chain <journal.jsonl> <update-id>
+//                                         the causal chain of one update:
+//                                         every event carrying its id, in
+//                                         order, with a per-stage summary
+//   sdxmon diff  <before.json> <after.json> [threshold flags]
+//                                         bench-metrics regression differ;
+//                                         exits 1 when a threshold trips
+//
+// diff flags (defaults in obs/bench_diff.h):
+//   --max-counter-rel=R  --min-counter-abs=N
+//   --max-p50-ratio=R --max-p95-ratio=R --max-p99-ratio=R
+//   --noise-floor-us=U
+//
+// Exit codes: 0 ok, 1 regression detected (diff only), 2 usage/IO/parse.
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/bench_diff.h"
+#include "obs/journal.h"
+#include "obs/json.h"
+
+namespace {
+
+using sdx::obs::JournalEvent;
+
+constexpr int kExitOk = 0;
+constexpr int kExitRegression = 1;
+constexpr int kExitUsage = 2;
+
+int Usage() {
+  std::cerr <<
+      "usage: sdxmon <command> [args]\n"
+      "  print <file>                        pretty-print journal JSONL or\n"
+      "                                      metrics JSON (auto-detected)\n"
+      "  tail  <journal.jsonl> [--since=SEQ] events from seq SEQ onward\n"
+      "  chain <journal.jsonl> <update-id>   causal chain of one update\n"
+      "  diff  <before.json> <after.json>    bench regression differ\n"
+      "        [--max-counter-rel=R] [--min-counter-abs=N]\n"
+      "        [--max-p50-ratio=R] [--max-p95-ratio=R] [--max-p99-ratio=R]\n"
+      "        [--noise-floor-us=U]\n";
+  return kExitUsage;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+// --since=SEQ style flag; returns false when `arg` does not start with key.
+bool FlagValue(const std::string& arg, const std::string& key,
+               std::string* out) {
+  if (arg.rfind(key + "=", 0) != 0) return false;
+  *out = arg.substr(key.size() + 1);
+  return true;
+}
+
+std::string FormatEvent(const JournalEvent& e) {
+  char head[96];
+  std::snprintf(head, sizeof(head), "%8llu  %10.6fs  u=%-6llu  %-20s",
+                static_cast<unsigned long long>(e.seq), e.seconds,
+                static_cast<unsigned long long>(e.update_id),
+                sdx::obs::JournalEventTypeName(e.type));
+  std::ostringstream os;
+  os << head << " [" << e.arg0 << ", " << e.arg1 << ", " << e.arg2 << "]";
+  if (!e.detail.empty()) os << "  " << e.detail;
+  return os.str();
+}
+
+void PrintEvents(const std::vector<JournalEvent>& events) {
+  std::cout << "     seq          ts  update    type                 "
+               "[arg0, arg1, arg2]  detail\n";
+  for (const JournalEvent& e : events) std::cout << FormatEvent(e) << "\n";
+}
+
+// A journal file is JSONL: its first non-blank line is an object with
+// "seq" and "type" members. Everything else is treated as a metrics
+// snapshot.
+bool LooksLikeJournal(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    try {
+      sdx::obs::json::Value v = sdx::obs::json::Parse(line);
+      return v.is_object() && v.Find("seq") != nullptr &&
+             v.Find("type") != nullptr;
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+  return false;
+}
+
+void PrintMetrics(const sdx::obs::json::Value& doc) {
+  const auto* counters = doc.Find("counters");
+  const auto* gauges = doc.Find("gauges");
+  const auto* histograms = doc.Find("histograms");
+  if (counters == nullptr || gauges == nullptr || histograms == nullptr) {
+    throw std::runtime_error("not a metrics snapshot (missing sections)");
+  }
+  std::cout << "counters:\n";
+  for (const auto& [name, value] : counters->object) {
+    std::cout << "  " << name << " = " << sdx::obs::json::Number(value.number)
+              << "\n";
+  }
+  std::cout << "gauges:\n";
+  for (const auto& [name, value] : gauges->object) {
+    std::cout << "  " << name << " = " << sdx::obs::json::Number(value.number)
+              << "\n";
+  }
+  std::cout << "histograms:\n";
+  for (const auto& [name, h] : histograms->object) {
+    std::cout << "  " << name << "  count=" << h.NumberAt("count")
+              << " p50=" << sdx::obs::json::Number(h.NumberAt("p50"))
+              << " p95=" << sdx::obs::json::Number(h.NumberAt("p95"))
+              << " p99=" << sdx::obs::json::Number(h.NumberAt("p99"))
+              << " max=" << sdx::obs::json::Number(h.NumberAt("max")) << "\n";
+  }
+}
+
+int CmdPrint(const std::vector<std::string>& args) {
+  if (args.size() != 1) return Usage();
+  const std::string text = ReadFile(args[0]);
+  if (LooksLikeJournal(text)) {
+    PrintEvents(sdx::obs::Journal::FromJsonl(text));
+  } else {
+    PrintMetrics(sdx::obs::json::Parse(text));
+  }
+  return kExitOk;
+}
+
+int CmdTail(const std::vector<std::string>& args) {
+  if (args.empty() || args.size() > 2) return Usage();
+  std::uint64_t since = 0;
+  if (args.size() == 2) {
+    std::string value;
+    if (!FlagValue(args[1], "--since", &value)) return Usage();
+    since = std::stoull(value);
+  }
+  std::vector<JournalEvent> events =
+      sdx::obs::Journal::FromJsonl(ReadFile(args[0]));
+  std::vector<JournalEvent> selected;
+  for (const JournalEvent& e : events) {
+    if (e.seq >= since) selected.push_back(e);
+  }
+  if (!selected.empty() && since > 0 && selected.front().seq > since) {
+    std::cout << "warning: " << (selected.front().seq - since)
+              << " event(s) between seq " << since << " and "
+              << selected.front().seq << " were overwritten\n";
+  }
+  PrintEvents(selected);
+  return kExitOk;
+}
+
+int CmdChain(const std::vector<std::string>& args) {
+  if (args.size() != 2) return Usage();
+  const std::uint64_t update_id = std::stoull(args[1]);
+  std::vector<JournalEvent> events =
+      sdx::obs::Journal::FromJsonl(ReadFile(args[0]));
+  std::vector<JournalEvent> chain;
+  for (const JournalEvent& e : events) {
+    if (e.update_id == update_id) chain.push_back(e);
+  }
+  if (chain.empty()) {
+    std::cout << "update " << update_id << ": no events (unknown id, or the "
+              << "ring overwrote its window)\n";
+    return kExitOk;
+  }
+  std::cout << "update " << update_id << ": " << chain.size()
+            << " event(s) over "
+            << sdx::obs::json::Number(chain.back().seconds -
+                                      chain.front().seconds)
+            << "s\n";
+  PrintEvents(chain);
+  std::map<std::string, std::size_t> by_type;
+  for (const JournalEvent& e : chain) {
+    ++by_type[sdx::obs::JournalEventTypeName(e.type)];
+  }
+  std::cout << "stages:";
+  for (const auto& [name, count] : by_type) {
+    std::cout << " " << name << "=" << count;
+  }
+  std::cout << "\n";
+  return kExitOk;
+}
+
+int CmdDiff(const std::vector<std::string>& args) {
+  if (args.size() < 2) return Usage();
+  sdx::obs::BenchDiffOptions options;
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    std::string value;
+    if (FlagValue(args[i], "--max-counter-rel", &value)) {
+      options.max_counter_rel = std::stod(value);
+    } else if (FlagValue(args[i], "--min-counter-abs", &value)) {
+      options.min_counter_abs = std::stod(value);
+    } else if (FlagValue(args[i], "--max-p50-ratio", &value)) {
+      options.max_p50_ratio = std::stod(value);
+    } else if (FlagValue(args[i], "--max-p95-ratio", &value)) {
+      options.max_p95_ratio = std::stod(value);
+    } else if (FlagValue(args[i], "--max-p99-ratio", &value)) {
+      options.max_p99_ratio = std::stod(value);
+    } else if (FlagValue(args[i], "--noise-floor-us", &value)) {
+      options.noise_floor_seconds = std::stod(value) * 1e-6;
+    } else {
+      return Usage();
+    }
+  }
+  sdx::obs::BenchDiff diff = sdx::obs::DiffMetrics(
+      sdx::obs::json::Parse(ReadFile(args[0])),
+      sdx::obs::json::Parse(ReadFile(args[1])), options);
+  std::cout << diff.Render();
+  return diff.regression ? kExitRegression : kExitOk;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (command == "print") return CmdPrint(args);
+    if (command == "tail") return CmdTail(args);
+    if (command == "chain") return CmdChain(args);
+    if (command == "diff") return CmdDiff(args);
+  } catch (const std::exception& e) {
+    std::cerr << "sdxmon: " << e.what() << "\n";
+    return kExitUsage;
+  }
+  return Usage();
+}
