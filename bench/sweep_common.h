@@ -25,7 +25,7 @@ struct BuiltScenario {
 // prefix-group diversity of Figure 6 (the paper's figures sweep prefix
 // groups directly).
 inline BuiltScenario MakeScenario(int participants, int prefixes,
-                                  std::uint32_t seed,
+                                  std::uint64_t seed,
                                   double policy_scale = 1.0,
                                   int coverage_fanout = 0) {
   workload::TopologyParams topo;

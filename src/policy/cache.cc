@@ -3,31 +3,59 @@
 namespace sdx::policy {
 
 const Classifier* CompilationCache::Get(const void* id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(id);
   if (it == entries_.end()) {
     ++misses_;
     return nullptr;
   }
   ++hits_;
+  // Entries are never replaced (first-wins Put) or erased outside Clear(),
+  // and unordered_map never moves stored values, so this pointer stays
+  // valid for the rest of the compilation generation.
   return &it->second.classifier;
 }
 
 void CompilationCache::Put(const void* id,
                            std::shared_ptr<const void> keepalive,
                            Classifier classifier) {
-  auto [it, inserted] = entries_.insert_or_assign(
-      id, Entry{std::move(keepalive), std::move(classifier)});
-  if (!inserted) ++evictions_;
+  std::lock_guard<std::mutex> lock(mu_);
+  // First-wins: a concurrent compilation of the same node already stored a
+  // semantically identical classifier; keep it so outstanding Get pointers
+  // cannot dangle.
+  entries_.try_emplace(id, Entry{std::move(keepalive), std::move(classifier)});
 }
 
 void CompilationCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   evictions_ += entries_.size();
   entries_.clear();
   hits_ = 0;
   misses_ = 0;
 }
 
+std::size_t CompilationCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::uint64_t CompilationCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::uint64_t CompilationCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+std::uint64_t CompilationCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
 std::size_t CompilationCache::TotalRules() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::size_t total = 0;
   for (const auto& [id, entry] : entries_) total += entry.classifier.size();
   return total;

@@ -6,10 +6,20 @@
 // participant policy composed into many pairwise products compiles once.
 // Each entry retains a shared_ptr to its AST node, so the keyed address
 // cannot be freed and recycled by an unrelated policy while the entry lives.
+//
+// Thread safety: Get/Put/size/TotalRules are internally synchronized so the
+// parallel compiler (util::ThreadPool workers in Composer::Compose) can
+// share one cache. Put is first-wins — concurrent compilations of the same
+// node produce semantically identical classifiers, so the first stored
+// entry stays and later duplicates are dropped. Because entries are never
+// replaced and the map is node-based, the pointer Get returns stays valid
+// until Clear(); Clear() must not run concurrently with compilation (the
+// runtime only clears between generations, on the control thread).
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 
@@ -25,13 +35,13 @@ class CompilationCache {
 
   void Clear();
 
-  std::size_t size() const { return entries_.size(); }
+  std::size_t size() const;
   // Hit/miss counters reset with Clear() (they describe the current
   // compilation generation); `evictions` accumulates across generations —
-  // every entry ever dropped by Clear() or displaced by Put().
-  std::uint64_t hits() const { return hits_; }
-  std::uint64_t misses() const { return misses_; }
-  std::uint64_t evictions() const { return evictions_; }
+  // every entry ever dropped by Clear().
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::uint64_t evictions() const;
 
   // Rough memory footprint (rule counts), for the §6.3 cache-size estimate.
   std::size_t TotalRules() const;
@@ -41,6 +51,7 @@ class CompilationCache {
     std::shared_ptr<const void> keepalive;
     Classifier classifier;
   };
+  mutable std::mutex mu_;
   std::unordered_map<const void*, Entry> entries_;
   mutable std::uint64_t hits_ = 0;
   mutable std::uint64_t misses_ = 0;

@@ -79,4 +79,20 @@ Classifier Compile(const Policy& policy, CompilationCache* cache) {
   return result;
 }
 
+std::vector<Classifier> CompileBatch(const std::vector<Policy>& policies,
+                                     CompilationCache* cache,
+                                     util::ThreadPool* pool) {
+  std::vector<Classifier> out(policies.size());
+  if (pool == nullptr) {
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+      out[i] = Compile(policies[i], cache);
+    }
+    return out;
+  }
+  pool->ParallelFor(policies.size(), [&](std::size_t i) {
+    out[i] = Compile(policies[i], cache);
+  });
+  return out;
+}
+
 }  // namespace sdx::policy

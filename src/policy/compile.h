@@ -3,12 +3,21 @@
 // The recursive Pyretic algorithm: leaves compile to one- or two-rule
 // classifiers; composite nodes compose their children's classifiers. An
 // optional CompilationCache memoizes sub-results by node identity.
+//
+// CompileBatch fans independent compilations out across a thread pool with
+// a deterministic merge: results come back in input order no matter how the
+// work was scheduled, so parallel compilation is byte-identical to running
+// Compile in a loop (the shared cache is internally synchronized and
+// semantically inert — see tests/test_compile_property.cc).
 #pragma once
+
+#include <vector>
 
 #include "policy/cache.h"
 #include "policy/classifier.h"
 #include "policy/policy.h"
 #include "policy/predicate.h"
+#include "util/thread_pool.h"
 
 namespace sdx::policy {
 
@@ -18,5 +27,11 @@ Classifier CompilePredicate(const Predicate& predicate,
 
 // Compiles a policy to a total classifier.
 Classifier Compile(const Policy& policy, CompilationCache* cache = nullptr);
+
+// Compiles policies[i] for every i across `pool` (the caller participates);
+// result[i] == Compile(policies[i], cache). A null pool compiles inline.
+std::vector<Classifier> CompileBatch(const std::vector<Policy>& policies,
+                                     CompilationCache* cache,
+                                     util::ThreadPool* pool);
 
 }  // namespace sdx::policy

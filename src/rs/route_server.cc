@@ -8,6 +8,7 @@ namespace sdx::rs {
 void RouteServer::RegisterParticipant(AsNumber as,
                                       net::IPv4Address router_id) {
   participants_[as].router_id = router_id;
+  ++config_version_;
 }
 
 bool RouteServer::IsRegistered(AsNumber as) const {
@@ -24,6 +25,7 @@ std::vector<AsNumber> RouteServer::Participants() const {
 void RouteServer::DenyExport(AsNumber announcer, AsNumber receiver,
                              const net::IPv4Prefix& prefix) {
   export_denies_.insert({announcer, receiver, prefix});
+  ++config_version_;
   // The receiver's view of this prefix may have changed.
   if (auto change = RecomputeBest(receiver, prefix); change && on_change_) {
     on_change_(*change);
@@ -33,6 +35,7 @@ void RouteServer::DenyExport(AsNumber announcer, AsNumber receiver,
 void RouteServer::AllowExport(AsNumber announcer, AsNumber receiver,
                               const net::IPv4Prefix& prefix) {
   export_denies_.erase({announcer, receiver, prefix});
+  ++config_version_;
   if (auto change = RecomputeBest(receiver, prefix); change && on_change_) {
     on_change_(*change);
   }

@@ -70,7 +70,10 @@ class RouteServer {
 
   // The route server's own AS number, used by the (rs-as, peer)
   // "announce only to" control community. 0 disables that form.
-  void SetRouteServerAs(std::uint16_t as) { rs_as_ = as; }
+  void SetRouteServerAs(std::uint16_t as) {
+    rs_as_ = as;
+    ++config_version_;
+  }
   std::uint16_t route_server_as() const { return rs_as_; }
 
   // --- Export policy ----------------------------------------------------
@@ -152,6 +155,13 @@ class RouteServer {
 
   std::uint64_t updates_processed() const { return updates_processed_; }
 
+  // Bumped by every mutation that can change routing outcomes through a
+  // path other than HandleUpdate (participant registration, export-policy
+  // edits, rs-as changes). Together with updates_processed() this lets the
+  // runtime's incremental compiler prove "no routing state changed behind
+  // my back" — any unexplained delta forces a full recompilation.
+  std::uint64_t config_version() const { return config_version_; }
+
   // Update/withdraw/churn counters for one participant; nullptr when
   // unregistered.
   const ParticipantCounters* CountersFor(AsNumber as) const;
@@ -181,6 +191,7 @@ class RouteServer {
   std::function<void(const BestRouteChange&)> on_change_;
   obs::Journal* journal_ = nullptr;
   std::uint64_t updates_processed_ = 0;
+  std::uint64_t config_version_ = 0;
   std::uint64_t export_suppressions_ = 0;
   bool bulk_loading_ = false;
   std::uint16_t rs_as_ = 64999;

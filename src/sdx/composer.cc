@@ -6,6 +6,7 @@
 #include "sdx/bgp_filter.h"
 #include "sdx/default_fwd.h"
 #include "sdx/isolation.h"
+#include "util/fingerprint.h"
 
 namespace sdx::core {
 
@@ -29,6 +30,12 @@ std::size_t AppendForwardingRules(const Classifier& block,
     ++count;
   }
   return count;
+}
+
+std::vector<Rule> ForwardingRules(const Classifier& block) {
+  std::vector<Rule> out;
+  AppendForwardingRules(block, out);
+  return out;
 }
 
 }  // namespace
@@ -81,31 +88,82 @@ CompiledSdx Composer::Compose(
     const std::map<AsNumber, Participant>& participants,
     const InboundPolicies& inbound_policies, const GroupTable& groups,
     const ClauseSetIds& clause_set_ids,
-    policy::CompilationCache* cache, obs::Tracer* tracer) const {
+    policy::CompilationCache* cache, obs::Tracer* tracer,
+    util::ThreadPool* pool, BlockMemo* memo,
+    ComposeOutcome* outcome) const {
   // Inbound blocks, compiled once per participant and reused for every
   // sender that targets them (memoization-friendly: one Policy object each).
   std::map<AsNumber, Classifier> inbound_blocks;
   {
     obs::TraceSpan span(tracer, "inbound_blocks");
+    std::vector<AsNumber> order;
+    std::vector<Policy> policies;
+    order.reserve(inbound_policies.size());
+    policies.reserve(inbound_policies.size());
     for (const auto& [as, inbound_policy] : inbound_policies) {
-      inbound_blocks.emplace(as, Compile(inbound_policy, cache));
+      order.push_back(as);
+      policies.push_back(inbound_policy);
+    }
+    std::vector<Classifier> compiled =
+        policy::CompileBatch(policies, cache, pool);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      inbound_blocks.emplace(order[i], std::move(compiled[i]));
     }
   }
 
   std::vector<Rule> final_rules;
   CompiledSdx result;
+  // Scratch memo when the caller keeps none: every fingerprint misses.
+  BlockMemo scratch;
+  BlockMemo& blocks = memo != nullptr ? *memo : scratch;
+  auto tally = [outcome](bool reused) {
+    if (outcome == nullptr) return;
+    ++outcome->blocks_total;
+    ++(reused ? outcome->blocks_reused : outcome->blocks_recompiled);
+  };
 
   {
     obs::TraceSpan span(tracer, "override_blocks");
 
+    // Pass A (sequential): enumerate blocks in their final (deterministic)
+    // order, fingerprint each, and collect the stale ones as compile jobs.
+    //
     // Service-chain transit rules sit at the very top: a middlebox port
     // belongs to some participant whose own policies must not capture the
     // re-injected traffic (see ChainStagePolicy).
+    struct ChainJob {
+      const Participant* participant = nullptr;
+      BlockMemo::Entry* entry = nullptr;
+      Policy policy = Policy::Drop();
+    };
+    struct OverrideJob {
+      AsNumber sender = 0;
+      const OutboundClause* clause = nullptr;
+      const std::vector<GroupId>* group_ids = nullptr;
+      const Classifier* target = nullptr;
+      BlockMemo::Entry* entry = nullptr;
+    };
+    std::vector<const BlockMemo::Entry*> append_order;
+    std::vector<ChainJob> chain_jobs;
+    std::vector<OverrideJob> override_jobs;
+
     for (const auto& [as, participant] : participants) {
       Policy chain_policy = ChainStagePolicy(*topo_, participant);
       if (chain_policy.kind() == Policy::Kind::kDrop) continue;
-      result.override_rule_count +=
-          AppendForwardingRules(Compile(chain_policy, cache), final_rules);
+      util::Fingerprint fp;
+      fp.Mix("chain");
+      fp.Mix(as);
+      fp.Mix(participant.inbound_version());
+      BlockMemo::Entry& entry = blocks.chain_blocks[as];
+      append_order.push_back(&entry);
+      if (entry.fingerprint == fp.value()) {
+        tally(/*reused=*/true);
+        continue;
+      }
+      entry.fingerprint = fp.value();
+      chain_jobs.push_back(
+          ChainJob{&participant, &entry, std::move(chain_policy)});
+      tally(/*reused=*/false);
     }
 
     // Override blocks: each sender's clauses, expanded over their eligible
@@ -124,69 +182,136 @@ CompiledSdx Composer::Compose(
         if (groups_it == groups.groups_in_set.end()) continue;
         auto target = inbound_blocks.find(clause.to);
         if (target == inbound_blocks.end()) continue;
-        Classifier block =
-            ClauseBlock(as, clause, groups_it->second, groups, cache)
-                .Sequential(target->second);
-        result.override_rule_count +=
-            AppendForwardingRules(block, final_rules);
+        // The block is a pure function of the clause's own content (not the
+        // sender's whole policy — editing one clause must not dirty its
+        // siblings), the target's inbound block, and the ordered content of
+        // its eligible groups. ToString is a full serialization of match,
+        // destination restrictions, and target.
+        util::Fingerprint fp;
+        fp.Mix("override");
+        fp.Mix(as);
+        fp.Mix(static_cast<std::uint64_t>(i));
+        fp.Mix(clause.ToString());
+        fp.Mix(clause.to);
+        fp.Mix(participants.at(clause.to).inbound_version());
+        for (GroupId id : groups_it->second) fp.Mix(groups.groups[id].sig);
+        BlockMemo::Entry& entry = blocks.override_blocks[{as, i}];
+        append_order.push_back(&entry);
+        if (entry.fingerprint == fp.value()) {
+          tally(/*reused=*/true);
+          continue;
+        }
+        entry.fingerprint = fp.value();
+        override_jobs.push_back(OverrideJob{as, &clause, &groups_it->second,
+                                            &target->second, &entry});
+        tally(/*reused=*/false);
       }
+    }
+
+    // Pass B (parallel): recompile the stale blocks. Each job writes only
+    // its own memo entry; the shared cache is internally synchronized.
+    const std::size_t total_jobs = chain_jobs.size() + override_jobs.size();
+    auto run_job = [&](std::size_t j) {
+      if (j < chain_jobs.size()) {
+        ChainJob& job = chain_jobs[j];
+        job.entry->rules = ForwardingRules(Compile(job.policy, cache));
+        return;
+      }
+      OverrideJob& job = override_jobs[j - chain_jobs.size()];
+      job.entry->rules = ForwardingRules(
+          ClauseBlock(job.sender, *job.clause, *job.group_ids, groups, cache)
+              .Sequential(*job.target));
+    };
+    if (pool != nullptr) {
+      pool->ParallelFor(total_jobs, run_job);
+    } else {
+      for (std::size_t j = 0; j < total_jobs; ++j) run_job(j);
+    }
+
+    // Pass C (sequential): deterministic merge, identical to the order the
+    // sequential compiler appends blocks in.
+    for (const BlockMemo::Entry* entry : append_order) {
+      final_rules.insert(final_rules.end(), entry->rules.begin(),
+                         entry->rules.end());
+      result.override_rule_count += entry->rules.size();
     }
   }
 
   {
     obs::TraceSpan span(tracer, "default_blocks");
 
-    Classifier all_inbound = Classifier::DropAll();
-    for (const auto& [as, block] : inbound_blocks) {
-      all_inbound = all_inbound.UnionDisjoint(block);
+    // The default block depends on every inbound block and every group, so
+    // its fingerprint covers the whole roster and group table.
+    util::Fingerprint fp;
+    fp.Mix("default");
+    for (const auto& [as, participant] : participants) {
+      fp.Mix(as);
+      fp.Mix(participant.inbound_version());
     }
+    for (const AnnotatedGroup& group : groups.groups) fp.Mix(group.sig);
+    BlockMemo::Entry& entry = blocks.default_block;
+    if (entry.fingerprint != fp.value()) {
+      entry.fingerprint = fp.value();
+      entry.rules.clear();
+      tally(/*reused=*/false);
 
-    // Per-sender default exceptions: senders whose own best route for a
-    // group differs from the shared default (see AnnotatedGroup). These sit
-    // above the shared block — they carry an in-port match, so they are
-    // disjoint across senders (and across groups by VMAC).
-    std::vector<Rule> exception_rules;
-    for (const AnnotatedGroup& group : groups.groups) {
-      for (const auto& [sender, hop] : group.per_sender_best) {
-        if (hop == 0 || !participants.contains(hop)) continue;
-        const net::PortId ingress = topo_->IngressPort(hop);
-        for (net::PortId port : topo_->PhysicalPortIds(sender)) {
-          exception_rules.push_back(
-              Rule{net::FieldMatch::InPort(port).WithDstMac(
-                       group.binding.vmac),
-                   {dataplane::Action{{}, ingress}}});
+      Classifier all_inbound = Classifier::DropAll();
+      for (const auto& [as, block] : inbound_blocks) {
+        all_inbound = all_inbound.UnionDisjoint(block);
+      }
+
+      // Per-sender default exceptions: senders whose own best route for a
+      // group differs from the shared default (see AnnotatedGroup). These
+      // sit above the shared block — they carry an in-port match, so they
+      // are disjoint across senders (and across groups by VMAC).
+      std::vector<Rule> exception_rules;
+      for (const AnnotatedGroup& group : groups.groups) {
+        for (const auto& [sender, hop] : group.per_sender_best) {
+          if (hop == 0 || !participants.contains(hop)) continue;
+          const net::PortId ingress = topo_->IngressPort(hop);
+          for (net::PortId port : topo_->PhysicalPortIds(sender)) {
+            exception_rules.push_back(
+                Rule{net::FieldMatch::InPort(port).WithDstMac(
+                         group.binding.vmac),
+                     {dataplane::Action{{}, ingress}}});
+          }
         }
       }
-    }
-    if (!exception_rules.empty()) {
-      exception_rules.push_back(Rule{net::FieldMatch(), {}});
-      result.default_rule_count += AppendForwardingRules(
-          Classifier(std::move(exception_rules)).Sequential(all_inbound),
-          final_rules);
-    }
-
-    // Shared default block: VMAC/real-MAC forwarding into every inbound
-    // block. Rules are disjoint by dst MAC, so they are emitted directly.
-    std::vector<Rule> default_rules;
-    default_rules.reserve(groups.groups.size() +
-                          topo_->physical_port_count() + 1);
-    for (const AnnotatedGroup& group : groups.groups) {
-      if (group.best_hop == 0 || !participants.contains(group.best_hop)) {
-        continue;
+      if (!exception_rules.empty()) {
+        exception_rules.push_back(Rule{net::FieldMatch(), {}});
+        AppendForwardingRules(
+            Classifier(std::move(exception_rules)).Sequential(all_inbound),
+            entry.rules);
       }
-      default_rules.push_back(
-          Rule{net::FieldMatch::DstMac(group.binding.vmac),
-               {dataplane::Action{{}, topo_->IngressPort(group.best_hop)}}});
+
+      // Shared default block: VMAC/real-MAC forwarding into every inbound
+      // block. Rules are disjoint by dst MAC, so they are emitted directly.
+      std::vector<Rule> default_rules;
+      default_rules.reserve(groups.groups.size() +
+                            topo_->physical_port_count() + 1);
+      for (const AnnotatedGroup& group : groups.groups) {
+        if (group.best_hop == 0 || !participants.contains(group.best_hop)) {
+          continue;
+        }
+        default_rules.push_back(
+            Rule{net::FieldMatch::DstMac(group.binding.vmac),
+                 {dataplane::Action{{}, topo_->IngressPort(group.best_hop)}}});
+      }
+      for (const PhysicalPort& port : topo_->AllPhysicalPorts()) {
+        default_rules.push_back(
+            Rule{net::FieldMatch::DstMac(port.mac),
+                 {dataplane::Action{{}, topo_->IngressPort(port.owner)}}});
+      }
+      default_rules.push_back(Rule{net::FieldMatch(), {}});
+      AppendForwardingRules(
+          Classifier(std::move(default_rules)).Sequential(all_inbound),
+          entry.rules);
+    } else {
+      tally(/*reused=*/true);
     }
-    for (const PhysicalPort& port : topo_->AllPhysicalPorts()) {
-      default_rules.push_back(
-          Rule{net::FieldMatch::DstMac(port.mac),
-               {dataplane::Action{{}, topo_->IngressPort(port.owner)}}});
-    }
-    default_rules.push_back(Rule{net::FieldMatch(), {}});
-    result.default_rule_count += AppendForwardingRules(
-        Classifier(std::move(default_rules)).Sequential(all_inbound),
-        final_rules);
+    final_rules.insert(final_rules.end(), entry.rules.begin(),
+                       entry.rules.end());
+    result.default_rule_count += entry.rules.size();
   }
 
   obs::TraceSpan span(tracer, "finalize_classifier");

@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <map>
 #include <utility>
+#include <vector>
 
 #include "obs/trace.h"
 #include "policy/cache.h"
@@ -37,6 +38,7 @@
 #include "sdx/group_table.h"
 #include "sdx/participant.h"
 #include "sdx/vswitch.h"
+#include "util/thread_pool.h"
 
 namespace sdx::core {
 
@@ -49,6 +51,41 @@ struct CompiledSdx {
   policy::Classifier classifier;
   std::size_t override_rule_count = 0;
   std::size_t default_rule_count = 0;
+};
+
+// Cross-generation memo of composed rule blocks, owned by the runtime and
+// threaded through Compose. Each entry stores the FORWARDING rules a block
+// contributed to the final classifier, keyed by a fingerprint over
+// everything the block was derived from: the sender's policy edit counters
+// (participant.h), the target's inbound edit counter, and the ordered
+// content signatures of the clause's eligible prefix groups
+// (AnnotatedGroup::sig — prefixes, VNH/VMAC binding, routing). A block is
+// reused iff its fingerprint matches exactly, so the memo is self-
+// validating: it never needs an external reset, even across roster growth.
+struct BlockMemo {
+  struct Entry {
+    std::uint64_t fingerprint = 0;
+    std::vector<policy::Rule> rules;
+  };
+  // Service-chain transit block per hosting participant.
+  std::map<AsNumber, Entry> chain_blocks;
+  // One override block per (sender, outbound-clause index).
+  std::map<std::pair<AsNumber, int>, Entry> override_blocks;
+  // Per-sender default exceptions + the shared VMAC/port-MAC default block.
+  Entry default_block;
+
+  void Clear() {
+    chain_blocks.clear();
+    override_blocks.clear();
+    default_block = Entry{};
+  }
+};
+
+// How much of a composition was served from the BlockMemo.
+struct ComposeOutcome {
+  std::size_t blocks_total = 0;
+  std::size_t blocks_reused = 0;
+  std::size_t blocks_recompiled = 0;
 };
 
 // Per-participant inbound-block policies (ingress filter >> delivery).
@@ -68,12 +105,26 @@ class Composer {
 
   // `tracer` (optional) receives child spans for the composition stages:
   // inbound_blocks / override_blocks / default_blocks.
+  //
+  // `pool` (optional) fans the independent block compilations out across
+  // worker threads. The merge is deterministic: blocks land in the final
+  // classifier in the same order as the sequential path (chain blocks by
+  // hosting AS, override blocks by (sender AS, clause index), exceptions,
+  // defaults), so a parallel composition is byte-identical to a sequential
+  // one. Spans are only opened on the calling thread.
+  //
+  // `memo` (optional) enables incremental composition: blocks whose
+  // fingerprints match the previous generation are appended from the memo
+  // without recompiling. `outcome` (optional) reports the reuse split.
   CompiledSdx Compose(const std::map<AsNumber, Participant>& participants,
                       const InboundPolicies& inbound_policies,
                       const GroupTable& groups,
                       const ClauseSetIds& clause_set_ids,
                       policy::CompilationCache* cache,
-                      obs::Tracer* tracer = nullptr) const;
+                      obs::Tracer* tracer = nullptr,
+                      util::ThreadPool* pool = nullptr,
+                      BlockMemo* memo = nullptr,
+                      ComposeOutcome* outcome = nullptr) const;
 
   // Compiles just the rules affected by one prefix group — the §4.3.2 fast
   // path. Produces the group's default rule plus any override rules whose

@@ -36,6 +36,12 @@ struct AnnotatedGroup {
   // receiver's view is part of the FEC signature.
   std::map<bgp::AsNumber, bgp::AsNumber> per_sender_best;
   std::vector<std::uint32_t> member_of;  // behavior-set ids (sorted)
+  // Content fingerprint over (prefixes, binding, best_hop, per_sender_best),
+  // computed by the runtime after annotation. Two groups with equal sigs
+  // yield identical compiled rules, so the incremental composer folds the
+  // ordered sig list of each clause's groups into its block fingerprint:
+  // any change in membership, binding, or routing dirties the block.
+  std::uint64_t sig = 0;
 };
 
 struct GroupTable {

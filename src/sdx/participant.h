@@ -90,9 +90,11 @@ class Participant {
 
   void SetOutbound(std::vector<OutboundClause> clauses) {
     outbound_ = std::move(clauses);
+    ++outbound_version_;
   }
   void SetInbound(std::vector<InboundClause> clauses) {
     inbound_ = std::move(clauses);
+    ++inbound_version_;
   }
 
   const std::vector<OutboundClause>& outbound() const { return outbound_; }
@@ -100,11 +102,19 @@ class Participant {
 
   bool HasPolicies() const { return !outbound_.empty() || !inbound_.empty(); }
 
+  // Monotonic edit counters, bumped by every policy set. The incremental
+  // compiler folds them into block fingerprints (DESIGN.md §8), so a policy
+  // edit is guaranteed to dirty every compiled block derived from it.
+  std::uint64_t outbound_version() const { return outbound_version_; }
+  std::uint64_t inbound_version() const { return inbound_version_; }
+
  private:
   AsNumber as_;
   int physical_ports_;
   std::vector<OutboundClause> outbound_;
   std::vector<InboundClause> inbound_;
+  std::uint64_t outbound_version_ = 0;
+  std::uint64_t inbound_version_ = 0;
 };
 
 // The participant's border router, as seen from the fabric.

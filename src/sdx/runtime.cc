@@ -5,6 +5,7 @@
 
 #include "obs/timer.h"
 #include "sdx/bgp_filter.h"
+#include "util/fingerprint.h"
 
 namespace sdx::core {
 
@@ -136,6 +137,8 @@ void SdxRuntime::AnnouncePrefix(AsNumber as, const net::IPv4Prefix& prefix,
   announcement.route.as_path =
       as_path.empty() ? std::vector<bgp::AsNumber>{as} : std::move(as_path);
   route_server_.HandleUpdate(bgp::BgpUpdate{announcement});
+  rib_touched_.insert(prefix);
+  ++tracked_updates_;
 }
 
 net::IPv4Address SdxRuntime::RouterIp(AsNumber as) const {
@@ -146,12 +149,10 @@ net::IPv4Address SdxRuntime::RouterIp(AsNumber as) const {
   return it->second;
 }
 
-void SdxRuntime::RecomputeGroups(obs::Tracer* tracer) {
-  // Release previous bindings (including fast-path singletons).
-  for (const AnnotatedGroup& group : groups_.groups) {
-    arp_.Unbind(group.binding.vnh);
-    vnh_.Release(group.binding);
-  }
+void SdxRuntime::RecomputeGroups(obs::Tracer* tracer, bool incremental,
+                                 util::ThreadPool* pool) {
+  // Fast-path singletons are always retired wholesale: the background pass
+  // re-coalesces their prefixes into optimal groups.
   for (const AnnotatedGroup& group : fast_groups_) {
     arp_.Unbind(group.binding.vnh);
     vnh_.Release(group.binding);
@@ -160,6 +161,28 @@ void SdxRuntime::RecomputeGroups(obs::Tracer* tracer) {
   fast_group_of_.clear();
   groups_.Clear();
   clause_set_ids_.clear();
+  dirty_prefixes_.clear();
+
+  if (!incremental) {
+    clause_eligible_.clear();
+    prefix_info_.clear();
+    remote_overridden_.clear();
+  } else {
+    // Touched prefixes invalidate their memoized routing info; entries are
+    // recomputed below if (and only if) the prefix is still overridden.
+    for (const net::IPv4Prefix& prefix : rib_touched_) {
+      prefix_info_.erase(prefix);
+    }
+  }
+
+  // A prefix is eligible for a clause when the clause's destination
+  // restriction admits it and the target exports a usable route for it to
+  // the sender — the point-query form of EligiblePrefixes.
+  auto clause_admits = [this](AsNumber sender, const OutboundClause& clause,
+                              const net::IPv4Prefix& prefix) {
+    return ClauseCoversPrefix(clause, prefix) &&
+           route_server_.ExportsTo(clause.to, sender, prefix);
+  };
 
   FecComputer fec;
   std::vector<PrefixGroup> computed;
@@ -167,29 +190,88 @@ void SdxRuntime::RecomputeGroups(obs::Tracer* tracer) {
     obs::TraceSpan span(tracer, "fec_compute");
     std::vector<net::IPv4Prefix> overridden;  // union over all clause sets
 
-    // Pass 1: one behavior set per outbound clause (its eligible prefixes).
+    // Pass 1: one behavior set per outbound clause (its eligible prefixes,
+    // kept sorted so full and incremental compiles group identically).
+    // A clause's memoized set survives while the owning participant's
+    // policy is unedited; RIB churn is folded in per touched prefix. The
+    // route-server sweeps for stale/fresh clauses fan out across `pool`.
+    struct ClauseRef {
+      AsNumber as = 0;
+      int index = 0;
+      const OutboundClause* clause = nullptr;
+      ClauseEligible* entry = nullptr;
+      bool full = false;
+    };
+    std::vector<ClauseRef> refs;
     for (const auto& [as, participant] : participants_) {
       const auto& clauses = participant.outbound();
       for (int i = 0; i < static_cast<int>(clauses.size()); ++i) {
-        auto eligible = EligiblePrefixes(
-            route_server_, as, clauses[static_cast<std::size_t>(i)]);
-        clause_set_ids_[{as, i}] = fec.AddBehaviorSet(eligible);
-        overridden.insert(overridden.end(), eligible.begin(), eligible.end());
+        ClauseEligible& entry = clause_eligible_[{as, i}];
+        const bool full =
+            !incremental || entry.outbound_version != participant.outbound_version();
+        refs.push_back(ClauseRef{as, i,
+                                 &clauses[static_cast<std::size_t>(i)],
+                                 &entry, full});
+        entry.outbound_version = participant.outbound_version();
       }
+    }
+    auto refresh_clause = [&](std::size_t r) {
+      const ClauseRef& ref = refs[r];
+      std::vector<net::IPv4Prefix>& eligible = ref.entry->prefixes;
+      if (ref.full) {
+        eligible = EligiblePrefixes(route_server_, ref.as, *ref.clause);
+        std::sort(eligible.begin(), eligible.end());
+      } else {
+        for (const net::IPv4Prefix& prefix : rib_touched_) {
+          auto pos = std::lower_bound(eligible.begin(), eligible.end(),
+                                      prefix);
+          const bool present = pos != eligible.end() && *pos == prefix;
+          const bool wanted = clause_admits(ref.as, *ref.clause, prefix);
+          if (wanted && !present) {
+            eligible.insert(pos, prefix);
+          } else if (!wanted && present) {
+            eligible.erase(pos);
+          }
+        }
+      }
+    };
+    if (pool != nullptr) {
+      pool->ParallelFor(refs.size(), refresh_clause);
+    } else {
+      for (std::size_t r = 0; r < refs.size(); ++r) refresh_clause(r);
+    }
+    for (const ClauseRef& ref : refs) {
+      clause_set_ids_[{ref.as, ref.index}] =
+          fec.AddBehaviorSet(ref.entry->prefixes);
+      overridden.insert(overridden.end(), ref.entry->prefixes.begin(),
+                        ref.entry->prefixes.end());
     }
 
     // Prefixes whose best route leads to a *remote* participant (wide-area
     // load balancing, §3.2) must be grouped too: there is no physical port
     // MAC for the border routers to tag with, so reaching the remote's
     // virtual switch requires a VNH/VMAC.
-    for (const net::IPv4Prefix& prefix : route_server_.AllPrefixes()) {
+    auto remote_best = [this](const net::IPv4Prefix& prefix) {
       const bgp::BgpRoute* best = route_server_.GlobalBest(prefix);
-      if (best == nullptr) continue;
+      if (best == nullptr) return false;
       auto it = participants_.find(best->peer_as);
-      if (it != participants_.end() && it->second.remote()) {
-        overridden.push_back(prefix);
+      return it != participants_.end() && it->second.remote();
+    };
+    if (!incremental) {
+      for (const net::IPv4Prefix& prefix : route_server_.AllPrefixes()) {
+        if (remote_best(prefix)) remote_overridden_.insert(prefix);
+      }
+    } else {
+      for (const net::IPv4Prefix& prefix : rib_touched_) {
+        if (remote_best(prefix)) {
+          remote_overridden_.insert(prefix);
+        } else {
+          remote_overridden_.erase(prefix);
+        }
       }
     }
+    overridden.insert(overridden.end(), remote_overridden_.begin(),
+                      remote_overridden_.end());
 
     // Pass 2: group overridden prefixes by their default forwarding
     // behavior. Two prefixes may share a group only if they share the route
@@ -200,19 +282,46 @@ void SdxRuntime::RecomputeGroups(obs::Tracer* tracer) {
     std::sort(overridden.begin(), overridden.end());
     overridden.erase(std::unique(overridden.begin(), overridden.end()),
                      overridden.end());
+
+    // Per-prefix routing info, memoized: only prefixes without a valid
+    // entry (new to the overridden set, or touched above) hit the route
+    // server, fanned out across `pool`. This is the dominant cost of a
+    // cold compile — senders × prefixes best-route lookups.
+    std::vector<PrefixInfo*> fill;
+    std::vector<const net::IPv4Prefix*> fill_prefixes;
+    for (const net::IPv4Prefix& prefix : overridden) {
+      auto [it, inserted] = prefix_info_.try_emplace(prefix);
+      if (!inserted) continue;
+      fill.push_back(&it->second);
+      fill_prefixes.push_back(&it->first);
+    }
+    auto compute_info = [&](std::size_t f) {
+      const net::IPv4Prefix& prefix = *fill_prefixes[f];
+      PrefixInfo& info = *fill[f];
+      const bgp::BgpRoute* best = route_server_.GlobalBest(prefix);
+      info.global_hop = best == nullptr ? 0 : best->peer_as;
+      for (const auto& [sender, router] : routers_) {
+        const bgp::BgpRoute* own = route_server_.BestRoute(sender, prefix);
+        const AsNumber own_hop = own == nullptr ? 0 : own->peer_as;
+        if (own_hop != info.global_hop) {
+          info.exceptions.emplace_back(sender, own_hop);
+        }
+      }
+    };
+    if (pool != nullptr) {
+      pool->ParallelFor(fill.size(), compute_info);
+    } else {
+      for (std::size_t f = 0; f < fill.size(); ++f) compute_info(f);
+    }
+
     std::map<AsNumber, std::vector<net::IPv4Prefix>> by_next_hop;
     std::map<std::pair<AsNumber, AsNumber>, std::vector<net::IPv4Prefix>>
         by_sender_view;
     for (const net::IPv4Prefix& prefix : overridden) {
-      const bgp::BgpRoute* best = route_server_.GlobalBest(prefix);
-      const AsNumber global_hop = best == nullptr ? 0 : best->peer_as;
-      by_next_hop[global_hop].push_back(prefix);
-      for (const auto& [sender, router] : routers_) {
-        const bgp::BgpRoute* own = route_server_.BestRoute(sender, prefix);
-        const AsNumber own_hop = own == nullptr ? 0 : own->peer_as;
-        if (own_hop != global_hop) {
-          by_sender_view[{sender, own_hop}].push_back(prefix);
-        }
+      const PrefixInfo& info = prefix_info_.at(prefix);
+      by_next_hop[info.global_hop].push_back(prefix);
+      for (const auto& [sender, own_hop] : info.exceptions) {
+        by_sender_view[{sender, own_hop}].push_back(prefix);
       }
     }
     for (const auto& [next_hop, prefixes] : by_next_hop) {
@@ -226,27 +335,35 @@ void SdxRuntime::RecomputeGroups(obs::Tracer* tracer) {
     computed = fec.Compute();
   }
 
-  // VNH allocation: bind each computed group to a fresh VNH/VMAC and
-  // annotate it with its default next hop and per-sender exceptions.
+  // VNH assignment: groups whose exact prefix set survived regrouping keep
+  // their previous (VNH, VMAC) — untouched FIB entries stay valid — and
+  // only genuinely new groups allocate. Stale bindings are released first
+  // (after the reuse scan, so a live binding can never be recycled), then
+  // fresh ones draw from the returned pool.
   obs::TraceSpan span(tracer, "vnh_allocation");
+  std::map<std::vector<net::IPv4Prefix>, VnhBinding> previous =
+      std::move(stable_bindings_);
+  stable_bindings_.clear();
+  std::vector<std::size_t> needs_binding;
   for (PrefixGroup& group : computed) {
     AnnotatedGroup annotated;
     annotated.id = group.id;
     annotated.prefixes = std::move(group.prefixes);
+    std::sort(annotated.prefixes.begin(), annotated.prefixes.end());
     annotated.member_of = std::move(group.member_of);
-    annotated.binding = vnh_.Allocate();
-    const bgp::BgpRoute* best =
-        route_server_.GlobalBest(annotated.prefixes.front());
-    annotated.best_hop = best == nullptr ? 0 : best->peer_as;
+    auto prev = previous.find(annotated.prefixes);
+    if (prev != previous.end()) {
+      annotated.binding = prev->second;
+      previous.erase(prev);
+    } else {
+      needs_binding.push_back(groups_.groups.size());
+    }
+    const PrefixInfo& info = prefix_info_.at(annotated.prefixes.front());
+    annotated.best_hop = info.global_hop;
     // Per-sender exceptions: uniform across the group's prefixes because
     // each differing view contributed a behavior set above.
-    for (const auto& [sender, router] : routers_) {
-      const bgp::BgpRoute* own =
-          route_server_.BestRoute(sender, annotated.prefixes.front());
-      const AsNumber own_hop = own == nullptr ? 0 : own->peer_as;
-      if (own_hop != annotated.best_hop) {
-        annotated.per_sender_best[sender] = own_hop;
-      }
+    for (const auto& [sender, own_hop] : info.exceptions) {
+      annotated.per_sender_best[sender] = own_hop;
     }
     for (const net::IPv4Prefix& prefix : annotated.prefixes) {
       groups_.group_of[prefix] = annotated.id;
@@ -256,22 +373,81 @@ void SdxRuntime::RecomputeGroups(obs::Tracer* tracer) {
     }
     groups_.groups.push_back(std::move(annotated));
   }
+  for (const auto& [prefixes, binding] : previous) {
+    arp_.Unbind(binding.vnh);
+    vnh_.Release(binding);
+  }
+  for (std::size_t index : needs_binding) {
+    AnnotatedGroup& annotated = groups_.groups[index];
+    annotated.binding = vnh_.Allocate();
+    arp_.Bind(annotated.binding.vnh, annotated.binding.vmac);
+  }
+
+  // Content signatures + the binding snapshot for the next generation.
+  std::map<net::IPv4Prefix, net::IPv4Address> new_prefix_vnh;
+  for (AnnotatedGroup& annotated : groups_.groups) {
+    util::Fingerprint sig;
+    for (const net::IPv4Prefix& prefix : annotated.prefixes) {
+      sig.Mix(prefix.network().value());
+      sig.Mix(prefix.length());
+      new_prefix_vnh.emplace(prefix, annotated.binding.vnh);
+    }
+    sig.Mix(annotated.binding.vnh.value());
+    sig.Mix(annotated.binding.vmac.value());
+    sig.Mix(annotated.best_hop);
+    for (const auto& [sender, own_hop] : annotated.per_sender_best) {
+      sig.Mix(sender);
+      sig.Mix(own_hop);
+    }
+    annotated.sig = sig.value();
+    stable_bindings_.emplace(annotated.prefixes, annotated.binding);
+  }
+
+  // Dirty FIB entries: RIB churn plus every prefix whose advertised VNH
+  // appeared, vanished, or changed.
+  if (incremental) {
+    dirty_prefixes_ = rib_touched_;
+    auto old_it = prefix_vnh_.begin();
+    auto new_it = new_prefix_vnh.begin();
+    while (old_it != prefix_vnh_.end() || new_it != new_prefix_vnh.end()) {
+      if (new_it == new_prefix_vnh.end() ||
+          (old_it != prefix_vnh_.end() && old_it->first < new_it->first)) {
+        dirty_prefixes_.insert(old_it->first);
+        ++old_it;
+      } else if (old_it == prefix_vnh_.end() ||
+                 new_it->first < old_it->first) {
+        dirty_prefixes_.insert(new_it->first);
+        ++new_it;
+      } else {
+        if (old_it->second != new_it->second) {
+          dirty_prefixes_.insert(old_it->first);
+        }
+        ++old_it;
+        ++new_it;
+      }
+    }
+  }
+  prefix_vnh_ = std::move(new_prefix_vnh);
 }
 
-void SdxRuntime::ReadvertiseRoutes() {
-  // VNH ARP bindings.
-  for (const AnnotatedGroup& group : groups_.groups) {
-    arp_.Bind(group.binding.vnh, group.binding.vmac);
-  }
+void SdxRuntime::ReadvertiseRoutes(bool incremental,
+                                   util::ThreadPool* pool) {
   // Border-router FIBs: for each receiver, every prefix the route server
   // advertises to it; grouped prefixes get their VNH as next hop, others
-  // keep the real next hop from the best route.
-  for (auto& [as, router] : routers_) {
+  // keep the real next hop from the best route. Routers are independent —
+  // each rebuild reads only the (const) route server and group table — so
+  // they fan out one-per-worker.
+  std::vector<std::pair<const AsNumber, BorderRouter>*> targets;
+  targets.reserve(routers_.size());
+  for (auto& entry : routers_) targets.push_back(&entry);
+
+  auto advertise_full = [&](std::size_t t) {
+    auto& [as, router] = *targets[t];
     const bgp::LocRib* rib = route_server_.LocRibFor(as);
     // Rebuild from scratch: simplest correct model of a session refresh.
     router = BorderRouter(as, topology_.PhysicalPortOf(as, 0).id,
                           topology_.PhysicalPortOf(as, 0).mac);
-    if (rib == nullptr) continue;
+    if (rib == nullptr) return;
     rib->ForEach([&](const bgp::BgpRoute& route) {
       const AnnotatedGroup* group = groups_.FindByPrefix(route.prefix);
       // Ungrouped prefixes keep a real next hop: the announcing
@@ -281,12 +457,79 @@ void SdxRuntime::ReadvertiseRoutes() {
                                             ? group->binding.vnh
                                             : RouterIp(route.peer_as));
     });
+  };
+  auto advertise_dirty = [&](std::size_t t) {
+    auto& [as, router] = *targets[t];
+    for (const net::IPv4Prefix& prefix : dirty_prefixes_) {
+      const bgp::BgpRoute* route = route_server_.BestRoute(as, prefix);
+      if (route == nullptr) {
+        router.RemoveRoute(prefix);
+        continue;
+      }
+      const AnnotatedGroup* group = groups_.FindByPrefix(prefix);
+      router.InstallRoute(prefix, group != nullptr
+                                      ? group->binding.vnh
+                                      : RouterIp(route->peer_as));
+    }
+  };
+
+  const std::function<void(std::size_t)> body =
+      incremental ? std::function<void(std::size_t)>(advertise_dirty)
+                  : std::function<void(std::size_t)>(advertise_full);
+  if (pool != nullptr) {
+    pool->ParallelFor(targets.size(), body);
+  } else {
+    for (std::size_t t = 0; t < targets.size(); ++t) body(t);
   }
+}
+
+void SdxRuntime::SetCompileOptions(const CompileOptions& options) {
+  options_ = options;
+  if (!options_.parallel) pool_.reset();
+  if (!options_.incremental) {
+    // Drop all dirty-tracking state so the next compile is from scratch.
+    have_previous_compile_ = false;
+    block_memo_.Clear();
+    clause_eligible_.clear();
+    prefix_info_.clear();
+    remote_overridden_.clear();
+  }
+}
+
+std::uint64_t SdxRuntime::RosterFingerprint() const {
+  util::Fingerprint fp;
+  for (const auto& [as, participant] : participants_) {
+    fp.Mix(as);
+    fp.Mix(static_cast<std::uint64_t>(participant.physical_ports()));
+  }
+  return fp.value();
+}
+
+bool SdxRuntime::CanCompileIncrementally() const {
+  return options_.incremental && have_previous_compile_ &&
+         roster_fp_ == RosterFingerprint() &&
+         rs_config_seen_ == route_server_.config_version() &&
+         route_server_.updates_processed() ==
+             rs_updates_seen_ + tracked_updates_;
+}
+
+util::ThreadPool* SdxRuntime::CompilePool() {
+  if (!options_.parallel) return nullptr;
+  const int want = options_.threads > 0
+                       ? options_.threads
+                       : util::ThreadPool::DefaultThreadCount();
+  if (want <= 1) return nullptr;
+  if (pool_ == nullptr || pool_->size() != want) {
+    pool_ = std::make_unique<util::ThreadPool>(want);
+  }
+  return pool_.get();
 }
 
 CompileStats SdxRuntime::FullCompile() {
   const auto start = obs::Now();
   CompileStats stats;
+  const bool incremental = CanCompileIncrementally();
+  util::ThreadPool* pool = CompilePool();
 
   // A full compile is a generation swap, journaled as aggregates (begin/
   // end plus the flow table's bulk events) under the ambient id — per-
@@ -299,23 +542,27 @@ CompileStats SdxRuntime::FullCompile() {
     obs::TraceSpan root(&tracer_, "full_compile");
     {
       obs::TraceSpan span(&tracer_, "recompute_groups");
-      RecomputeGroups(&tracer_);
+      RecomputeGroups(&tracer_, incremental, pool);
     }
     {
       obs::TraceSpan span(&tracer_, "readvertise_routes");
-      ReadvertiseRoutes();
+      ReadvertiseRoutes(incremental, pool);
     }
 
     CompiledSdx compiled;
+    ComposeOutcome outcome;
     {
       obs::TraceSpan span(&tracer_, "policy_composition");
       // Fresh generation: drop stale memoization entries (old policy
       // objects are gone) and rebuild the shared inbound-block policies.
+      // Cross-generation reuse lives in block_memo_, which stores compiled
+      // RULES keyed by content fingerprints, never cache pointers.
       cache_.Clear();
       inbound_policies_ = composer_.BuildInboundPolicies(participants_);
       compiled =
           composer_.Compose(participants_, inbound_policies_, groups_,
-                            clause_set_ids_, &cache_, &tracer_);
+                            clause_set_ids_, &cache_, &tracer_, pool,
+                            &block_memo_, &outcome);
     }
 
     {
@@ -333,7 +580,20 @@ CompileStats SdxRuntime::FullCompile() {
     stats.override_rule_count = compiled.override_rule_count;
     stats.default_rule_count = compiled.default_rule_count;
     stats.vnh_count = vnh_.allocated_count();
+    stats.incremental = incremental;
+    stats.blocks_total = outcome.blocks_total;
+    stats.blocks_reused = outcome.blocks_reused;
+    stats.blocks_recompiled = outcome.blocks_recompiled;
   }
+
+  // Advance the dirty-tracking epoch: this compile saw everything.
+  roster_fp_ = RosterFingerprint();
+  rs_config_seen_ = route_server_.config_version();
+  rs_updates_seen_ = route_server_.updates_processed();
+  tracked_updates_ = 0;
+  rib_touched_.clear();
+  have_previous_compile_ = true;
+
   stats.seconds = SecondsSince(start);
   stats.stages = tracer_.spans();
   obs::JournalRecord(journal_.get(), obs::JournalEventType::kCompileEnd,
@@ -342,6 +602,11 @@ CompileStats SdxRuntime::FullCompile() {
                      stats.prefix_group_count, stats.flow_rule_count,
                      static_cast<std::uint64_t>(stats.seconds * 1e6));
   metrics_.GetCounter("compile.count").Increment();
+  if (incremental) {
+    metrics_.GetCounter("compile.incremental").Increment();
+  }
+  metrics_.GetCounter("compile.incremental_reuse")
+      .Increment(stats.blocks_reused);
   RecordTrace("compile", stats.seconds);
   return stats;
 }
@@ -404,6 +669,11 @@ void SdxRuntime::FastPathUpdate(const bgp::BgpUpdate& update,
   {
     obs::TraceSpan span(&tracer_, "rib_update");
     changes = route_server_.HandleUpdate(update);
+    // Track the prefix even when no best route changed: feasible-route
+    // sets (and so clause eligibility) may still differ at the next
+    // incremental compile.
+    rib_touched_.insert(bgp::UpdatePrefix(update));
+    ++tracked_updates_;
   }
   if (changes.empty()) return;
   stats.best_route_changed = true;

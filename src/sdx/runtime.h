@@ -29,6 +29,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "dataplane/arp.h"
@@ -45,8 +46,19 @@
 #include "sdx/participant.h"
 #include "sdx/vnh.h"
 #include "sdx/vswitch.h"
+#include "util/thread_pool.h"
 
 namespace sdx::core {
+
+// How FullCompile runs. Defaults give the fastest correct behavior: fan
+// work out across SDX_COMPILE_THREADS (or hardware) cores and reuse every
+// memoized result whose inputs provably did not change. Both paths are
+// behavior-equivalent to a sequential from-scratch compile (tests/oracle).
+struct CompileOptions {
+  bool parallel = true;     // use a worker pool for the parallelizable stages
+  bool incremental = true;  // reuse unchanged state across FullCompile calls
+  int threads = 0;          // 0 = util::ThreadPool::DefaultThreadCount()
+};
 
 struct CompileStats {
   std::size_t prefix_group_count = 0;
@@ -54,6 +66,13 @@ struct CompileStats {
   std::size_t override_rule_count = 0;
   std::size_t default_rule_count = 0;
   std::size_t vnh_count = 0;
+  // Whether this compile took the incremental path (dirty-tracking state
+  // was valid), and how the composer's block compilations split between
+  // memo reuse and recompilation.
+  bool incremental = false;
+  std::size_t blocks_total = 0;
+  std::size_t blocks_reused = 0;
+  std::size_t blocks_recompiled = 0;
   double seconds = 0.0;
   // Per-stage breakdown of this compilation, in start order (pre-order of
   // the span tree): recompute_groups{fec_compute, vnh_allocation},
@@ -113,6 +132,11 @@ class SdxRuntime {
   CompileStats FullCompile();
   UpdateStats ApplyBgpUpdate(const bgp::BgpUpdate& update);
   CompileStats RunBackgroundOptimization() { return FullCompile(); }
+
+  // Takes effect at the next FullCompile(). Turning `incremental` off also
+  // drops all dirty-tracking state, so the next compile is from scratch.
+  void SetCompileOptions(const CompileOptions& options);
+  const CompileOptions& compile_options() const { return options_; }
 
   // --- Traffic ---------------------------------------------------------------
   // Border-router model: FIB lookup + ARP + tag, then the fabric. Empty
@@ -194,7 +218,13 @@ class SdxRuntime {
 
   // Rebuilds behavior sets + FEC groups + VNH bindings from current
   // policies and RIBs. Emits fec_compute / vnh_allocation child spans.
-  void RecomputeGroups(obs::Tracer* tracer);
+  // When `incremental`, reuses memoized per-clause eligible sets and
+  // per-prefix routing info for everything outside rib_touched_; `pool`
+  // (nullable) fans the expensive per-clause / per-prefix route-server
+  // queries out across workers. Fills dirty_prefixes_ for the incremental
+  // re-advertisement pass.
+  void RecomputeGroups(obs::Tracer* tracer, bool incremental,
+                       util::ThreadPool* pool);
 
   // Observes the current trace into `<prefix>.seconds` (whole operation)
   // and `<prefix>.stage.<name>.seconds` histograms.
@@ -203,9 +233,23 @@ class SdxRuntime {
   // Body of ApplyBgpUpdate, run under its root span.
   void FastPathUpdate(const bgp::BgpUpdate& update, UpdateStats& stats);
 
-  // Re-advertises next hops: rebuilds every border router FIB and the VNH
-  // ARP bindings.
-  void ReadvertiseRoutes();
+  // Re-advertises next hops into the border-router FIBs (one router per
+  // worker when `pool` is set). Full mode rebuilds every FIB from scratch;
+  // incremental mode touches only dirty_prefixes_ — sound because an
+  // untouched prefix has an unchanged best route for every receiver AND an
+  // unchanged VNH binding (both are in the dirty set by construction).
+  void ReadvertiseRoutes(bool incremental, util::ThreadPool* pool);
+
+  // True when every change since the last FullCompile flowed through the
+  // runtime's tracked paths, so the memoized state + rib_touched_ fully
+  // explain the route server's current contents.
+  bool CanCompileIncrementally() const;
+
+  // Participant roster + port layout; any change forces a full compile.
+  std::uint64_t RosterFingerprint() const;
+
+  // The worker pool per current options (nullptr = compile inline).
+  util::ThreadPool* CompilePool();
 
   // Behavior-set membership of a single prefix (fast path).
   std::vector<std::uint32_t> SetsContaining(const net::IPv4Prefix& prefix)
@@ -226,6 +270,46 @@ class SdxRuntime {
   // with every fast-path slice so memoization hits across updates.
   InboundPolicies inbound_policies_;
   policy::CompilationCache cache_;
+
+  // --- Incremental-compilation state (DESIGN.md §8) ----------------------
+  CompileOptions options_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  BlockMemo block_memo_;
+  bool have_previous_compile_ = false;
+  std::uint64_t roster_fp_ = 0;           // RosterFingerprint() at last compile
+  std::uint64_t rs_config_seen_ = 0;      // rs config_version at last compile
+  std::uint64_t rs_updates_seen_ = 0;     // rs updates_processed at last compile
+  std::uint64_t tracked_updates_ = 0;     // updates this runtime issued since
+  // Prefixes whose RIB entries may have changed since the last compile
+  // (every update the runtime itself fed into the route server).
+  std::set<net::IPv4Prefix> rib_touched_;
+  // Per-clause eligible prefix sets (sorted), valid while the owning
+  // participant's outbound_version matches; refreshed by rib_touched_
+  // deltas otherwise.
+  struct ClauseEligible {
+    std::uint64_t outbound_version = ~0ull;
+    std::vector<net::IPv4Prefix> prefixes;
+  };
+  std::map<std::pair<AsNumber, int>, ClauseEligible> clause_eligible_;
+  // Per-prefix routing info (global best hop + per-sender exceptions) for
+  // overridden prefixes. An entry is valid as long as the prefix's RIB
+  // state is unchanged — touched prefixes are erased before reuse.
+  struct PrefixInfo {
+    AsNumber global_hop = 0;
+    std::vector<std::pair<AsNumber, AsNumber>> exceptions;  // (sender, hop)
+  };
+  std::map<net::IPv4Prefix, PrefixInfo> prefix_info_;
+  // Prefixes whose global best leads to a remote participant (grouped even
+  // without a covering clause).
+  std::set<net::IPv4Prefix> remote_overridden_;
+  // Stable (VNH, VMAC) assignment: exact sorted prefix set -> binding from
+  // the previous generation. A group that survives regrouping keeps its
+  // binding, which keeps untouched FIB entries valid across compiles.
+  std::map<std::vector<net::IPv4Prefix>, VnhBinding> stable_bindings_;
+  // prefix -> its group VNH at the last compile (for binding-diff dirtying).
+  std::map<net::IPv4Prefix, net::IPv4Address> prefix_vnh_;
+  // FIB entries to re-advertise this compile (incremental mode only).
+  std::set<net::IPv4Prefix> dirty_prefixes_;
 
   dataplane::Cookie generation_ = 2;  // 0 = none, 1 = fast path
   std::vector<AnnotatedGroup> fast_groups_;

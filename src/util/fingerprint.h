@@ -1,0 +1,44 @@
+// FNV-1a fingerprint accumulation for the incremental compiler's
+// dirty-tracking (DESIGN.md §8). A block of compiled rules is reusable iff
+// the fingerprint over every input it depends on is unchanged; fingerprints
+// are cheap hashes, not cryptographic — the inputs folded in (monotonic
+// version counters, allocator-owned bindings) are chosen so collisions
+// between *successive* generations cannot happen by construction, and the
+// equivalence oracle (tests/oracle) backstops the whole scheme.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace sdx::util {
+
+class Fingerprint {
+ public:
+  Fingerprint() = default;
+  explicit Fingerprint(std::uint64_t seed) { Mix(seed); }
+
+  Fingerprint& Mix(std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (value >> (8 * i)) & 0xFFu;
+      hash_ *= kPrime;
+    }
+    return *this;
+  }
+
+  Fingerprint& Mix(std::string_view bytes) {
+    for (unsigned char c : bytes) {
+      hash_ ^= c;
+      hash_ *= kPrime;
+    }
+    return *this;
+  }
+
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  static constexpr std::uint64_t kOffset = 0xcbf29ce484222325ull;
+  static constexpr std::uint64_t kPrime = 0x100000001b3ull;
+  std::uint64_t hash_ = kOffset;
+};
+
+}  // namespace sdx::util

@@ -1,0 +1,131 @@
+#include "util/thread_pool.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace sdx::util {
+
+int ThreadPool::DefaultThreadCount() {
+  if (const char* env = std::getenv("SDX_COMPILE_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && parsed > 0) return static_cast<int>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) threads = DefaultThreadCount();
+  const std::size_t workers = static_cast<std::size_t>(threads) - 1;
+  queues_.resize(workers);
+  queue_mus_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    queue_mus_.push_back(std::make_unique<std::mutex>());
+  }
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::function<void()> ThreadPool::TakeTask(std::size_t self) {
+  const std::size_t n = queues_.size();
+  // Own deque first (newest task: LIFO keeps the working set warm) ...
+  if (self < n) {
+    std::lock_guard<std::mutex> lock(*queue_mus_[self]);
+    if (!queues_[self].empty()) {
+      auto task = std::move(queues_[self].back());
+      queues_[self].pop_back();
+      return task;
+    }
+  }
+  // ... then steal the *oldest* task of the first non-empty victim.
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t victim = (self + 1 + k) % n;
+    std::lock_guard<std::mutex> lock(*queue_mus_[victim]);
+    if (!queues_[victim].empty()) {
+      auto task = std::move(queues_[victim].front());
+      queues_[victim].pop_front();
+      return task;
+    }
+  }
+  return {};
+}
+
+void ThreadPool::WorkerLoop(std::size_t self) {
+  while (true) {
+    if (auto task = TakeTask(self)) {
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    wake_cv_.wait(lock, [this, self] {
+      if (stop_) return true;
+      for (std::size_t i = 0; i < queues_.size(); ++i) {
+        std::lock_guard<std::mutex> qlock(*queue_mus_[i]);
+        if (!queues_[i].empty()) return true;
+      }
+      return false;
+    });
+    if (stop_) return;
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  auto batch = std::make_shared<Batch>();
+  batch->remaining = n;
+
+  auto run_one = [batch, &body](std::size_t index) {
+    try {
+      body(index);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(batch->mu);
+      if (!batch->first_error) batch->first_error = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(batch->mu);
+    if (--batch->remaining == 0) batch->done_cv.notify_all();
+  };
+
+  // Spread tasks round-robin over the worker deques; stealing rebalances
+  // whatever this initial placement gets wrong.
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t target = i % queues_.size();
+    std::lock_guard<std::mutex> lock(*queue_mus_[target]);
+    queues_[target].push_back([run_one, i] { run_one(i); });
+  }
+  // Serialize against the workers' sleep decision: a worker is either
+  // before its predicate check (it will see the queued tasks) or already
+  // waiting (the notify reaches it) — never in between.
+  { std::lock_guard<std::mutex> lock(wake_mu_); }
+  wake_cv_.notify_all();
+
+  // The caller works the batch down too instead of blocking immediately.
+  // TakeTask(queues_.size()) has no own deque, so it only steals.
+  while (true) {
+    auto task = TakeTask(queues_.size());
+    if (!task) break;
+    task();
+  }
+  std::unique_lock<std::mutex> lock(batch->mu);
+  batch->done_cv.wait(lock, [&batch] { return batch->remaining == 0; });
+  if (batch->first_error) std::rethrow_exception(batch->first_error);
+}
+
+}  // namespace sdx::util

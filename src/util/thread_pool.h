@@ -1,0 +1,72 @@
+// A small work-stealing thread pool for the parallel compilation pipeline
+// (DESIGN.md §8).
+//
+// Each worker owns a deque: it pops its own newest task (LIFO, cache-warm)
+// and steals the oldest task of a victim (FIFO) when its deque drains, so
+// uneven task costs — override blocks vary wildly in size — balance without
+// a central queue bottleneck. The calling thread participates in
+// ParallelFor() by stealing too, so a pool of size N really uses N threads
+// including the caller (workers = N - 1).
+//
+// Sizing: explicit `threads` argument, else the SDX_COMPILE_THREADS
+// environment variable, else std::thread::hardware_concurrency(). A size of
+// 1 means "no workers": ParallelFor degenerates to an inline sequential
+// loop, byte-identical to the sequential compiler.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sdx::util {
+
+class ThreadPool {
+ public:
+  // threads <= 0 selects DefaultThreadCount().
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // SDX_COMPILE_THREADS when set to a positive integer, otherwise the
+  // hardware concurrency (at least 1).
+  static int DefaultThreadCount();
+
+  // Total parallelism including the calling thread (workers + 1).
+  int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  // Runs body(0) .. body(n-1), in any order, across the pool; returns when
+  // every index completed. The caller executes tasks too. Rethrows the
+  // first task exception after the batch drains. Not reentrant: do not call
+  // ParallelFor from inside a task body.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& body);
+
+ private:
+  struct Batch {
+    std::mutex mu;
+    std::condition_variable done_cv;
+    std::size_t remaining = 0;
+    std::exception_ptr first_error;
+  };
+
+  void WorkerLoop(std::size_t self);
+  // Pops the newest task of `self`'s own deque, or steals the oldest task
+  // from another deque. Returns an empty function when everything is empty.
+  std::function<void()> TakeTask(std::size_t self);
+
+  std::vector<std::deque<std::function<void()>>> queues_;
+  std::vector<std::unique_ptr<std::mutex>> queue_mus_;
+  std::vector<std::thread> workers_;
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  bool stop_ = false;
+};
+
+}  // namespace sdx::util

@@ -1,5 +1,7 @@
 #include "workload/policy_gen.h"
 
+#include "workload/seed.h"
+
 #include <algorithm>
 #include <random>
 #include <set>
@@ -79,7 +81,7 @@ std::size_t GeneratedPolicies::participants_with_policies() const {
 }
 
 GeneratedPolicies PolicyGenerator::Generate(const IxpScenario& scenario) const {
-  std::mt19937 rng(params_.seed);
+  std::mt19937 rng = MakeRng(params_.seed);
   GeneratedPolicies out;
 
   auto eyeballs = SortedByAnnouncements(scenario, Category::kEyeball);

@@ -44,7 +44,8 @@ struct PolicyParams {
   // runtime — the knob the Figure 7/8 sweeps use to move along the
   // prefix-group axis.
   int coverage_fanout = 0;
-  std::uint32_t seed = 7;
+  // Explicit 64-bit seed (workload/seed.h) — deterministic, replayable.
+  std::uint64_t seed = 7;
 };
 
 struct GeneratedPolicies {

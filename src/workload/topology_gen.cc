@@ -1,5 +1,7 @@
 #include "workload/topology_gen.h"
 
+#include "workload/seed.h"
+
 #include <algorithm>
 #include <cmath>
 #include <set>
@@ -26,7 +28,7 @@ net::IPv4Prefix TopologyGenerator::PrefixNumber(int i) {
 }
 
 IxpScenario TopologyGenerator::Generate() const {
-  std::mt19937 rng(params_.seed);
+  std::mt19937 rng = MakeRng(params_.seed);
   IxpScenario scenario;
 
   const int n = params_.participants;

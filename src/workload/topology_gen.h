@@ -54,7 +54,8 @@ struct TopologyParams {
   // Category mix (roughly: many eyeballs, some transit, fewer content).
   double eyeball_fraction = 0.55;
   double transit_fraction = 0.25;  // remainder is content
-  std::uint32_t seed = 1;
+  // Explicit 64-bit seed (workload/seed.h) — deterministic, replayable.
+  std::uint64_t seed = 1;
 };
 
 class TopologyGenerator {

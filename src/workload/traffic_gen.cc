@@ -1,6 +1,16 @@
 #include "workload/traffic_gen.h"
 
+#include "workload/seed.h"
+
 namespace sdx::workload {
+
+namespace {
+
+// Keep in sync with the application traffic classes in policy_gen.cc; the
+// sampler wants probes that actually hit DstPort clauses.
+constexpr std::uint16_t kAppPorts[] = {80, 443, 8080, 1935, 22};
+
+}  // namespace
 
 Flow UdpFlow(bgp::AsNumber from, net::IPv4Address src_ip,
              net::IPv4Address dst_ip, std::uint16_t src_port,
@@ -27,6 +37,48 @@ std::vector<Flow> ClientFlows(bgp::AsNumber from, net::IPv4Address src_base,
         dst_ip, static_cast<std::uint16_t>(40000 + i), dst_port));
   }
   return flows;
+}
+
+PacketSampler::PacketSampler(const IxpScenario& scenario, std::uint64_t seed)
+    : prefixes_(scenario.prefixes), seed_(seed), rng_(MakeRng(seed)) {
+  senders_.reserve(scenario.members.size());
+  for (const Member& member : scenario.members) senders_.push_back(member.as);
+}
+
+SampledPacket PacketSampler::Next() {
+  SampledPacket sample;
+  if (!senders_.empty()) sample.from = senders_[rng_() % senders_.size()];
+  net::PacketHeader& h = sample.header;
+
+  // Destination: 80% inside an announced prefix, 20% anywhere (usually
+  // unroutable, exercising the no-FIB-route drop path).
+  if (!prefixes_.empty() && rng_() % 10 < 8) {
+    const net::IPv4Prefix& p = prefixes_[rng_() % prefixes_.size()];
+    const std::uint32_t host_bits = 32u - p.length();
+    const std::uint32_t span =
+        host_bits >= 32 ? 0xFFFFFFFFu : ((1u << host_bits) - 1u);
+    h.dst_ip = net::IPv4Address(p.network().value() | (rng_() & span));
+  } else {
+    h.dst_ip = net::IPv4Address(rng_());
+  }
+
+  // Sources land in both halves of the SrcIp half-space predicates.
+  const std::uint32_t src_low = rng_() & 0x7FFFFFFFu;
+  h.src_ip = net::IPv4Address(rng_() % 2 == 0 ? src_low
+                                              : (0x80000000u | src_low));
+  h.proto = rng_() % 2 == 0 ? net::kProtoTcp : net::kProtoUdp;
+  h.dst_port = rng_() % 2 == 0
+                   ? kAppPorts[rng_() % 5]
+                   : static_cast<std::uint16_t>(rng_() % 65536);
+  h.src_port = static_cast<std::uint16_t>(1024 + rng_() % 64000);
+  return sample;
+}
+
+std::vector<SampledPacket> PacketSampler::Sample(std::size_t count) {
+  std::vector<SampledPacket> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(Next());
+  return out;
 }
 
 }  // namespace sdx::workload

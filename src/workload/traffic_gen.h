@@ -8,10 +8,12 @@
 #pragma once
 
 #include <cstdint>
+#include <random>
 #include <vector>
 
 #include "bgp/route.h"
 #include "net/packet.h"
+#include "workload/topology_gen.h"
 
 namespace sdx::workload {
 
@@ -35,5 +37,39 @@ Flow UdpFlow(bgp::AsNumber from, net::IPv4Address src_ip,
 std::vector<Flow> ClientFlows(bgp::AsNumber from, net::IPv4Address src_base,
                               net::IPv4Address dst_ip, int count,
                               std::uint16_t dst_port);
+
+// One probe packet plus the participant that sources it.
+struct SampledPacket {
+  bgp::AsNumber from = 0;
+  net::PacketHeader header;
+};
+
+// Deterministic sampler of probe packets for a scenario, used by the
+// compile-equivalence oracle (tests/oracle). The distribution is biased
+// toward the header dimensions the policy generator matches on:
+//   * destinations mostly land inside announced prefixes (routable) with a
+//     tail of random unroutable addresses, covering both FIB hits and the
+//     no-route drop path;
+//   * destination ports frequently hit the application-specific-peering
+//     port set {80, 443, 8080, 1935, 22};
+//   * source addresses straddle both halves of the SrcIp half-space match;
+//   * source ports cover the 1024+ range SrcPort clauses draw from.
+// Deterministic in the explicit 64-bit seed (workload/seed.h); replay any
+// failure from the seed printed by the oracle.
+class PacketSampler {
+ public:
+  PacketSampler(const IxpScenario& scenario, std::uint64_t seed);
+
+  SampledPacket Next();
+  std::vector<SampledPacket> Sample(std::size_t count);
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::vector<bgp::AsNumber> senders_;
+  std::vector<net::IPv4Prefix> prefixes_;
+  std::uint64_t seed_ = 0;
+  std::mt19937 rng_;
+};
 
 }  // namespace sdx::workload

@@ -1,5 +1,7 @@
 #include "workload/update_gen.h"
 
+#include "workload/seed.h"
+
 #include <algorithm>
 #include <cmath>
 #include <map>
@@ -47,7 +49,7 @@ UpdateStreamParams UpdateStreamParams::Linx() {
 
 UpdateStreamParams UpdateStreamParams::Small(int prefixes,
                                              std::uint64_t updates,
-                                             std::uint32_t seed) {
+                                             std::uint64_t seed) {
   UpdateStreamParams p;
   p.name = "small";
   p.prefixes = prefixes;
@@ -132,7 +134,7 @@ UpdateStream UpdateGenerator::GenerateFor(const IxpScenario& scenario) const {
 UpdateStream UpdateGenerator::Synthesize(
     const std::vector<net::IPv4Prefix>& universe,
     const std::vector<std::vector<bgp::AsNumber>>& announcers) const {
-  std::mt19937 rng(params_.seed);
+  std::mt19937 rng = MakeRng(params_.seed);
   UpdateStream stream;
   stream.params = params_;
   if (universe.empty() || params_.total_updates == 0) return stream;

@@ -30,7 +30,8 @@ struct UpdateStreamParams {
   std::uint64_t total_updates = 10'000'000;
   double fraction_prefixes_updated = 0.12;
   double duration_seconds = 6 * 24 * 3600.0;  // six days
-  std::uint32_t seed = 21;
+  // Explicit 64-bit seed (workload/seed.h) — deterministic, replayable.
+  std::uint64_t seed = 21;
 
   // Table 1 presets.
   static UpdateStreamParams AmsIx();
@@ -39,7 +40,7 @@ struct UpdateStreamParams {
 
   // Downscaled preset for unit tests and quick benches.
   static UpdateStreamParams Small(int prefixes, std::uint64_t updates,
-                                  std::uint32_t seed = 21);
+                                  std::uint64_t seed = 21);
 };
 
 struct Burst {

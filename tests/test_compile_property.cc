@@ -235,6 +235,129 @@ TEST(PolicyAlgebra, CompiledFormsAgreeAcrossAssociations) {
   }
 }
 
+// --- Classifier-algebra edge cases (DESIGN.md §8 oracle satellite) -------
+
+// Shadow elimination under negated predicates. Negation compiles into
+// permit/drop rule pairs whose drop rules are broad, so sequential
+// composition of negated filters is the easiest way to produce deeply
+// shadowed tails. RemoveShadowed must shrink them without changing any
+// packet's fate.
+TEST(ClassifierEdgeCases, ShadowEliminationUnderNegatedPredicates) {
+  RandomPolicyGen gen(31337);
+  for (int round = 0; round < 40; ++round) {
+    Predicate p = gen.RandomPredicate(2);
+    Predicate q = gen.RandomPredicate(2);
+    Policy policy = Policy::Filter(!p) >> Policy::Filter(!q);
+    Classifier compiled = Compile(policy);
+    Classifier optimized = compiled;
+    optimized.RemoveShadowed();
+    ASSERT_LE(optimized.size(), compiled.size());
+    for (int trial = 0; trial < 25; ++trial) {
+      PacketHeader packet = gen.RandomPacket();
+      ASSERT_EQ(Normalize(policy.Eval(packet)),
+                Normalize(optimized.Eval(packet)))
+          << "p: " << p.ToString() << "\nq: " << q.ToString();
+    }
+  }
+
+  // Double negation over a total filter: !(!False) passes everything, so
+  // a sequentially composed narrow filter decides every packet and the
+  // optimized classifier must stay equivalent to the narrow filter alone.
+  Policy doubled =
+      Policy::Filter(!!Predicate::True()) >>
+      Policy::Filter(Predicate::DstPort(80));
+  Classifier optimized = Compile(doubled);
+  optimized.RemoveShadowed();
+  Classifier narrow = Compile(Policy::Filter(Predicate::DstPort(80)));
+  RandomPolicyGen probe(31338);
+  for (int trial = 0; trial < 50; ++trial) {
+    PacketHeader packet = probe.RandomPacket();
+    ASSERT_EQ(Normalize(optimized.Eval(packet)),
+              Normalize(narrow.Eval(packet)));
+  }
+}
+
+// If() with overlapping branches: both branches are total (match every
+// packet), so only the predicate may decide which branch acts — any leak
+// of the untaken branch's rules shows up as a wrong or duplicated output.
+TEST(ClassifierEdgeCases, IfWithOverlappingBranches) {
+  RandomPolicyGen gen(60601);
+  for (int round = 0; round < 40; ++round) {
+    Predicate p = gen.RandomPredicate(2);
+    Rewrites r;
+    r.SetDstIp(IPv4Address(10, 0, 0, 1));
+    // Both branches match everything and forward somewhere; the then-branch
+    // also rewrites, so taking the wrong branch changes the output header,
+    // not just the count.
+    Policy then_branch = Policy::Mod(r) >> Policy::Fwd(1);
+    Policy else_branch = Policy::Fwd(2);
+    Policy policy = Policy::If(p, then_branch, else_branch);
+    Classifier compiled = Compile(policy);
+    for (int trial = 0; trial < 25; ++trial) {
+      PacketHeader packet = gen.RandomPacket();
+      const auto expected = Normalize(policy.Eval(packet));
+      ASSERT_EQ(expected.size(), 1u) << p.ToString();
+      ASSERT_EQ(expected, Normalize(compiled.Eval(packet)))
+          << "predicate: " << p.ToString();
+    }
+  }
+
+  // Branches that overlap *with the predicate* as well: then-branch
+  // re-filters on the same predicate (redundant), else-branch filters on
+  // it (contradictory — must drop).
+  for (int round = 0; round < 40; ++round) {
+    Predicate p = gen.RandomPredicate(2);
+    Policy policy = Policy::If(p, Policy::Filter(p) >> Policy::Fwd(1),
+                               Policy::Filter(p) >> Policy::Fwd(2));
+    Classifier compiled = Compile(policy);
+    for (int trial = 0; trial < 25; ++trial) {
+      PacketHeader packet = gen.RandomPacket();
+      ASSERT_EQ(Normalize(policy.Eval(packet)),
+                Normalize(compiled.Eval(packet)))
+          << "predicate: " << p.ToString();
+    }
+  }
+}
+
+// Empty and drop-only policies: every algebraic route to "drop everything"
+// must compile to a classifier that emits nothing, and composing with such
+// a policy must annihilate.
+TEST(ClassifierEdgeCases, EmptyAndDropOnlyPolicies) {
+  RandomPolicyGen gen(90210);
+  const Policy drops[] = {
+      Policy::Drop(),
+      Policy::Filter(Predicate::False()),
+      Policy::Filter(!Predicate::True()),
+      Policy::Drop() + Policy::Drop(),
+      Policy::Drop() >> gen.RandomPolicy(2),
+      gen.RandomPolicy(2) >> Policy::Drop(),
+      Policy::If(gen.RandomPredicate(2), Policy::Drop(), Policy::Drop()),
+  };
+  for (const Policy& policy : drops) {
+    Classifier compiled = Compile(policy);
+    for (int trial = 0; trial < 25; ++trial) {
+      PacketHeader packet = gen.RandomPacket();
+      ASSERT_TRUE(policy.Eval(packet).empty()) << policy.ToString();
+      ASSERT_TRUE(compiled.Eval(packet).empty()) << policy.ToString();
+    }
+    // Structurally: no rule of a drop-only classifier carries actions.
+    Classifier optimized = compiled;
+    optimized.RemoveShadowed();
+    for (const Rule& rule : optimized.rules()) {
+      EXPECT_TRUE(rule.actions.empty()) << policy.ToString();
+    }
+  }
+
+  // Mod with no rewrites is the identity, not a drop.
+  Policy noop = Policy::Mod(Rewrites{});
+  Classifier compiled = Compile(noop);
+  for (int trial = 0; trial < 25; ++trial) {
+    PacketHeader packet = gen.RandomPacket();
+    ASSERT_EQ(Normalize(noop.Eval(packet)), Normalize(compiled.Eval(packet)));
+    ASSERT_EQ(compiled.Eval(packet).size(), 1u);
+  }
+}
+
 // RemoveShadowed must preserve semantics.
 TEST(CompileDifferential, ShadowRemovalPreservesSemantics) {
   RandomPolicyGen gen(1234);

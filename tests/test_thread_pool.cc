@@ -1,0 +1,135 @@
+// Tests for the work-stealing pool behind parallel compilation
+// (DESIGN.md §8): every index runs exactly once, results are
+// position-deterministic regardless of execution order, exceptions
+// propagate, and sizing follows SDX_COMPILE_THREADS.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace sdx::util {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  constexpr std::size_t kN = 10'000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ZeroAndSingleElementBatches) {
+  ThreadPool pool(3);
+  int calls = 0;
+  pool.ParallelFor(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, SizeOneRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ran(100);
+  pool.ParallelFor(ran.size(), [&](std::size_t i) {
+    ran[i] = std::this_thread::get_id();
+  });
+  for (const auto& id : ran) EXPECT_EQ(id, caller);
+}
+
+// Writing into pre-sized independent slots makes parallel output identical
+// to sequential output — the property the compiler's deterministic merge
+// relies on.
+TEST(ThreadPool, SlotWritesAreDeterministic) {
+  constexpr std::size_t kN = 5'000;
+  std::vector<std::uint64_t> sequential(kN), parallel(kN);
+  auto value = [](std::size_t i) {
+    return static_cast<std::uint64_t>(i) * 2654435761u + 17;
+  };
+  for (std::size_t i = 0; i < kN; ++i) sequential[i] = value(i);
+  ThreadPool pool(8);
+  for (int round = 0; round < 5; ++round) {
+    std::fill(parallel.begin(), parallel.end(), 0);
+    pool.ParallelFor(kN, [&](std::size_t i) { parallel[i] = value(i); });
+    ASSERT_EQ(parallel, sequential) << "round " << round;
+  }
+}
+
+TEST(ThreadPool, UnevenTaskCostsBalance) {
+  // Task i spins proportionally to i^2; stealing must still complete all.
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> total{0};
+  pool.ParallelFor(200, [&](std::size_t i) {
+    volatile std::uint64_t sink = 0;
+    for (std::size_t k = 0; k < i * i; ++k) sink += k;
+    total += i;
+  });
+  EXPECT_EQ(total.load(), 200u * 199u / 2);
+}
+
+TEST(ThreadPool, PropagatesFirstTaskException) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.ParallelFor(100,
+                       [&](std::size_t i) {
+                         if (i == 37) throw std::runtime_error("task 37");
+                         ++completed;
+                       }),
+      std::runtime_error);
+  // The batch drains before rethrow: everything except the thrower ran.
+  EXPECT_EQ(completed.load(), 99);
+
+  // The pool stays usable after an exception.
+  std::atomic<int> after{0};
+  pool.ParallelFor(10, [&](std::size_t) { ++after; });
+  EXPECT_EQ(after.load(), 10);
+}
+
+TEST(ThreadPool, BackToBackBatches) {
+  ThreadPool pool(4);
+  std::uint64_t sum = 0;
+  for (int round = 0; round < 50; ++round) {
+    std::vector<std::uint64_t> out(64);
+    pool.ParallelFor(out.size(), [&](std::size_t i) { out[i] = i + 1; });
+    sum += std::accumulate(out.begin(), out.end(), std::uint64_t{0});
+  }
+  EXPECT_EQ(sum, 50u * (64u * 65u / 2));
+}
+
+TEST(ThreadPool, DefaultThreadCountHonorsEnv) {
+  const char* saved = std::getenv("SDX_COMPILE_THREADS");
+  const std::string saved_value = saved ? saved : "";
+
+  ::setenv("SDX_COMPILE_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::DefaultThreadCount(), 3);
+  // Non-positive and garbage values fall back to hardware concurrency.
+  ::setenv("SDX_COMPILE_THREADS", "0", 1);
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1);
+  ::setenv("SDX_COMPILE_THREADS", "nope", 1);
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1);
+
+  if (saved) {
+    ::setenv("SDX_COMPILE_THREADS", saved_value.c_str(), 1);
+  } else {
+    ::unsetenv("SDX_COMPILE_THREADS");
+  }
+}
+
+}  // namespace
+}  // namespace sdx::util
