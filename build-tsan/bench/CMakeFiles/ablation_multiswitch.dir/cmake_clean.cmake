@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multiswitch.dir/ablation_multiswitch.cc.o"
+  "CMakeFiles/ablation_multiswitch.dir/ablation_multiswitch.cc.o.d"
+  "ablation_multiswitch"
+  "ablation_multiswitch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multiswitch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_twostage.dir/ablation_twostage.cc.o"
+  "CMakeFiles/ablation_twostage.dir/ablation_twostage.cc.o.d"
+  "ablation_twostage"
+  "ablation_twostage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_twostage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_vnh.dir/ablation_vnh.cc.o"
+  "CMakeFiles/ablation_vnh.dir/ablation_vnh.cc.o.d"
+  "ablation_vnh"
+  "ablation_vnh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vnh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

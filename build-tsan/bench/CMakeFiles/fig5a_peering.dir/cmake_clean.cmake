@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_peering.dir/fig5a_peering.cc.o"
+  "CMakeFiles/fig5a_peering.dir/fig5a_peering.cc.o.d"
+  "fig5a_peering"
+  "fig5a_peering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_peering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_loadbalance.dir/fig5b_loadbalance.cc.o"
+  "CMakeFiles/fig5b_loadbalance.dir/fig5b_loadbalance.cc.o.d"
+  "fig5b_loadbalance"
+  "fig5b_loadbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_loadbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_flow_rules.dir/fig7_flow_rules.cc.o"
+  "CMakeFiles/fig7_flow_rules.dir/fig7_flow_rules.cc.o.d"
+  "fig7_flow_rules"
+  "fig7_flow_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_flow_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

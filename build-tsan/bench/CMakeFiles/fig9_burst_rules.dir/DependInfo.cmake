@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig9_burst_rules.cc" "bench/CMakeFiles/fig9_burst_rules.dir/fig9_burst_rules.cc.o" "gcc" "bench/CMakeFiles/fig9_burst_rules.dir/fig9_burst_rules.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/sdx_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/sdx_workload.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/sdx_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/sdx_policy.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/sdx_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/sdx_rs.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/sdx_bgp.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/sdx_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/sdx_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/sdx_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

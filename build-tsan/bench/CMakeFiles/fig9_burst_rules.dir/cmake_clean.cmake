@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_burst_rules.dir/fig9_burst_rules.cc.o"
+  "CMakeFiles/fig9_burst_rules.dir/fig9_burst_rules.cc.o.d"
+  "fig9_burst_rules"
+  "fig9_burst_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_burst_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_specific_peering.dir/app_specific_peering.cpp.o"
+  "CMakeFiles/app_specific_peering.dir/app_specific_peering.cpp.o.d"
+  "app_specific_peering"
+  "app_specific_peering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_specific_peering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inbound_traffic_engineering.dir/inbound_traffic_engineering.cpp.o"
+  "CMakeFiles/inbound_traffic_engineering.dir/inbound_traffic_engineering.cpp.o.d"
+  "inbound_traffic_engineering"
+  "inbound_traffic_engineering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inbound_traffic_engineering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

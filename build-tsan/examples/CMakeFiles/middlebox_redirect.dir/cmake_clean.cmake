@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/middlebox_redirect.dir/middlebox_redirect.cpp.o"
+  "CMakeFiles/middlebox_redirect.dir/middlebox_redirect.cpp.o.d"
+  "middlebox_redirect"
+  "middlebox_redirect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/middlebox_redirect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for middlebox_redirect.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdx_shell.dir/sdx_shell.cpp.o"
+  "CMakeFiles/sdx_shell.dir/sdx_shell.cpp.o.d"
+  "sdx_shell"
+  "sdx_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdx_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_chaining.dir/service_chaining.cpp.o"
+  "CMakeFiles/service_chaining.dir/service_chaining.cpp.o.d"
+  "service_chaining"
+  "service_chaining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_chaining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

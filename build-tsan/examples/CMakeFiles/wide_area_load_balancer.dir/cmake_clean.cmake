@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wide_area_load_balancer.dir/wide_area_load_balancer.cpp.o"
+  "CMakeFiles/wide_area_load_balancer.dir/wide_area_load_balancer.cpp.o.d"
+  "wide_area_load_balancer"
+  "wide_area_load_balancer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wide_area_load_balancer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

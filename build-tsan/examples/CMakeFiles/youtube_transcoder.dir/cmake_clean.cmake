@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/youtube_transcoder.dir/youtube_transcoder.cpp.o"
+  "CMakeFiles/youtube_transcoder.dir/youtube_transcoder.cpp.o.d"
+  "youtube_transcoder"
+  "youtube_transcoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/youtube_transcoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

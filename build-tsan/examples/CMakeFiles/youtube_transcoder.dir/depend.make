@@ -1,0 +1,2 @@
+# Empty dependencies file for youtube_transcoder.
+# This may be replaced when dependencies are built.

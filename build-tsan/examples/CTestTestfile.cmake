@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build-tsan/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build-tsan/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  LABELS "tier1" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_app_specific_peering "/root/repo/build-tsan/examples/app_specific_peering")
+set_tests_properties(example_app_specific_peering PROPERTIES  LABELS "tier1" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_wide_area_load_balancer "/root/repo/build-tsan/examples/wide_area_load_balancer")
+set_tests_properties(example_wide_area_load_balancer PROPERTIES  LABELS "tier1" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_inbound_traffic_engineering "/root/repo/build-tsan/examples/inbound_traffic_engineering")
+set_tests_properties(example_inbound_traffic_engineering PROPERTIES  LABELS "tier1" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_middlebox_redirect "/root/repo/build-tsan/examples/middlebox_redirect")
+set_tests_properties(example_middlebox_redirect PROPERTIES  LABELS "tier1" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_service_chaining "/root/repo/build-tsan/examples/service_chaining")
+set_tests_properties(example_service_chaining PROPERTIES  LABELS "tier1" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_youtube_transcoder "/root/repo/build-tsan/examples/youtube_transcoder")
+set_tests_properties(example_youtube_transcoder PROPERTIES  LABELS "tier1" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sdx_shell "sh" "-c" "echo 'send 100 dst=10.1.2.3 dstport=80' | /root/repo/build-tsan/examples/sdx_shell /root/repo/examples/figure1.conf")
+set_tests_properties(example_sdx_shell PROPERTIES  LABELS "tier1" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgp/decision.cc" "src/CMakeFiles/sdx_bgp.dir/bgp/decision.cc.o" "gcc" "src/CMakeFiles/sdx_bgp.dir/bgp/decision.cc.o.d"
+  "/root/repo/src/bgp/rib.cc" "src/CMakeFiles/sdx_bgp.dir/bgp/rib.cc.o" "gcc" "src/CMakeFiles/sdx_bgp.dir/bgp/rib.cc.o.d"
+  "/root/repo/src/bgp/route.cc" "src/CMakeFiles/sdx_bgp.dir/bgp/route.cc.o" "gcc" "src/CMakeFiles/sdx_bgp.dir/bgp/route.cc.o.d"
+  "/root/repo/src/bgp/session.cc" "src/CMakeFiles/sdx_bgp.dir/bgp/session.cc.o" "gcc" "src/CMakeFiles/sdx_bgp.dir/bgp/session.cc.o.d"
+  "/root/repo/src/bgp/update.cc" "src/CMakeFiles/sdx_bgp.dir/bgp/update.cc.o" "gcc" "src/CMakeFiles/sdx_bgp.dir/bgp/update.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/sdx_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/sdx_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

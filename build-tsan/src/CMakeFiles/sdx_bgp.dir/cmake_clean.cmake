@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdx_bgp.dir/bgp/decision.cc.o"
+  "CMakeFiles/sdx_bgp.dir/bgp/decision.cc.o.d"
+  "CMakeFiles/sdx_bgp.dir/bgp/rib.cc.o"
+  "CMakeFiles/sdx_bgp.dir/bgp/rib.cc.o.d"
+  "CMakeFiles/sdx_bgp.dir/bgp/route.cc.o"
+  "CMakeFiles/sdx_bgp.dir/bgp/route.cc.o.d"
+  "CMakeFiles/sdx_bgp.dir/bgp/session.cc.o"
+  "CMakeFiles/sdx_bgp.dir/bgp/session.cc.o.d"
+  "CMakeFiles/sdx_bgp.dir/bgp/update.cc.o"
+  "CMakeFiles/sdx_bgp.dir/bgp/update.cc.o.d"
+  "libsdx_bgp.a"
+  "libsdx_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdx_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

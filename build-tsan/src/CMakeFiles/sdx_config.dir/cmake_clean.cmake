@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdx_config.dir/config/loader.cc.o"
+  "CMakeFiles/sdx_config.dir/config/loader.cc.o.d"
+  "libsdx_config.a"
+  "libsdx_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdx_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

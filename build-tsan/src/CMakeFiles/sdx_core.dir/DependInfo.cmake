@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sdx/bgp_filter.cc" "src/CMakeFiles/sdx_core.dir/sdx/bgp_filter.cc.o" "gcc" "src/CMakeFiles/sdx_core.dir/sdx/bgp_filter.cc.o.d"
+  "/root/repo/src/sdx/composer.cc" "src/CMakeFiles/sdx_core.dir/sdx/composer.cc.o" "gcc" "src/CMakeFiles/sdx_core.dir/sdx/composer.cc.o.d"
+  "/root/repo/src/sdx/default_fwd.cc" "src/CMakeFiles/sdx_core.dir/sdx/default_fwd.cc.o" "gcc" "src/CMakeFiles/sdx_core.dir/sdx/default_fwd.cc.o.d"
+  "/root/repo/src/sdx/fec.cc" "src/CMakeFiles/sdx_core.dir/sdx/fec.cc.o" "gcc" "src/CMakeFiles/sdx_core.dir/sdx/fec.cc.o.d"
+  "/root/repo/src/sdx/isolation.cc" "src/CMakeFiles/sdx_core.dir/sdx/isolation.cc.o" "gcc" "src/CMakeFiles/sdx_core.dir/sdx/isolation.cc.o.d"
+  "/root/repo/src/sdx/multi_switch.cc" "src/CMakeFiles/sdx_core.dir/sdx/multi_switch.cc.o" "gcc" "src/CMakeFiles/sdx_core.dir/sdx/multi_switch.cc.o.d"
+  "/root/repo/src/sdx/participant.cc" "src/CMakeFiles/sdx_core.dir/sdx/participant.cc.o" "gcc" "src/CMakeFiles/sdx_core.dir/sdx/participant.cc.o.d"
+  "/root/repo/src/sdx/runtime.cc" "src/CMakeFiles/sdx_core.dir/sdx/runtime.cc.o" "gcc" "src/CMakeFiles/sdx_core.dir/sdx/runtime.cc.o.d"
+  "/root/repo/src/sdx/session_frontend.cc" "src/CMakeFiles/sdx_core.dir/sdx/session_frontend.cc.o" "gcc" "src/CMakeFiles/sdx_core.dir/sdx/session_frontend.cc.o.d"
+  "/root/repo/src/sdx/two_stage.cc" "src/CMakeFiles/sdx_core.dir/sdx/two_stage.cc.o" "gcc" "src/CMakeFiles/sdx_core.dir/sdx/two_stage.cc.o.d"
+  "/root/repo/src/sdx/vnh.cc" "src/CMakeFiles/sdx_core.dir/sdx/vnh.cc.o" "gcc" "src/CMakeFiles/sdx_core.dir/sdx/vnh.cc.o.d"
+  "/root/repo/src/sdx/vswitch.cc" "src/CMakeFiles/sdx_core.dir/sdx/vswitch.cc.o" "gcc" "src/CMakeFiles/sdx_core.dir/sdx/vswitch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/sdx_policy.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/sdx_rs.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/sdx_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/sdx_obs.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/sdx_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/sdx_bgp.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/sdx_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdx_core.dir/sdx/bgp_filter.cc.o"
+  "CMakeFiles/sdx_core.dir/sdx/bgp_filter.cc.o.d"
+  "CMakeFiles/sdx_core.dir/sdx/composer.cc.o"
+  "CMakeFiles/sdx_core.dir/sdx/composer.cc.o.d"
+  "CMakeFiles/sdx_core.dir/sdx/default_fwd.cc.o"
+  "CMakeFiles/sdx_core.dir/sdx/default_fwd.cc.o.d"
+  "CMakeFiles/sdx_core.dir/sdx/fec.cc.o"
+  "CMakeFiles/sdx_core.dir/sdx/fec.cc.o.d"
+  "CMakeFiles/sdx_core.dir/sdx/isolation.cc.o"
+  "CMakeFiles/sdx_core.dir/sdx/isolation.cc.o.d"
+  "CMakeFiles/sdx_core.dir/sdx/multi_switch.cc.o"
+  "CMakeFiles/sdx_core.dir/sdx/multi_switch.cc.o.d"
+  "CMakeFiles/sdx_core.dir/sdx/participant.cc.o"
+  "CMakeFiles/sdx_core.dir/sdx/participant.cc.o.d"
+  "CMakeFiles/sdx_core.dir/sdx/runtime.cc.o"
+  "CMakeFiles/sdx_core.dir/sdx/runtime.cc.o.d"
+  "CMakeFiles/sdx_core.dir/sdx/session_frontend.cc.o"
+  "CMakeFiles/sdx_core.dir/sdx/session_frontend.cc.o.d"
+  "CMakeFiles/sdx_core.dir/sdx/two_stage.cc.o"
+  "CMakeFiles/sdx_core.dir/sdx/two_stage.cc.o.d"
+  "CMakeFiles/sdx_core.dir/sdx/vnh.cc.o"
+  "CMakeFiles/sdx_core.dir/sdx/vnh.cc.o.d"
+  "CMakeFiles/sdx_core.dir/sdx/vswitch.cc.o"
+  "CMakeFiles/sdx_core.dir/sdx/vswitch.cc.o.d"
+  "libsdx_core.a"
+  "libsdx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

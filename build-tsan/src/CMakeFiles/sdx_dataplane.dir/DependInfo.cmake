@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataplane/action.cc" "src/CMakeFiles/sdx_dataplane.dir/dataplane/action.cc.o" "gcc" "src/CMakeFiles/sdx_dataplane.dir/dataplane/action.cc.o.d"
+  "/root/repo/src/dataplane/arp.cc" "src/CMakeFiles/sdx_dataplane.dir/dataplane/arp.cc.o" "gcc" "src/CMakeFiles/sdx_dataplane.dir/dataplane/arp.cc.o.d"
+  "/root/repo/src/dataplane/fabric.cc" "src/CMakeFiles/sdx_dataplane.dir/dataplane/fabric.cc.o" "gcc" "src/CMakeFiles/sdx_dataplane.dir/dataplane/fabric.cc.o.d"
+  "/root/repo/src/dataplane/flow_rule.cc" "src/CMakeFiles/sdx_dataplane.dir/dataplane/flow_rule.cc.o" "gcc" "src/CMakeFiles/sdx_dataplane.dir/dataplane/flow_rule.cc.o.d"
+  "/root/repo/src/dataplane/flow_table.cc" "src/CMakeFiles/sdx_dataplane.dir/dataplane/flow_table.cc.o" "gcc" "src/CMakeFiles/sdx_dataplane.dir/dataplane/flow_table.cc.o.d"
+  "/root/repo/src/dataplane/switch.cc" "src/CMakeFiles/sdx_dataplane.dir/dataplane/switch.cc.o" "gcc" "src/CMakeFiles/sdx_dataplane.dir/dataplane/switch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/sdx_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/sdx_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdx_dataplane.dir/dataplane/action.cc.o"
+  "CMakeFiles/sdx_dataplane.dir/dataplane/action.cc.o.d"
+  "CMakeFiles/sdx_dataplane.dir/dataplane/arp.cc.o"
+  "CMakeFiles/sdx_dataplane.dir/dataplane/arp.cc.o.d"
+  "CMakeFiles/sdx_dataplane.dir/dataplane/fabric.cc.o"
+  "CMakeFiles/sdx_dataplane.dir/dataplane/fabric.cc.o.d"
+  "CMakeFiles/sdx_dataplane.dir/dataplane/flow_rule.cc.o"
+  "CMakeFiles/sdx_dataplane.dir/dataplane/flow_rule.cc.o.d"
+  "CMakeFiles/sdx_dataplane.dir/dataplane/flow_table.cc.o"
+  "CMakeFiles/sdx_dataplane.dir/dataplane/flow_table.cc.o.d"
+  "CMakeFiles/sdx_dataplane.dir/dataplane/switch.cc.o"
+  "CMakeFiles/sdx_dataplane.dir/dataplane/switch.cc.o.d"
+  "libsdx_dataplane.a"
+  "libsdx_dataplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdx_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/flowspace.cc" "src/CMakeFiles/sdx_net.dir/net/flowspace.cc.o" "gcc" "src/CMakeFiles/sdx_net.dir/net/flowspace.cc.o.d"
+  "/root/repo/src/net/ipv4.cc" "src/CMakeFiles/sdx_net.dir/net/ipv4.cc.o" "gcc" "src/CMakeFiles/sdx_net.dir/net/ipv4.cc.o.d"
+  "/root/repo/src/net/mac.cc" "src/CMakeFiles/sdx_net.dir/net/mac.cc.o" "gcc" "src/CMakeFiles/sdx_net.dir/net/mac.cc.o.d"
+  "/root/repo/src/net/packet.cc" "src/CMakeFiles/sdx_net.dir/net/packet.cc.o" "gcc" "src/CMakeFiles/sdx_net.dir/net/packet.cc.o.d"
+  "/root/repo/src/net/prefix_trie.cc" "src/CMakeFiles/sdx_net.dir/net/prefix_trie.cc.o" "gcc" "src/CMakeFiles/sdx_net.dir/net/prefix_trie.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdx_net.dir/net/flowspace.cc.o"
+  "CMakeFiles/sdx_net.dir/net/flowspace.cc.o.d"
+  "CMakeFiles/sdx_net.dir/net/ipv4.cc.o"
+  "CMakeFiles/sdx_net.dir/net/ipv4.cc.o.d"
+  "CMakeFiles/sdx_net.dir/net/mac.cc.o"
+  "CMakeFiles/sdx_net.dir/net/mac.cc.o.d"
+  "CMakeFiles/sdx_net.dir/net/packet.cc.o"
+  "CMakeFiles/sdx_net.dir/net/packet.cc.o.d"
+  "CMakeFiles/sdx_net.dir/net/prefix_trie.cc.o"
+  "CMakeFiles/sdx_net.dir/net/prefix_trie.cc.o.d"
+  "libsdx_net.a"
+  "libsdx_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdx_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsdx_net.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdx_obs.dir/obs/bench_diff.cc.o"
+  "CMakeFiles/sdx_obs.dir/obs/bench_diff.cc.o.d"
+  "CMakeFiles/sdx_obs.dir/obs/journal.cc.o"
+  "CMakeFiles/sdx_obs.dir/obs/journal.cc.o.d"
+  "CMakeFiles/sdx_obs.dir/obs/json.cc.o"
+  "CMakeFiles/sdx_obs.dir/obs/json.cc.o.d"
+  "CMakeFiles/sdx_obs.dir/obs/metrics.cc.o"
+  "CMakeFiles/sdx_obs.dir/obs/metrics.cc.o.d"
+  "CMakeFiles/sdx_obs.dir/obs/trace.cc.o"
+  "CMakeFiles/sdx_obs.dir/obs/trace.cc.o.d"
+  "libsdx_obs.a"
+  "libsdx_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdx_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

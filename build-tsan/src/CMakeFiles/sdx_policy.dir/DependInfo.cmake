@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policy/cache.cc" "src/CMakeFiles/sdx_policy.dir/policy/cache.cc.o" "gcc" "src/CMakeFiles/sdx_policy.dir/policy/cache.cc.o.d"
+  "/root/repo/src/policy/classifier.cc" "src/CMakeFiles/sdx_policy.dir/policy/classifier.cc.o" "gcc" "src/CMakeFiles/sdx_policy.dir/policy/classifier.cc.o.d"
+  "/root/repo/src/policy/compile.cc" "src/CMakeFiles/sdx_policy.dir/policy/compile.cc.o" "gcc" "src/CMakeFiles/sdx_policy.dir/policy/compile.cc.o.d"
+  "/root/repo/src/policy/policy.cc" "src/CMakeFiles/sdx_policy.dir/policy/policy.cc.o" "gcc" "src/CMakeFiles/sdx_policy.dir/policy/policy.cc.o.d"
+  "/root/repo/src/policy/predicate.cc" "src/CMakeFiles/sdx_policy.dir/policy/predicate.cc.o" "gcc" "src/CMakeFiles/sdx_policy.dir/policy/predicate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/sdx_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/sdx_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/sdx_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/sdx_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

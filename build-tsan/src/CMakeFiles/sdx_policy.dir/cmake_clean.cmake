@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdx_policy.dir/policy/cache.cc.o"
+  "CMakeFiles/sdx_policy.dir/policy/cache.cc.o.d"
+  "CMakeFiles/sdx_policy.dir/policy/classifier.cc.o"
+  "CMakeFiles/sdx_policy.dir/policy/classifier.cc.o.d"
+  "CMakeFiles/sdx_policy.dir/policy/compile.cc.o"
+  "CMakeFiles/sdx_policy.dir/policy/compile.cc.o.d"
+  "CMakeFiles/sdx_policy.dir/policy/policy.cc.o"
+  "CMakeFiles/sdx_policy.dir/policy/policy.cc.o.d"
+  "CMakeFiles/sdx_policy.dir/policy/predicate.cc.o"
+  "CMakeFiles/sdx_policy.dir/policy/predicate.cc.o.d"
+  "libsdx_policy.a"
+  "libsdx_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdx_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

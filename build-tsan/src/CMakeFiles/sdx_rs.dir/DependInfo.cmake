@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rs/route_server.cc" "src/CMakeFiles/sdx_rs.dir/rs/route_server.cc.o" "gcc" "src/CMakeFiles/sdx_rs.dir/rs/route_server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/sdx_bgp.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/sdx_obs.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/sdx_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdx_rs.dir/rs/route_server.cc.o"
+  "CMakeFiles/sdx_rs.dir/rs/route_server.cc.o.d"
+  "libsdx_rs.a"
+  "libsdx_rs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdx_rs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdx_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/sdx_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/sdx_sim.dir/sim/flow_sim.cc.o"
+  "CMakeFiles/sdx_sim.dir/sim/flow_sim.cc.o.d"
+  "libsdx_sim.a"
+  "libsdx_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdx_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdx_util.dir/util/thread_pool.cc.o"
+  "CMakeFiles/sdx_util.dir/util/thread_pool.cc.o.d"
+  "libsdx_util.a"
+  "libsdx_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdx_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

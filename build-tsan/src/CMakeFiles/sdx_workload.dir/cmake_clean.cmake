@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdx_workload.dir/workload/policy_gen.cc.o"
+  "CMakeFiles/sdx_workload.dir/workload/policy_gen.cc.o.d"
+  "CMakeFiles/sdx_workload.dir/workload/topology_gen.cc.o"
+  "CMakeFiles/sdx_workload.dir/workload/topology_gen.cc.o.d"
+  "CMakeFiles/sdx_workload.dir/workload/traffic_gen.cc.o"
+  "CMakeFiles/sdx_workload.dir/workload/traffic_gen.cc.o.d"
+  "CMakeFiles/sdx_workload.dir/workload/update_gen.cc.o"
+  "CMakeFiles/sdx_workload.dir/workload/update_gen.cc.o.d"
+  "libsdx_workload.a"
+  "libsdx_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdx_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_action.dir/test_action.cc.o"
+  "CMakeFiles/test_action.dir/test_action.cc.o.d"
+  "test_action"
+  "test_action.pdb"
+  "test_action[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_action.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

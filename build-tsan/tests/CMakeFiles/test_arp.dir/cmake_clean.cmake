@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arp.dir/test_arp.cc.o"
+  "CMakeFiles/test_arp.dir/test_arp.cc.o.d"
+  "test_arp"
+  "test_arp.pdb"
+  "test_arp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

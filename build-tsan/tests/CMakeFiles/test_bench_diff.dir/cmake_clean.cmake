@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bench_diff.dir/test_bench_diff.cc.o"
+  "CMakeFiles/test_bench_diff.dir/test_bench_diff.cc.o.d"
+  "test_bench_diff"
+  "test_bench_diff.pdb"
+  "test_bench_diff[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bench_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

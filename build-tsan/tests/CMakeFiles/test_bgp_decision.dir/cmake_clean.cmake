@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bgp_decision.dir/test_bgp_decision.cc.o"
+  "CMakeFiles/test_bgp_decision.dir/test_bgp_decision.cc.o.d"
+  "test_bgp_decision"
+  "test_bgp_decision.pdb"
+  "test_bgp_decision[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bgp_decision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_bgp_decision.
+# This may be replaced when dependencies are built.

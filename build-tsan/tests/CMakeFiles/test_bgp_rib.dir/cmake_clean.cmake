@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bgp_rib.dir/test_bgp_rib.cc.o"
+  "CMakeFiles/test_bgp_rib.dir/test_bgp_rib.cc.o.d"
+  "test_bgp_rib"
+  "test_bgp_rib.pdb"
+  "test_bgp_rib[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bgp_rib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

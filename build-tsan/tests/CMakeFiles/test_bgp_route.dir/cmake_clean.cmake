@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bgp_route.dir/test_bgp_route.cc.o"
+  "CMakeFiles/test_bgp_route.dir/test_bgp_route.cc.o.d"
+  "test_bgp_route"
+  "test_bgp_route.pdb"
+  "test_bgp_route[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bgp_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_communities.dir/test_communities.cc.o"
+  "CMakeFiles/test_communities.dir/test_communities.cc.o.d"
+  "test_communities"
+  "test_communities.pdb"
+  "test_communities[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_communities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

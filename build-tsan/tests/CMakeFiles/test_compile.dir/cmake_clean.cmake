@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compile.dir/test_compile.cc.o"
+  "CMakeFiles/test_compile.dir/test_compile.cc.o.d"
+  "test_compile"
+  "test_compile.pdb"
+  "test_compile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fec.dir/test_fec.cc.o"
+  "CMakeFiles/test_fec.dir/test_fec.cc.o.d"
+  "test_fec"
+  "test_fec.pdb"
+  "test_fec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flow_table.dir/test_flow_table.cc.o"
+  "CMakeFiles/test_flow_table.dir/test_flow_table.cc.o.d"
+  "test_flow_table"
+  "test_flow_table.pdb"
+  "test_flow_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flow_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flowspace.dir/test_flowspace.cc.o"
+  "CMakeFiles/test_flowspace.dir/test_flowspace.cc.o.d"
+  "test_flowspace"
+  "test_flowspace.pdb"
+  "test_flowspace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flowspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_obs_integration.dir/test_obs_integration.cc.o"
+  "CMakeFiles/test_obs_integration.dir/test_obs_integration.cc.o.d"
+  "test_obs_integration"
+  "test_obs_integration.pdb"
+  "test_obs_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_obs_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_policy_validation.dir/test_policy_validation.cc.o"
+  "CMakeFiles/test_policy_validation.dir/test_policy_validation.cc.o.d"
+  "test_policy_validation"
+  "test_policy_validation.pdb"
+  "test_policy_validation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_policy_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

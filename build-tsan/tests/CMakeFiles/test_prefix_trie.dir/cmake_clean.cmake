@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prefix_trie.dir/test_prefix_trie.cc.o"
+  "CMakeFiles/test_prefix_trie.dir/test_prefix_trie.cc.o.d"
+  "test_prefix_trie"
+  "test_prefix_trie.pdb"
+  "test_prefix_trie[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prefix_trie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_route_server.dir/test_route_server.cc.o"
+  "CMakeFiles/test_route_server.dir/test_route_server.cc.o.d"
+  "test_route_server"
+  "test_route_server.pdb"
+  "test_route_server[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_route_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

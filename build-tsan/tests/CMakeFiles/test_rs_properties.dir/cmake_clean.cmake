@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rs_properties.dir/test_rs_properties.cc.o"
+  "CMakeFiles/test_rs_properties.dir/test_rs_properties.cc.o.d"
+  "test_rs_properties"
+  "test_rs_properties.pdb"
+  "test_rs_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rs_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

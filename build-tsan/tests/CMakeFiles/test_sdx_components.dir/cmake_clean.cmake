@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sdx_components.dir/test_sdx_components.cc.o"
+  "CMakeFiles/test_sdx_components.dir/test_sdx_components.cc.o.d"
+  "test_sdx_components"
+  "test_sdx_components.pdb"
+  "test_sdx_components[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sdx_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

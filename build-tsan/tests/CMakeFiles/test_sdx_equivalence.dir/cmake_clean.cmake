@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sdx_equivalence.dir/test_sdx_equivalence.cc.o"
+  "CMakeFiles/test_sdx_equivalence.dir/test_sdx_equivalence.cc.o.d"
+  "test_sdx_equivalence"
+  "test_sdx_equivalence.pdb"
+  "test_sdx_equivalence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sdx_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

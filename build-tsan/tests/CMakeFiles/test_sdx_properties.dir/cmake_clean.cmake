@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sdx_properties.dir/test_sdx_properties.cc.o"
+  "CMakeFiles/test_sdx_properties.dir/test_sdx_properties.cc.o.d"
+  "test_sdx_properties"
+  "test_sdx_properties.pdb"
+  "test_sdx_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sdx_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sdx_runtime.dir/test_sdx_runtime.cc.o"
+  "CMakeFiles/test_sdx_runtime.dir/test_sdx_runtime.cc.o.d"
+  "test_sdx_runtime"
+  "test_sdx_runtime.pdb"
+  "test_sdx_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sdx_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_service_chain.dir/test_service_chain.cc.o"
+  "CMakeFiles/test_service_chain.dir/test_service_chain.cc.o.d"
+  "test_service_chain"
+  "test_service_chain.pdb"
+  "test_service_chain[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_service_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_session_frontend.dir/test_session_frontend.cc.o"
+  "CMakeFiles/test_session_frontend.dir/test_session_frontend.cc.o.d"
+  "test_session_frontend"
+  "test_session_frontend.pdb"
+  "test_session_frontend[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_session_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_two_stage.dir/test_two_stage.cc.o"
+  "CMakeFiles/test_two_stage.dir/test_two_stage.cc.o.d"
+  "test_two_stage"
+  "test_two_stage.pdb"
+  "test_two_stage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_two_stage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

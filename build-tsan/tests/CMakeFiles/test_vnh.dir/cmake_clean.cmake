@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vnh.dir/test_vnh.cc.o"
+  "CMakeFiles/test_vnh.dir/test_vnh.cc.o.d"
+  "test_vnh"
+  "test_vnh.pdb"
+  "test_vnh[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vnh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vswitch.dir/test_vswitch.cc.o"
+  "CMakeFiles/test_vswitch.dir/test_vswitch.cc.o.d"
+  "test_vswitch"
+  "test_vswitch.pdb"
+  "test_vswitch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vswitch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

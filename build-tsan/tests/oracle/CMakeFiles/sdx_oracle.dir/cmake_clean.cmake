@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdx_oracle.dir/oracle.cc.o"
+  "CMakeFiles/sdx_oracle.dir/oracle.cc.o.d"
+  "libsdx_oracle.a"
+  "libsdx_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdx_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

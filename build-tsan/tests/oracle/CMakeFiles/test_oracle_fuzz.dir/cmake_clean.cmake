@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oracle_fuzz.dir/test_oracle_fuzz.cc.o"
+  "CMakeFiles/test_oracle_fuzz.dir/test_oracle_fuzz.cc.o.d"
+  "test_oracle_fuzz"
+  "test_oracle_fuzz.pdb"
+  "test_oracle_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oracle_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/oracle
+# Build directory: /root/repo/build-tsan/tests/oracle
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/oracle/test_oracle[1]_include.cmake")
+include("/root/repo/build-tsan/tests/oracle/test_oracle_fuzz[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdxmon.dir/sdxmon.cc.o"
+  "CMakeFiles/sdxmon.dir/sdxmon.cc.o.d"
+  "sdxmon"
+  "sdxmon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdxmon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sdxmon.
+# This may be replaced when dependencies are built.
