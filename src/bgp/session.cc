@@ -4,16 +4,16 @@ namespace sdx::bgp {
 
 bool BgpSession::SendToPeer(BgpUpdate update) {
   if (!established()) return false;
-  if (journal_ != nullptr) {
+  if (sinks_.journal != nullptr) {
     // Session ingress is where an update's causal journey begins: assign
     // the provenance id here so everything downstream (route-server
     // decision, compiled rules, re-advertisements) shares it.
     std::uint64_t id = UpdateProvenance(update);
     if (id == obs::kNoUpdateId) {
-      id = journal_->NextUpdateId();
+      id = sinks_.journal->NextUpdateId();
       SetUpdateProvenance(update, id);
     }
-    journal_->Record(obs::JournalEventType::kBgpSessionRx, id, local_as_,
+    sinks_.journal->Record(obs::JournalEventType::kBgpSessionRx, id, local_as_,
                      IsAnnouncement(update) ? 1 : 0, 0,
                      UpdatePrefix(update).ToString());
   }
@@ -30,8 +30,8 @@ std::vector<BgpUpdate> BgpSession::DrainFromPeer() {
 
 bool BgpSession::SendToLocal(BgpUpdate update) {
   if (!established()) return false;
-  if (journal_ != nullptr) {
-    journal_->Record(obs::JournalEventType::kBgpSessionTx,
+  if (sinks_.journal != nullptr) {
+    sinks_.journal->Record(obs::JournalEventType::kBgpSessionTx,
                      UpdateProvenance(update), local_as_,
                      IsAnnouncement(update) ? 1 : 0, 0,
                      UpdatePrefix(update).ToString());

@@ -15,21 +15,24 @@
 
 #include "bgp/update.h"
 #include "obs/journal.h"
+#include "obs/sinks.h"
 
 namespace sdx::bgp {
 
 class BgpSession {
  public:
-  BgpSession(AsNumber local_as, AsNumber peer_as)
-      : local_as_(local_as), peer_as_(peer_as) {}
+  // `sinks` wires the observability backends (obs/sinks.h; null members →
+  // no-op). Session delivery is the pipeline's entry point: SendToPeer
+  // stamps updates that carry no provenance with a fresh journal update id
+  // and records a bgp_session_rx event; SendToLocal records the
+  // re-advertisement (bgp_session_tx) under whatever provenance the
+  // message carries.
+  BgpSession(AsNumber local_as, AsNumber peer_as, const obs::Sinks& sinks = {})
+      : local_as_(local_as), peer_as_(peer_as), sinks_(sinks) {}
 
-  // Wires the control-plane flight recorder (null → no-op). Session
-  // delivery is the pipeline's entry point: SendToPeer stamps updates that
-  // carry no provenance with a fresh journal update id and records a
-  // bgp_session_rx event; SendToLocal records the re-advertisement
-  // (bgp_session_tx) under whatever provenance the message carries.
-  void SetJournal(obs::Journal* journal) { journal_ = journal; }
-  obs::Journal* journal() const { return journal_; }
+  // Deprecated shim (one PR): construct with obs::Sinks instead.
+  void SetJournal(obs::Journal* journal) { sinks_.journal = journal; }
+  obs::Journal* journal() const { return sinks_.journal; }
 
   AsNumber local_as() const { return local_as_; }
   AsNumber peer_as() const { return peer_as_; }
@@ -66,7 +69,7 @@ class BgpSession {
  private:
   AsNumber local_as_;
   AsNumber peer_as_;
-  obs::Journal* journal_ = nullptr;
+  obs::Sinks sinks_;
   State state_ = State::kIdle;
   std::uint64_t generation_ = 0;
   std::deque<BgpUpdate> to_peer_;

@@ -19,12 +19,21 @@ const json::Value& Section(const json::Value& doc, const char* name) {
   return *section;
 }
 
-bool CounterRegressed(double before, double after,
+bool IsBatchMetric(const std::string& name) {
+  return name.rfind("batch.", 0) == 0;
+}
+
+bool CounterRegressed(const std::string& name, double before, double after,
                       const BenchDiffOptions& options) {
+  const bool batch = IsBatchMetric(name);
+  const double abs_slack =
+      batch ? options.min_batch_counter_abs : options.min_counter_abs;
+  const double rel =
+      batch ? options.max_batch_counter_rel : options.max_counter_rel;
   const double abs_delta = std::fabs(after - before);
-  if (abs_delta <= options.min_counter_abs) return false;
+  if (abs_delta <= abs_slack) return false;
   const double base = std::max(std::fabs(before), 1.0);
-  return abs_delta / base > options.max_counter_rel;
+  return abs_delta / base > rel;
 }
 
 struct QuantileCheck {
@@ -76,11 +85,17 @@ BenchDiff DiffMetrics(const json::Value& before, const json::Value& after,
        [&](const std::string& name, const json::Value& b,
            const json::Value& a) {
          if (b.number == a.number) return;
-         const bool regressed = CounterRegressed(b.number, a.number, options);
+         const bool regressed =
+             CounterRegressed(name, b.number, a.number, options);
          std::ostringstream note;
          if (regressed) {
-           note << "counter moved beyond rel " << options.max_counter_rel
-                << " / abs " << options.min_counter_abs;
+           const bool batch = IsBatchMetric(name);
+           note << "counter moved beyond rel "
+                << (batch ? options.max_batch_counter_rel
+                          : options.max_counter_rel)
+                << " / abs "
+                << (batch ? options.min_batch_counter_abs
+                          : options.min_counter_abs);
          }
          record("counter " + name, b.number, a.number, regressed, note.str());
        });
@@ -100,7 +115,7 @@ BenchDiff DiffMetrics(const json::Value& before, const json::Value& after,
          const double a_count = a.NumberAt("count");
          if (b_count != a_count) {
            const bool regressed =
-               CounterRegressed(b_count, a_count, options);
+               CounterRegressed(name, b_count, a_count, options);
            record("histogram " + name + " count", b_count, a_count, regressed,
                   regressed ? "observation count moved beyond thresholds"
                             : "");

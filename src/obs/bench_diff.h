@@ -28,6 +28,14 @@ namespace sdx::obs {
 struct BenchDiffOptions {
   double max_counter_rel = 0.5;     // relative counter change allowed
   double min_counter_abs = 16.0;    // absolute counter slack (small tallies)
+  // "batch."-prefixed counters (and the batch.depth histogram count)
+  // describe the ingest pipeline's shape — batches drained, updates
+  // coalesced, compiles skipped. On a fixed bench workload they should be
+  // near-deterministic, so they get a tighter relative band and much less
+  // absolute slack than generic tallies: a drifting coalesce count means
+  // the batcher changed behavior, not that the run was noisy.
+  double max_batch_counter_rel = 0.25;
+  double min_batch_counter_abs = 2.0;
   double max_p50_ratio = 2.0;
   double max_p95_ratio = 1.5;
   double max_p99_ratio = 2.0;

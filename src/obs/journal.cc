@@ -29,6 +29,10 @@ constexpr TypeName kTypeNames[] = {
     {JournalEventType::kFlowRuleDelete, "flow_rule_delete"},
     {JournalEventType::kFlowRulesBulk, "flow_rules_bulk"},
     {JournalEventType::kFlowRulesRetire, "flow_rules_retire"},
+    {JournalEventType::kBatchBegin, "batch_begin"},
+    {JournalEventType::kBatchEnd, "batch_end"},
+    {JournalEventType::kUpdateCoalesced, "update_coalesced"},
+    {JournalEventType::kCompileOptionsChanged, "compile_options_changed"},
 };
 
 }  // namespace

@@ -60,6 +60,15 @@ enum class JournalEventType : std::uint8_t {
   kFlowRuleDelete,      // one rule (arg0=switch, arg1=priority, arg2=cookie)
   kFlowRulesBulk,       // aggregate install (arg0=switch, arg1=count)
   kFlowRulesRetire,     // aggregate removal (arg0=switch, arg1=count, arg2=ck)
+  kBatchBegin,          // batch drain started (arg0=raw, arg1=applied,
+                        // arg2=coalesced away)
+  kBatchEnd,            // batch done (arg0=prefixes changed, arg1=rules, arg2=µs)
+  kUpdateCoalesced,     // update superseded pre-decision by a later one for
+                        // the same (peer, prefix); update_id = the LOSER's
+                        // provenance id (arg0=winning id, detail=prefix), so
+                        // `sdxmon chain <loser>` still explains its fate
+  kCompileOptionsChanged,  // SetCompileOptions (arg0/arg1 = new/old packed
+                           // {parallel, incremental} bits, arg2 = new threads)
 };
 
 // Stable wire name ("rs_decision") used by the JSONL export and sdxmon.

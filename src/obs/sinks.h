@@ -1,0 +1,29 @@
+// The one-stop observability wiring struct.
+//
+// Before this existed, every instrumented component grew its own setter
+// (`SetJournal(...)` on BgpSession, RouteServer, FlowTable, ...), and adding
+// a new sink meant touching every signature again. `Sinks` bundles the three
+// runtime-owned observability backends behind one value that components take
+// at construction (or through a single `SetSinks`), so the wiring point per
+// component is exactly one.
+//
+// All pointers are non-owning and nullable; a null member means "that sink
+// is disabled" and follows the same null-is-no-op convention as trace.h and
+// journal.h. The struct is a plain value — copy it freely; it carries no
+// lifetime of its own (the SdxRuntime that owns the backends outlives every
+// component it wires).
+#pragma once
+
+#include "obs/journal.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace sdx::obs {
+
+struct Sinks {
+  MetricsRegistry* metrics = nullptr;
+  Journal* journal = nullptr;
+  Tracer* tracer = nullptr;
+};
+
+}  // namespace sdx::obs

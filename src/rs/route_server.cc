@@ -125,17 +125,17 @@ std::vector<BestRouteChange> RouteServer::HandleUpdate(
   if (!changed || bulk_loading_) return changes;
 
   const obs::UpdateId provenance =
-      journal_ != nullptr && bgp::UpdateProvenance(update) == obs::kNoUpdateId
-          ? journal_->current_update_id()
+      sinks_.journal != nullptr && bgp::UpdateProvenance(update) == obs::kNoUpdateId
+          ? sinks_.journal->current_update_id()
           : bgp::UpdateProvenance(update);
   // Scope the ambient id so suppression events inside RecomputeBest inherit
   // this update's provenance too.
-  obs::UpdateIdScope ambient(journal_, provenance);
+  obs::UpdateIdScope ambient(sinks_.journal, provenance);
   for (auto& [receiver, state] : participants_) {
     if (receiver == from) continue;
     if (auto change = RecomputeBest(receiver, prefix)) {
-      if (journal_ != nullptr) {
-        journal_->Record(
+      if (sinks_.journal != nullptr) {
+        sinks_.journal->Record(
             obs::JournalEventType::kRsDecision, provenance, receiver,
             change->new_best ? change->new_best->peer_as : 0,
             change->old_best ? change->old_best->peer_as : 0,
@@ -204,9 +204,9 @@ std::optional<BestRouteChange> RouteServer::RecomputeBest(
         // its own route is not a policy suppression.
         if (announcer_as != receiver) {
           ++export_suppressions_;
-          if (journal_ != nullptr) {
-            journal_->Record(obs::JournalEventType::kRsExportSuppressed,
-                             journal_->current_update_id(), receiver,
+          if (sinks_.journal != nullptr) {
+            sinks_.journal->Record(obs::JournalEventType::kRsExportSuppressed,
+                             sinks_.journal->current_update_id(), receiver,
                              announcer_as, 0, prefix.ToString());
           }
         }

@@ -32,6 +32,7 @@
 #include "bgp/update.h"
 #include "net/ipv4.h"
 #include "obs/journal.h"
+#include "obs/sinks.h"
 
 namespace sdx::rs {
 
@@ -54,16 +55,24 @@ struct BestRouteChange {
 
 class RouteServer {
  public:
+  // `sinks` wires the observability backends (obs/sinks.h; null members →
+  // no-op): HandleUpdate records one rs_decision event per best-route
+  // change, and export-policy suppressions during best-route selection
+  // record rs_export_suppressed — both tagged with the triggering update's
+  // provenance id (falling back to the journal's ambient id). Bulk loading
+  // records nothing.
+  explicit RouteServer(const obs::Sinks& sinks = {}) : sinks_(sinks) {}
+
   // Registers a participant peering session. Router id breaks decision ties.
   void RegisterParticipant(AsNumber as, net::IPv4Address router_id);
 
-  // Wires the control-plane flight recorder (null → no-op): HandleUpdate
-  // records one rs_decision event per best-route change, and export-policy
-  // suppressions during best-route selection record rs_export_suppressed —
-  // both tagged with the triggering update's provenance id (falling back to
-  // the journal's ambient id). Bulk loading records nothing.
-  void SetJournal(obs::Journal* journal) { journal_ = journal; }
-  obs::Journal* journal() const { return journal_; }
+  // Rewires every sink at once (the runtime calls this when the journal is
+  // re-created).
+  void SetSinks(const obs::Sinks& sinks) { sinks_ = sinks; }
+
+  // Deprecated shim (one PR): pass obs::Sinks at construction or SetSinks.
+  void SetJournal(obs::Journal* journal) { sinks_.journal = journal; }
+  obs::Journal* journal() const { return sinks_.journal; }
 
   bool IsRegistered(AsNumber as) const;
   std::vector<AsNumber> Participants() const;
@@ -189,7 +198,7 @@ class RouteServer {
   // Which prefixes each participant announced (for reverse queries).
   std::unordered_map<net::IPv4Prefix, std::set<AsNumber>> announcers_;
   std::function<void(const BestRouteChange&)> on_change_;
-  obs::Journal* journal_ = nullptr;
+  obs::Sinks sinks_;
   std::uint64_t updates_processed_ = 0;
   std::uint64_t config_version_ = 0;
   std::uint64_t export_suppressions_ = 0;

@@ -38,12 +38,12 @@ MultiSwitchDeployment::MultiSwitchDeployment(const VirtualTopology& topo,
   }
 }
 
-void MultiSwitchDeployment::SetJournal(obs::Journal* journal) {
-  fabric_.FindSwitch(kCore)->table().SetJournal(journal, kCore);
+void MultiSwitchDeployment::SetSinks(const obs::Sinks& sinks) {
+  fabric_.FindSwitch(kCore)->table().SetJournal(sinks.journal, kCore);
   for (int e = 1; e <= edge_switches_; ++e) {
     auto edge = static_cast<dataplane::SwitchId>(e);
     fabric_.FindSwitch(edge)->table().SetJournal(
-        journal, static_cast<std::uint32_t>(edge));
+        sinks.journal, static_cast<std::uint32_t>(edge));
   }
 }
 

@@ -23,6 +23,7 @@
 #include "dataplane/fabric.h"
 #include "dataplane/flow_rule.h"
 #include "obs/journal.h"
+#include "obs/sinks.h"
 #include "sdx/vswitch.h"
 
 namespace sdx::core {
@@ -37,10 +38,13 @@ class MultiSwitchDeployment {
   // replacing any previous deployment.
   void Install(const std::vector<dataplane::FlowRule>& rules);
 
-  // Wires every switch's flow table to the flight recorder, each under its
-  // own switch id, so flow-mod events are per-switch attributable (core =
-  // 0, edges = 1..edge_count). Null → no-op.
-  void SetJournal(obs::Journal* journal);
+  // Wires every switch's flow table to the observability backends: the
+  // journal sink records flow-mod events per switch, each under its own
+  // switch id (core = 0, edges = 1..edge_count). Null members → no-op.
+  void SetSinks(const obs::Sinks& sinks);
+
+  // Deprecated shim (one PR): use SetSinks.
+  void SetJournal(obs::Journal* journal) { SetSinks({.journal = journal}); }
 
   dataplane::MultiSwitchFabric& fabric() { return fabric_; }
   const dataplane::MultiSwitchFabric& fabric() const { return fabric_; }

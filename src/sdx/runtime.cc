@@ -17,14 +17,14 @@ SdxRuntime::SdxRuntime() : composer_(topology_, route_server_) {
 
 void SdxRuntime::EnableJournal(std::size_t capacity) {
   journal_ = std::make_unique<obs::Journal>(capacity);
-  route_server_.SetJournal(journal_.get());
+  route_server_.SetSinks(sinks());
   data_plane_.table().SetJournal(journal_.get());
 }
 
 void SdxRuntime::DisableJournal() {
-  route_server_.SetJournal(nullptr);
-  data_plane_.table().SetJournal(nullptr);
   journal_.reset();
+  route_server_.SetSinks(sinks());
+  data_plane_.table().SetJournal(nullptr);
 }
 
 Participant& SdxRuntime::AddParticipant(AsNumber as, int physical_ports) {
@@ -483,7 +483,8 @@ void SdxRuntime::ReadvertiseRoutes(bool incremental,
   }
 }
 
-void SdxRuntime::SetCompileOptions(const CompileOptions& options) {
+CompileOptions SdxRuntime::SetCompileOptions(const CompileOptions& options) {
+  const CompileOptions previous = options_;
   options_ = options;
   if (!options_.parallel) pool_.reset();
   if (!options_.incremental) {
@@ -494,6 +495,21 @@ void SdxRuntime::SetCompileOptions(const CompileOptions& options) {
     prefix_info_.clear();
     remote_overridden_.clear();
   }
+  // Journaled so an option flip is auditable next to the compiles whose
+  // behavior it changes (args: new/old packed {parallel, incremental<<1},
+  // new thread count).
+  const auto pack = [](const CompileOptions& o) {
+    return static_cast<std::uint64_t>(o.parallel ? 1 : 0) |
+           (static_cast<std::uint64_t>(o.incremental ? 1 : 0) << 1);
+  };
+  obs::JournalRecord(journal_.get(),
+                     obs::JournalEventType::kCompileOptionsChanged,
+                     journal_ ? journal_->current_update_id()
+                              : obs::kNoUpdateId,
+                     pack(options_), pack(previous),
+                     static_cast<std::uint64_t>(
+                         options_.threads < 0 ? 0 : options_.threads));
+  return previous;
 }
 
 std::uint64_t SdxRuntime::RosterFingerprint() const {
@@ -628,127 +644,295 @@ std::vector<std::uint32_t> SdxRuntime::SetsContaining(
 }
 
 UpdateStats SdxRuntime::ApplyBgpUpdate(const bgp::BgpUpdate& update) {
-  const auto start = obs::Now();
+  // A batch of one through the shared pipeline — bypasses the standing
+  // queue (no coalescing against pending updates) and keeps the classic
+  // observable surface: root span "apply_bgp_update", bgp_update.*
+  // metrics, one begin/end journal pair, no batch aggregates.
+  std::vector<bgp::CoalescedUpdate> slots(1);
+  slots[0].update = update;
+  BatchStats batch = RunBatch(std::move(slots), 1, "apply_bgp_update",
+                              "bgp_update", /*aggregate=*/false);
   UpdateStats stats;
-
-  // Provenance: session-delivered updates arrive pre-stamped (see
-  // BgpSession::SendToPeer); directly injected ones get their id here.
-  obs::UpdateId update_id = bgp::UpdateProvenance(update);
-  if (journal_ != nullptr && update_id == obs::kNoUpdateId) {
-    update_id = journal_->NextUpdateId();
-  }
-  obs::UpdateIdScope ambient(journal_.get(), update_id);
-  obs::JournalRecord(journal_.get(), obs::JournalEventType::kBgpUpdateBegin,
-                     update_id, bgp::UpdateFrom(update),
-                     bgp::IsAnnouncement(update) ? 1 : 0, 0,
-                     journal_ ? bgp::UpdatePrefix(update).ToString()
-                              : std::string());
-
-  tracer_.Clear();
-  {
-    obs::TraceSpan root(&tracer_, "apply_bgp_update");
-    FastPathUpdate(update, stats);
-  }
-  stats.seconds = SecondsSince(start);
-  stats.stages = tracer_.spans();
-  obs::JournalRecord(journal_.get(), obs::JournalEventType::kBgpUpdateEnd,
-                     update_id, stats.rules_added,
-                     stats.best_route_changed ? 1 : 0,
-                     static_cast<std::uint64_t>(stats.seconds * 1e6));
-  metrics_.GetCounter("bgp_update.count").Increment();
-  if (stats.best_route_changed) {
-    metrics_.GetCounter("bgp_update.best_route_changed").Increment();
-  }
-  RecordTrace("bgp_update", stats.seconds);
+  stats.best_route_changed = batch.prefixes_changed > 0;
+  stats.rules_added = batch.rules_added;
+  stats.seconds = batch.seconds;
+  stats.stages = std::move(batch.stages);
   return stats;
 }
 
-void SdxRuntime::FastPathUpdate(const bgp::BgpUpdate& update,
-                                UpdateStats& stats) {
-  std::vector<rs::BestRouteChange> changes;
-  {
-    obs::TraceSpan span(&tracer_, "rib_update");
-    changes = route_server_.HandleUpdate(update);
-    // Track the prefix even when no best route changed: feasible-route
-    // sets (and so clause eligibility) may still differ at the next
-    // incremental compile.
-    rib_touched_.insert(bgp::UpdatePrefix(update));
-    ++tracked_updates_;
-  }
-  if (changes.empty()) return;
-  stats.best_route_changed = true;
+BatchStats SdxRuntime::ApplyUpdates(std::span<const bgp::BgpUpdate> updates) {
+  // Joins anything already pending, so explicit spans and the standing
+  // queue coalesce against each other in arrival order.
+  for (const bgp::BgpUpdate& update : updates) queue_.Enqueue(update);
+  return Flush();
+}
 
-  // §4.3.2 fast path: bypass VNH optimality entirely — assume a fresh VNH
-  // is needed for the updated prefix and compile only the slices of the
-  // policy that relate to it.
-  const net::IPv4Prefix prefix = bgp::UpdatePrefix(update);
-  AnnotatedGroup group;
-  {
-    obs::TraceSpan span(&tracer_, "group_construction");
-    group.id =
-        static_cast<GroupId>(groups_.groups.size() + fast_groups_.size());
-    group.prefixes = {prefix};
-    group.member_of = SetsContaining(prefix);
-    group.binding = vnh_.Allocate();
-    const bgp::BgpRoute* best = route_server_.GlobalBest(prefix);
-    group.best_hop = best == nullptr ? 0 : best->peer_as;
-    for (const auto& [sender, router] : routers_) {
-      const bgp::BgpRoute* own = route_server_.BestRoute(sender, prefix);
-      const AsNumber own_hop = own == nullptr ? 0 : own->peer_as;
-      if (own_hop != group.best_hop) group.per_sender_best[sender] = own_hop;
+bool SdxRuntime::EnqueueUpdate(bgp::BgpUpdate update) {
+  queue_.Enqueue(std::move(update));
+  if (batch_window_ != 0 && queue_.pending_updates() >= batch_window_) {
+    Flush();
+    return true;
+  }
+  return false;
+}
+
+BatchStats SdxRuntime::Flush() {
+  const std::size_t raw = queue_.pending_updates();
+  if (raw == 0) return {};
+  last_batch_ = RunBatch(queue_.Drain(), raw, "apply_update_batch", "batch",
+                         /*aggregate=*/true);
+  return last_batch_;
+}
+
+BatchStats SdxRuntime::RunBatch(std::vector<bgp::CoalescedUpdate> slots,
+                                std::size_t raw_count, const char* root_span,
+                                const char* metric_prefix, bool aggregate) {
+  const auto start = obs::Now();
+  BatchStats stats;
+  stats.updates_in = raw_count;
+  stats.updates_applied = slots.size();
+  stats.updates_coalesced = raw_count - slots.size();
+  stats.outcomes.reserve(slots.size());
+
+  if (aggregate) {
+    obs::JournalRecord(journal_.get(), obs::JournalEventType::kBatchBegin,
+                       obs::kNoUpdateId, raw_count, slots.size(),
+                       stats.updates_coalesced);
+  }
+
+  // Provenance: session-delivered updates arrive pre-stamped (see
+  // BgpSession::SendToPeer); directly injected ones get their id here.
+  // Every coalesced-away update's fate is journaled before anything
+  // touches the RIB, so `sdxmon chain <id>` explains losers too.
+  for (bgp::CoalescedUpdate& slot : slots) {
+    obs::UpdateId id = bgp::UpdateProvenance(slot.update);
+    if (journal_ != nullptr && id == obs::kNoUpdateId) {
+      id = journal_->NextUpdateId();
+      bgp::SetUpdateProvenance(slot.update, id);
     }
     if (journal_ != nullptr) {
-      const obs::UpdateId id = journal_->current_update_id();
-      journal_->Record(obs::JournalEventType::kFecGroupCreate, id, group.id,
-                       group.prefixes.size(), group.member_of.size(),
-                       prefix.ToString());
-      journal_->Record(obs::JournalEventType::kVnhBind, id, group.id,
-                       group.binding.vnh.value(), 0,
-                       group.binding.vnh.ToString());
+      const std::string prefix = bgp::UpdatePrefix(slot.update).ToString();
+      for (std::uint64_t loser : slot.superseded) {
+        journal_->Record(obs::JournalEventType::kUpdateCoalesced, loser, id,
+                         slot.absorbed, 0, prefix);
+      }
+      journal_->Record(obs::JournalEventType::kBgpUpdateBegin, id,
+                       bgp::UpdateFrom(slot.update),
+                       bgp::IsAnnouncement(slot.update) ? 1 : 0, 0, prefix);
     }
   }
 
-  policy::Classifier slice;
+  // Prefixes whose best route changed, in first-change order (determines
+  // group ids and priority bands); each prefix's cause is the LAST applied
+  // update that changed it — with per-(peer, prefix) coalescing that is
+  // the update whose route the installed rules reflect.
+  std::vector<net::IPv4Prefix> changed_order;
+  std::map<net::IPv4Prefix, obs::UpdateId> cause_of;
+  std::map<net::IPv4Prefix, std::size_t> rules_for;
+
+  tracer_.Clear();
   {
-    obs::TraceSpan span(&tracer_, "slice_compile");
-    slice = composer_.ComposeForGroup(participants_, inbound_policies_,
-                                      group, clause_set_ids_, &cache_);
-  }
+    obs::TraceSpan root(&tracer_, root_span);
+    {
+      obs::TraceSpan span(&tracer_, "rib_update");
+      for (const bgp::CoalescedUpdate& slot : slots) {
+        const net::IPv4Prefix prefix = bgp::UpdatePrefix(slot.update);
+        const obs::UpdateId id = bgp::UpdateProvenance(slot.update);
+        obs::UpdateIdScope ambient(journal_.get(), id);
+        const bool changed = !route_server_.HandleUpdate(slot.update).empty();
+        // Track the prefix even when no best route changed: feasible-route
+        // sets (and so clause eligibility) may still differ at the next
+        // incremental compile.
+        rib_touched_.insert(prefix);
+        ++tracked_updates_;
+        if (changed) {
+          if (!cause_of.contains(prefix)) changed_order.push_back(prefix);
+          cause_of[prefix] = id;
+        }
+        stats.outcomes.push_back(BatchOutcome{prefix, id, changed});
+      }
+    }
+    stats.prefixes_changed = changed_order.size();
 
-  {
-    obs::TraceSpan span(&tracer_, "rule_install");
-    // Each fast-path slice gets its own priority band above the previous
-    // ones, so a re-updated prefix's newest rules shadow its older ones.
-    // The stride bounds the slice size (clauses × inbound rules per group).
-    constexpr std::int32_t kFastPathBandStride = 4096;
-    auto rules = slice.ToFlowRules(
-        kFastPathPriorityBase +
-            static_cast<std::int32_t>(fast_groups_.size()) *
-                kFastPathBandStride,
-        kFastPathCookie);
-    stats.rules_added = 0;
-    for (auto& rule : rules) {
-      if (rule.actions.empty() && rule.match.IsWildcard()) continue;  // no drop
-      data_plane_.table().Install(rule);
-      ++stats.rules_added;
+    if (!changed_order.empty()) {
+      stats.compiled = true;
+      util::ThreadPool* pool = CompilePool();
+
+      // §4.3.2 fast path, batched: bypass VNH optimality entirely — assume
+      // a fresh VNH per changed prefix and compile only the policy slices
+      // relating to it. Group construction reads only const route-server
+      // state, so prefixes fan out across the pool; VNH allocation and
+      // journaling stay sequential (order-sensitive).
+      const std::size_t group_base =
+          groups_.groups.size() + fast_groups_.size();
+      std::vector<AnnotatedGroup> new_groups(changed_order.size());
+      {
+        obs::TraceSpan span(&tracer_, "group_construction");
+        auto build = [&](std::size_t g) {
+          const net::IPv4Prefix& prefix = changed_order[g];
+          AnnotatedGroup& group = new_groups[g];
+          group.id = static_cast<GroupId>(group_base + g);
+          group.prefixes = {prefix};
+          group.member_of = SetsContaining(prefix);
+          const bgp::BgpRoute* best = route_server_.GlobalBest(prefix);
+          group.best_hop = best == nullptr ? 0 : best->peer_as;
+          for (const auto& [sender, router] : routers_) {
+            const bgp::BgpRoute* own =
+                route_server_.BestRoute(sender, prefix);
+            const AsNumber own_hop = own == nullptr ? 0 : own->peer_as;
+            if (own_hop != group.best_hop) {
+              group.per_sender_best[sender] = own_hop;
+            }
+          }
+        };
+        if (pool != nullptr && new_groups.size() > 1) {
+          pool->ParallelFor(new_groups.size(), build);
+        } else {
+          for (std::size_t g = 0; g < new_groups.size(); ++g) build(g);
+        }
+        for (std::size_t g = 0; g < new_groups.size(); ++g) {
+          AnnotatedGroup& group = new_groups[g];
+          group.binding = vnh_.Allocate();
+          if (journal_ != nullptr) {
+            const obs::UpdateId id = cause_of.at(changed_order[g]);
+            journal_->Record(obs::JournalEventType::kFecGroupCreate, id,
+                             group.id, group.prefixes.size(),
+                             group.member_of.size(),
+                             changed_order[g].ToString());
+            journal_->Record(obs::JournalEventType::kVnhBind, id, group.id,
+                             group.binding.vnh.value(), 0,
+                             group.binding.vnh.ToString());
+          }
+        }
+      }
+
+      // One compile pass for the whole batch: slices are independent (the
+      // composer is const and the memo cache is thread-safe first-wins).
+      std::vector<policy::Classifier> slices(new_groups.size());
+      {
+        obs::TraceSpan span(&tracer_, "slice_compile");
+        auto compile = [&](std::size_t g) {
+          slices[g] =
+              composer_.ComposeForGroup(participants_, inbound_policies_,
+                                        new_groups[g], clause_set_ids_,
+                                        &cache_);
+        };
+        if (pool != nullptr && slices.size() > 1) {
+          pool->ParallelFor(slices.size(), compile);
+        } else {
+          for (std::size_t g = 0; g < slices.size(); ++g) compile(g);
+        }
+      }
+
+      {
+        obs::TraceSpan span(&tracer_, "rule_install");
+        // Each fast-path slice gets its own priority band above the
+        // previous ones, so a re-updated prefix's newest rules shadow its
+        // older ones. The stride bounds the slice size (clauses × inbound
+        // rules per group). Installs run under the causing update's id so
+        // flow-mod provenance survives batching.
+        constexpr std::int32_t kFastPathBandStride = 4096;
+        for (std::size_t g = 0; g < new_groups.size(); ++g) {
+          obs::UpdateIdScope ambient(journal_.get(),
+                                     cause_of.at(changed_order[g]));
+          auto rules = slices[g].ToFlowRules(
+              kFastPathPriorityBase +
+                  static_cast<std::int32_t>(fast_groups_.size() + g) *
+                      kFastPathBandStride,
+              kFastPathCookie);
+          std::size_t added = 0;
+          for (auto& rule : rules) {
+            if (rule.actions.empty() && rule.match.IsWildcard()) {
+              continue;  // no drop
+            }
+            data_plane_.table().Install(rule);
+            ++added;
+          }
+          rules_for[changed_order[g]] = added;
+          stats.rules_added += added;
+        }
+      }
+
+      {
+        obs::TraceSpan span(&tracer_, "readvertise");
+        // Re-advertise: each changed prefix now resolves to its fresh VNH
+        // for all receivers that still have a route; receivers that lost
+        // it drop the FIB entry. Routers are independent, so they fan out
+        // one-per-worker.
+        for (const AnnotatedGroup& group : new_groups) {
+          arp_.Bind(group.binding.vnh, group.binding.vmac);
+        }
+        std::vector<std::pair<const AsNumber, BorderRouter>*> targets;
+        targets.reserve(routers_.size());
+        for (auto& entry : routers_) targets.push_back(&entry);
+        auto readvertise = [&](std::size_t t) {
+          auto& [as, router] = *targets[t];
+          for (std::size_t g = 0; g < new_groups.size(); ++g) {
+            const net::IPv4Prefix& prefix = changed_order[g];
+            const bgp::BgpRoute* route =
+                route_server_.BestRoute(as, prefix);
+            if (route == nullptr) {
+              router.RemoveRoute(prefix);
+            } else if (new_groups[g].best_hop != 0) {
+              router.InstallRoute(prefix, new_groups[g].binding.vnh);
+            }
+          }
+        };
+        if (pool != nullptr && targets.size() > 1) {
+          pool->ParallelFor(targets.size(), readvertise);
+        } else {
+          for (std::size_t t = 0; t < targets.size(); ++t) readvertise(t);
+        }
+        for (std::size_t g = 0; g < new_groups.size(); ++g) {
+          fast_group_of_[changed_order[g]] = fast_groups_.size();
+          fast_groups_.push_back(std::move(new_groups[g]));
+        }
+      }
     }
   }
 
-  obs::TraceSpan span(&tracer_, "readvertise");
-  // Re-advertise: the updated prefix now resolves to the fresh VNH for all
-  // receivers that still have a route; receivers that lost it drop the FIB
-  // entry.
-  arp_.Bind(group.binding.vnh, group.binding.vmac);
-  for (auto& [as, router] : routers_) {
-    const bgp::BgpRoute* route = route_server_.BestRoute(as, prefix);
-    if (route == nullptr) {
-      router.RemoveRoute(prefix);
-    } else if (group.best_hop != 0) {
-      router.InstallRoute(prefix, group.binding.vnh);
+  stats.seconds = SecondsSince(start);
+  stats.stages = tracer_.spans();
+  const auto micros = static_cast<std::uint64_t>(stats.seconds * 1e6);
+
+  // Per-update end events in drain order; a changed prefix's rules are
+  // attributed to its causing update, every other update reports zero.
+  std::size_t updates_changed = 0;
+  for (const BatchOutcome& outcome : stats.outcomes) {
+    if (outcome.best_route_changed) ++updates_changed;
+    const std::size_t rules =
+        outcome.best_route_changed &&
+                cause_of.at(outcome.prefix) == outcome.cause_id
+            ? rules_for[outcome.prefix]
+            : 0;
+    obs::JournalRecord(journal_.get(), obs::JournalEventType::kBgpUpdateEnd,
+                       outcome.cause_id, rules,
+                       outcome.best_route_changed ? 1 : 0, micros);
+  }
+  if (aggregate) {
+    obs::JournalRecord(journal_.get(), obs::JournalEventType::kBatchEnd,
+                       obs::kNoUpdateId, stats.prefixes_changed,
+                       stats.rules_added, micros);
+  }
+
+  metrics_.GetCounter("bgp_update.count").Increment(stats.updates_applied);
+  if (updates_changed > 0) {
+    metrics_.GetCounter("bgp_update.best_route_changed")
+        .Increment(updates_changed);
+  }
+  if (aggregate) {
+    metrics_.GetCounter("batch.count").Increment();
+    metrics_.GetHistogram("batch.depth")
+        .Observe(static_cast<double>(raw_count));
+    metrics_.GetCounter("batch.applied").Increment(stats.updates_applied);
+    metrics_.GetCounter("batch.coalesced")
+        .Increment(stats.updates_coalesced);
+    if (!stats.compiled) {
+      metrics_.GetCounter("batch.compile_skipped").Increment();
     }
   }
-  fast_group_of_[prefix] = fast_groups_.size();
-  fast_groups_.push_back(std::move(group));
+  RecordTrace(metric_prefix, stats.seconds);
+  return stats;
 }
 
 std::map<AsNumber, ParticipantTraffic> SdxRuntime::TrafficByParticipant()

@@ -10,14 +10,21 @@
 //                          flow rules, retire the previous generation and
 //                          any fast-path rules. The paper's "optimal"
 //                          compilation.
-//   * ApplyBgpUpdate()   — process one BGP update; when it changes any best
-//                          route, run the §4.3.2 fast path: allocate a
-//                          fresh VNH for just that prefix, compile only the
-//                          policy slices touching it, and install the
-//                          result at higher priority. Sub-second by design.
-//   * RunBackgroundOptimization() — the background pass that re-coalesces
-//                          fast-path singletons into minimal tables
-//                          (implemented as a FullCompile).
+//   * ApplyUpdates()     — the unified control-plane ingest API (DESIGN.md
+//                          §9): absorb a burst of BGP updates, coalesce
+//                          per (peer, prefix) last-writer-wins, run every
+//                          survivor through the decision process in one
+//                          pass, then do a SINGLE §4.3.2 incremental
+//                          compile + rule install + FIB/VNH re-advertise
+//                          flush for all changed prefixes. EnqueueUpdate/
+//                          Flush/SetBatchWindow expose the same pipeline
+//                          as a standing queue with an auto-flush knob.
+//   * ApplyBgpUpdate()   — one-update convenience wrapper: a batch of one
+//                          through the same pipeline. Sub-second by design.
+//
+// Fast-path singletons accumulated by either ingest path are re-coalesced
+// into minimal tables by the next FullCompile() (the background pass of
+// §4.3.2).
 //
 // Traffic enters through InjectFromParticipant(), which models the
 // participant's unmodified border router: FIB longest-prefix match, ARP
@@ -30,13 +37,16 @@
 #include <memory>
 #include <optional>
 #include <set>
+#include <span>
 #include <vector>
 
+#include "bgp/update_queue.h"
 #include "dataplane/arp.h"
 #include "dataplane/switch.h"
 #include "obs/drop_reason.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
+#include "obs/sinks.h"
 #include "obs/trace.h"
 #include "policy/cache.h"
 #include "rs/route_server.h"
@@ -91,6 +101,33 @@ struct UpdateStats {
   std::vector<obs::SpanRecord> stages;
 };
 
+// What happened to one prefix a drained batch touched (per applied update
+// that survived coalescing). SessionFrontend uses these to re-advertise
+// each changed prefix under the provenance id that caused the change.
+struct BatchOutcome {
+  net::IPv4Prefix prefix;
+  obs::UpdateId cause_id = obs::kNoUpdateId;  // the applied update's id
+  bool best_route_changed = false;
+};
+
+// One drained batch through the burst pipeline (DESIGN.md §9).
+struct BatchStats {
+  std::size_t updates_in = 0;         // raw updates offered to the batch
+  std::size_t updates_applied = 0;    // survivors after coalescing
+  std::size_t updates_coalesced = 0;  // absorbed by last-writer-wins
+  std::size_t prefixes_changed = 0;   // distinct prefixes with a new best
+  std::size_t rules_added = 0;        // fast-path rules installed
+  // False when no best route changed anywhere: the compile/install/
+  // readvertise stages were skipped entirely.
+  bool compiled = false;
+  double seconds = 0.0;
+  // Batch stages, pre-order: rib_update, then (when compiled)
+  // group_construction, slice_compile, rule_install, readvertise.
+  std::vector<obs::SpanRecord> stages;
+  // One entry per applied update, in drain order.
+  std::vector<BatchOutcome> outcomes;
+};
+
 // Per-participant traffic totals derived from the fabric's port counters
 // (operator monitoring: who sends/receives how much through the SDX).
 struct ParticipantTraffic {
@@ -131,11 +168,43 @@ class SdxRuntime {
   // --- Compilation ----------------------------------------------------------
   CompileStats FullCompile();
   UpdateStats ApplyBgpUpdate(const bgp::BgpUpdate& update);
-  CompileStats RunBackgroundOptimization() { return FullCompile(); }
+
+  // --- Batched ingest (DESIGN.md §9) -------------------------------------
+  // Absorbs `updates` (plus anything already pending via EnqueueUpdate)
+  // into one batch: coalesce per (peer, prefix) last-writer-wins, apply
+  // every survivor to the route server, then run ONE fast-path compile +
+  // rule install + re-advertise flush covering all changed prefixes.
+  // Behavior-equivalent to replaying the same updates one at a time
+  // through ApplyBgpUpdate (tests/oracle), at a fraction of the cost on
+  // flap-heavy bursts.
+  BatchStats ApplyUpdates(std::span<const bgp::BgpUpdate> updates);
+
+  // Queues one update without draining. Returns true when reaching the
+  // batch window auto-flushed the queue (inspect last_batch() for stats).
+  bool EnqueueUpdate(bgp::BgpUpdate update);
+
+  // Drains and applies everything pending; no-op (all-zero stats) when the
+  // queue is empty.
+  BatchStats Flush();
+
+  // Auto-flush threshold for EnqueueUpdate, counted in raw (pre-coalesce)
+  // updates. 0 (the default) means only an explicit Flush()/ApplyUpdates()
+  // drains the queue.
+  void SetBatchWindow(std::size_t max_pending) { batch_window_ = max_pending; }
+  std::size_t batch_window() const { return batch_window_; }
+
+  // Raw updates currently queued (pre-coalesce count).
+  std::size_t pending_updates() const { return queue_.pending_updates(); }
+
+  // Stats of the most recent drained batch (EnqueueUpdate auto-flushes
+  // included).
+  const BatchStats& last_batch() const { return last_batch_; }
 
   // Takes effect at the next FullCompile(). Turning `incremental` off also
   // drops all dirty-tracking state, so the next compile is from scratch.
-  void SetCompileOptions(const CompileOptions& options);
+  // Returns the previous options and journals a compile_options_changed
+  // event, so option flips are auditable next to the compiles they affect.
+  CompileOptions SetCompileOptions(const CompileOptions& options);
   const CompileOptions& compile_options() const { return options_; }
 
   // --- Traffic ---------------------------------------------------------------
@@ -174,6 +243,15 @@ class SdxRuntime {
   // are recorded live; component counters (drops, cache, route server,
   // traffic) are synced into it by SnapshotMetrics().
   obs::MetricsRegistry& metrics() { return metrics_; }
+
+  // The runtime's observability backends bundled for construction-time
+  // wiring of components (obs/sinks.h). The journal member tracks
+  // Enable/DisableJournal — grab a fresh copy after toggling.
+  obs::Sinks sinks() {
+    return obs::Sinks{.metrics = &metrics_,
+                      .journal = journal_.get(),
+                      .tracer = &tracer_};
+  }
 
   // Span tree of the most recent FullCompile()/ApplyBgpUpdate().
   const obs::Tracer& last_trace() const { return tracer_; }
@@ -230,8 +308,17 @@ class SdxRuntime {
   // and `<prefix>.stage.<name>.seconds` histograms.
   void RecordTrace(const char* prefix, double total_seconds);
 
-  // Body of ApplyBgpUpdate, run under its root span.
-  void FastPathUpdate(const bgp::BgpUpdate& update, UpdateStats& stats);
+  // The shared batch pipeline behind ApplyUpdates/Flush/ApplyBgpUpdate:
+  // journals provenance (coalesced losers, per-update begin/end), applies
+  // every slot to the route server, and — when any best route changed —
+  // runs one grouped fast-path compile/install/readvertise flush.
+  // `raw_count` is the pre-coalesce update count; `aggregate` adds the
+  // batch_begin/batch_end journal events and batch.* metrics (off for the
+  // single-update wrapper, which must look exactly like the classic
+  // ApplyBgpUpdate to observers).
+  BatchStats RunBatch(std::vector<bgp::CoalescedUpdate> slots,
+                      std::size_t raw_count, const char* root_span,
+                      const char* metric_prefix, bool aggregate);
 
   // Re-advertises next hops into the border-router FIBs (one router per
   // worker when `pool` is set). Full mode rebuilds every FIB from scratch;
@@ -310,6 +397,11 @@ class SdxRuntime {
   std::map<net::IPv4Prefix, net::IPv4Address> prefix_vnh_;
   // FIB entries to re-advertise this compile (incremental mode only).
   std::set<net::IPv4Prefix> dirty_prefixes_;
+
+  // --- Batched ingest state (DESIGN.md §9) -------------------------------
+  bgp::UpdateQueue queue_;
+  std::size_t batch_window_ = 0;  // 0 = explicit Flush() only
+  BatchStats last_batch_;
 
   dataplane::Cookie generation_ = 2;  // 0 = none, 1 = fast path
   std::vector<AnnotatedGroup> fast_groups_;

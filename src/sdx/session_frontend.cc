@@ -11,13 +11,12 @@ bgp::BgpSession& SessionFrontend::Connect(AsNumber as) {
     throw std::invalid_argument("session for unregistered participant AS" +
                                 std::to_string(as));
   }
-  auto [it, inserted] = sessions_.try_emplace(
-      as, std::make_unique<bgp::BgpSession>(as,
-                                            runtime_->route_server()
-                                                .route_server_as()));
-  // Sessions share the runtime's flight recorder: updates get their
+  // Sessions share the runtime's observability sinks: updates get their
   // provenance id stamped at session ingress (SendToPeer).
-  it->second->SetJournal(runtime_->journal());
+  auto [it, inserted] = sessions_.try_emplace(
+      as, std::make_unique<bgp::BgpSession>(
+              as, runtime_->route_server().route_server_as(),
+              runtime_->sinks()));
   // A newly established (or re-established after a reset) session gets a
   // full-table replay, like any BGP session bring-up.
   const bool was_established = !inserted && it->second->established();
@@ -32,19 +31,26 @@ bgp::BgpSession* SessionFrontend::FindSession(AsNumber as) {
 }
 
 std::size_t SessionFrontend::Pump() {
-  std::size_t processed = 0;
+  // Drain every established session into ONE batch: flap bursts coalesce
+  // per (peer, prefix) and all surviving updates share a single compile +
+  // flush (DESIGN.md §9) instead of one fast-path pass per update.
+  std::vector<bgp::BgpUpdate> drained;
   for (auto& [as, session] : sessions_) {
     if (!session->established()) continue;
     for (bgp::BgpUpdate& update : session->DrainFromLocal()) {
-      runtime_->ApplyBgpUpdate(update);
-      // The drained update carries its session-ingress provenance id; the
-      // re-advertisements it triggers inherit it, closing the causal loop
-      // announcement → decision → rules → exports.
-      Readvertise(bgp::UpdatePrefix(update), bgp::UpdateProvenance(update));
-      ++processed;
+      drained.push_back(std::move(update));
     }
   }
-  return processed;
+  if (drained.empty()) return 0;
+  const BatchStats batch = runtime_->ApplyUpdates(drained);
+  // Each drained update carries its session-ingress provenance id; the
+  // re-advertisements it triggers inherit it, closing the causal loop
+  // announcement → decision → rules → exports. Coalesced-away updates
+  // never reach the RIB, so only batch survivors re-advertise.
+  for (const BatchOutcome& outcome : batch.outcomes) {
+    Readvertise(outcome.prefix, outcome.cause_id);
+  }
+  return drained.size();
 }
 
 void SessionFrontend::Readvertise(const net::IPv4Prefix& prefix,

@@ -7,7 +7,7 @@ bool TwoStageScheduler::MaybeOptimize(double now_s, bool force) {
   const bool idle = now_s - last_update_s_ >= config_.idle_threshold_s;
   const bool overful = runtime_->fast_path_groups() >= config_.max_outstanding;
   if (!force && !idle && !overful) return false;
-  runtime_->RunBackgroundOptimization();
+  runtime_->FullCompile();
   ++background_runs_;
   return true;
 }

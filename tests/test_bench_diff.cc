@@ -124,6 +124,41 @@ TEST(BenchDiffTest, CounterNeedsBothRelativeAndAbsoluteChange) {
                   .regression);
 }
 
+TEST(BenchDiffTest, BatchCountersGetTheTighterBand) {
+  // 12 -> 16: within the generic 16-count absolute slack, but a 33%
+  // drift in an ingest-pipeline tally crosses the batch band (rel 0.25,
+  // abs 2).
+  EXPECT_FALSE(DiffMetrics(Snapshot("\"c\": 12", "", ""),
+                           Snapshot("\"c\": 16", "", ""))
+                   .regression);
+  BenchDiff diff = DiffMetrics(Snapshot("\"batch.coalesced\": 12", "", ""),
+                               Snapshot("\"batch.coalesced\": 16", "", ""));
+  EXPECT_TRUE(diff.regression);
+  ASSERT_FALSE(diff.deltas.empty());
+  EXPECT_EQ(diff.deltas[0].metric, "counter batch.coalesced");
+
+  // Still slack for tiny jitter (abs <= 2)...
+  EXPECT_FALSE(DiffMetrics(Snapshot("\"batch.count\": 10", "", ""),
+                           Snapshot("\"batch.count\": 12", "", ""))
+                   .regression);
+  // ...and within the 25% relative band.
+  EXPECT_FALSE(DiffMetrics(Snapshot("\"batch.applied\": 100", "", ""),
+                           Snapshot("\"batch.applied\": 120", "", ""))
+                   .regression);
+  // The batch.depth histogram's observation count uses the same band.
+  EXPECT_TRUE(
+      DiffMetrics(Snapshot("", "", "\"batch.depth\": " + Hist(12, 1, 1, 1)),
+                  Snapshot("", "", "\"batch.depth\": " + Hist(16, 1, 1, 1)))
+          .regression);
+
+  // The band is tunable like the generic one.
+  BenchDiffOptions loose;
+  loose.max_batch_counter_rel = 0.5;
+  EXPECT_FALSE(DiffMetrics(Snapshot("\"batch.coalesced\": 12", "", ""),
+                           Snapshot("\"batch.coalesced\": 16", "", ""), loose)
+                   .regression);
+}
+
 TEST(BenchDiffTest, GaugesAreInformationalOnly) {
   BenchDiff diff = DiffMetrics(Snapshot("", "\"g\": 1", ""),
                                Snapshot("", "\"g\": 1000", ""));

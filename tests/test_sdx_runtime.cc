@@ -234,7 +234,7 @@ TEST_F(Figure1Test, BackgroundOptimizationRetiresFastPathRules) {
   };
   EXPECT_GT(fast_rules(), 0u);
 
-  auto stats = runtime_.RunBackgroundOptimization();
+  auto stats = runtime_.FullCompile();
   EXPECT_EQ(runtime_.fast_path_groups(), 0u);
   EXPECT_EQ(fast_rules(), 0u);  // fast-path rules retired
   EXPECT_GT(stats.prefix_group_count, 0u);

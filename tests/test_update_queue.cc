@@ -1,0 +1,144 @@
+// Unit tests for bgp::UpdateQueue: per-(peer, prefix) last-writer-wins
+// coalescing, FIFO-of-first-enqueue drain order, and the superseded-id
+// provenance trail (DESIGN.md §9).
+#include "bgp/update_queue.h"
+
+#include <gtest/gtest.h>
+
+#include "bgp/update.h"
+#include "net/ipv4.h"
+
+namespace sdx::bgp {
+namespace {
+
+net::IPv4Prefix P(std::uint8_t octet) {
+  return net::IPv4Prefix(net::IPv4Address(10, octet, 0, 0), 16);
+}
+
+BgpUpdate Announce(AsNumber from, const net::IPv4Prefix& prefix,
+                   std::uint32_t local_pref = 100,
+                   std::uint64_t provenance = 0) {
+  Announcement a;
+  a.from_as = from;
+  a.route.prefix = prefix;
+  a.route.local_pref = local_pref;
+  a.update_id = provenance;
+  return BgpUpdate{a};
+}
+
+BgpUpdate Withdraw(AsNumber from, const net::IPv4Prefix& prefix,
+                   std::uint64_t provenance = 0) {
+  Withdrawal w;
+  w.from_as = from;
+  w.prefix = prefix;
+  w.update_id = provenance;
+  return BgpUpdate{w};
+}
+
+TEST(UpdateQueue, DistinctKeysAllSurvive) {
+  UpdateQueue queue;
+  EXPECT_TRUE(queue.Enqueue(Announce(100, P(1))));
+  EXPECT_TRUE(queue.Enqueue(Announce(100, P(2))));
+  EXPECT_TRUE(queue.Enqueue(Announce(200, P(1))));  // same prefix, other peer
+  EXPECT_EQ(queue.size(), 3u);
+  EXPECT_EQ(queue.pending_updates(), 3u);
+  EXPECT_EQ(queue.pending_coalesced(), 0u);
+}
+
+TEST(UpdateQueue, LastWriterWinsPerPeerPrefix) {
+  UpdateQueue queue;
+  EXPECT_TRUE(queue.Enqueue(Announce(100, P(1), 100)));
+  EXPECT_FALSE(queue.Enqueue(Announce(100, P(1), 300)));
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_EQ(queue.pending_updates(), 2u);
+  EXPECT_EQ(queue.pending_coalesced(), 1u);
+
+  auto slots = queue.Drain();
+  ASSERT_EQ(slots.size(), 1u);
+  const auto* a = std::get_if<Announcement>(&slots[0].update);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->route.local_pref, 300u);
+  EXPECT_EQ(slots[0].absorbed, 1u);
+}
+
+TEST(UpdateQueue, WithdrawSupersedesAnnounceAndViceVersa) {
+  UpdateQueue queue;
+  queue.Enqueue(Announce(100, P(1)));
+  queue.Enqueue(Withdraw(100, P(1)));
+  queue.Enqueue(Announce(100, P(1), 250));
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_EQ(queue.pending_coalesced(), 2u);
+
+  auto slots = queue.Drain();
+  ASSERT_EQ(slots.size(), 1u);
+  ASSERT_TRUE(IsAnnouncement(slots[0].update));
+  EXPECT_EQ(std::get<Announcement>(slots[0].update).route.local_pref, 250u);
+  EXPECT_EQ(slots[0].absorbed, 2u);
+}
+
+TEST(UpdateQueue, DrainsInFifoOfFirstEnqueue) {
+  UpdateQueue queue;
+  queue.Enqueue(Announce(100, P(1)));
+  queue.Enqueue(Announce(100, P(2)));
+  queue.Enqueue(Announce(100, P(3)));
+  // Superseding P(1) must NOT move it to the back of the drain order.
+  queue.Enqueue(Announce(100, P(1), 999));
+
+  auto slots = queue.Drain();
+  ASSERT_EQ(slots.size(), 3u);
+  EXPECT_EQ(UpdatePrefix(slots[0].update), P(1));
+  EXPECT_EQ(UpdatePrefix(slots[1].update), P(2));
+  EXPECT_EQ(UpdatePrefix(slots[2].update), P(3));
+  EXPECT_EQ(std::get<Announcement>(slots[0].update).route.local_pref, 999u);
+}
+
+TEST(UpdateQueue, SupersededProvenanceIdsAccumulateOldestFirst) {
+  UpdateQueue queue;
+  queue.Enqueue(Announce(100, P(1), 100, /*provenance=*/11));
+  queue.Enqueue(Withdraw(100, P(1), /*provenance=*/12));
+  queue.Enqueue(Announce(100, P(1), 200, /*provenance=*/13));
+
+  auto slots = queue.Drain();
+  ASSERT_EQ(slots.size(), 1u);
+  EXPECT_EQ(UpdateProvenance(slots[0].update), 13u);
+  ASSERT_EQ(slots[0].superseded.size(), 2u);
+  EXPECT_EQ(slots[0].superseded[0], 11u);
+  EXPECT_EQ(slots[0].superseded[1], 12u);
+}
+
+TEST(UpdateQueue, UnstampedLosersCountedButNotListed) {
+  UpdateQueue queue;
+  queue.Enqueue(Announce(100, P(1)));             // provenance 0
+  queue.Enqueue(Announce(100, P(1), 150, 77));    // stamped
+  queue.Enqueue(Announce(100, P(1), 200));        // provenance 0 again
+
+  auto slots = queue.Drain();
+  ASSERT_EQ(slots.size(), 1u);
+  EXPECT_EQ(slots[0].absorbed, 2u);
+  ASSERT_EQ(slots[0].superseded.size(), 1u);
+  EXPECT_EQ(slots[0].superseded[0], 77u);
+}
+
+TEST(UpdateQueue, DrainResetsAllTallies) {
+  UpdateQueue queue;
+  queue.Enqueue(Announce(100, P(1)));
+  queue.Enqueue(Announce(100, P(1), 300));
+  queue.Enqueue(Announce(100, P(2)));
+  EXPECT_FALSE(queue.empty());
+
+  auto first = queue.Drain();
+  EXPECT_EQ(first.size(), 2u);
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.pending_updates(), 0u);
+  EXPECT_EQ(queue.pending_coalesced(), 0u);
+
+  // A post-drain enqueue of a previously seen key opens a fresh slot.
+  EXPECT_TRUE(queue.Enqueue(Announce(100, P(1))));
+  auto second = queue.Drain();
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].absorbed, 0u);
+  EXPECT_TRUE(second[0].superseded.empty());
+}
+
+}  // namespace
+}  // namespace sdx::bgp

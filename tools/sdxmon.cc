@@ -17,6 +17,9 @@
 //
 // diff flags (defaults in obs/bench_diff.h):
 //   --max-counter-rel=R  --min-counter-abs=N
+//   --max-batch-counter-rel=R  --min-batch-counter-abs=N
+//     ("batch."-prefixed ingest-pipeline tallies get their own, tighter,
+//      band: they are near-deterministic on a fixed workload)
 //   --max-p50-ratio=R --max-p95-ratio=R --max-p99-ratio=R
 //   --noise-floor-us=U
 //
@@ -52,6 +55,7 @@ int Usage() {
       "  chain <journal.jsonl> <update-id>   causal chain of one update\n"
       "  diff  <before.json> <after.json>    bench regression differ\n"
       "        [--max-counter-rel=R] [--min-counter-abs=N]\n"
+      "        [--max-batch-counter-rel=R] [--min-batch-counter-abs=N]\n"
       "        [--max-p50-ratio=R] [--max-p95-ratio=R] [--max-p99-ratio=R]\n"
       "        [--noise-floor-us=U]\n";
   return kExitUsage;
@@ -212,6 +216,10 @@ int CmdDiff(const std::vector<std::string>& args) {
       options.max_counter_rel = std::stod(value);
     } else if (FlagValue(args[i], "--min-counter-abs", &value)) {
       options.min_counter_abs = std::stod(value);
+    } else if (FlagValue(args[i], "--max-batch-counter-rel", &value)) {
+      options.max_batch_counter_rel = std::stod(value);
+    } else if (FlagValue(args[i], "--min-batch-counter-abs", &value)) {
+      options.min_batch_counter_abs = std::stod(value);
     } else if (FlagValue(args[i], "--max-p50-ratio", &value)) {
       options.max_p50_ratio = std::stod(value);
     } else if (FlagValue(args[i], "--max-p95-ratio", &value)) {
