@@ -30,8 +30,6 @@ class BgpSession {
   BgpSession(AsNumber local_as, AsNumber peer_as, const obs::Sinks& sinks = {})
       : local_as_(local_as), peer_as_(peer_as), sinks_(sinks) {}
 
-  // Deprecated shim (one PR): construct with obs::Sinks instead.
-  void SetJournal(obs::Journal* journal) { sinks_.journal = journal; }
   obs::Journal* journal() const { return sinks_.journal; }
 
   AsNumber local_as() const { return local_as_; }

@@ -94,7 +94,7 @@ std::vector<Emission> MultiSwitchFabric::ProcessFromEdge(
 }
 
 obs::DropCounters MultiSwitchFabric::AggregateDrops() const {
-  obs::DropCounters total = drops_;
+  obs::DropCounters total = drops_.Snapshot();
   for (const auto& [id, sw] : switches_) total += sw.drops();
   return total;
 }

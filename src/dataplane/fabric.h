@@ -16,6 +16,7 @@
 
 #include "dataplane/switch.h"
 #include "obs/drop_reason.h"
+#include "obs/sharded.h"
 
 namespace sdx::dataplane {
 
@@ -53,7 +54,8 @@ class MultiSwitchFabric {
 
   // Fabric-level drops (hop limit, injection on an unknown edge port) —
   // excludes the per-switch table drops, which live on each switch.
-  const obs::DropCounters& drops() const { return drops_; }
+  // Merged value snapshot of the sharded cells.
+  obs::DropCounters drops() const { return drops_.Snapshot(); }
 
   // One per-reason view over the whole fabric: fabric-level drops plus
   // every member switch's table-miss/explicit-drop counters.
@@ -72,7 +74,7 @@ class MultiSwitchFabric {
   // (switch, port) -> far end of the internal link.
   std::map<std::pair<SwitchId, net::PortId>, Endpoint> links_;
   std::map<net::PortId, SwitchId> edge_ports_;
-  obs::DropCounters drops_;
+  obs::ShardedDropCounters drops_;
 };
 
 }  // namespace sdx::dataplane

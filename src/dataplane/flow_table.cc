@@ -88,15 +88,21 @@ const FlowRule* FlowTable::Lookup(const net::PacketHeader& header) const {
   return nullptr;
 }
 
-std::optional<ActionList> FlowTable::Process(const net::Packet& packet) const {
+const FlowRule* FlowTable::ProcessMatched(const net::Packet& packet) const {
   const FlowRule* rule = Lookup(packet.header);
   if (rule == nullptr) {
-    ++miss_count_;
-    return std::nullopt;
+    miss_count_.Increment();
+    return nullptr;
   }
-  ++hit_count_;
+  hit_count_.Increment();
   ++rule->packet_count;
   rule->byte_count += packet.size_bytes;
+  return rule;
+}
+
+std::optional<ActionList> FlowTable::Process(const net::Packet& packet) const {
+  const FlowRule* rule = ProcessMatched(packet);
+  if (rule == nullptr) return std::nullopt;
   return rule->actions;
 }
 

@@ -13,6 +13,7 @@
 #include "dataplane/flow_rule.h"
 #include "net/packet.h"
 #include "obs/journal.h"
+#include "obs/sharded.h"
 
 namespace sdx::dataplane {
 
@@ -51,15 +52,26 @@ class FlowTable {
   // an explicit drop rule) or nullopt on a table miss. Updates counters.
   std::optional<ActionList> Process(const net::Packet& packet) const;
 
+  // Process() variant returning the matched rule itself (nullptr on a
+  // table miss), for callers that need the rule identity — the flow
+  // recorder keys samples by (rule cookie, priority). Same counter
+  // updates as Process().
+  const FlowRule* ProcessMatched(const net::Packet& packet) const;
+
   const std::vector<FlowRule>& rules() const { return rules_; }
   std::size_t size() const { return rules_.size(); }
   bool empty() const { return rules_.empty(); }
 
   // Lookup outcome counters. A "hit" is any matched rule (including
-  // explicit drop rules); a "miss" is no rule matching at all.
-  std::uint64_t hit_count() const { return hit_count_; }
-  std::uint64_t miss_count() const { return miss_count_; }
-  void ResetCounters() { hit_count_ = miss_count_ = 0; }
+  // explicit drop rules); a "miss" is no rule matching at all. Sharded
+  // (obs/sharded.h) so concurrent packet processing does not serialize on
+  // one tally cache line; reads merge the shards.
+  std::uint64_t hit_count() const { return hit_count_.value(); }
+  std::uint64_t miss_count() const { return miss_count_.value(); }
+  void ResetCounters() {
+    hit_count_.Reset();
+    miss_count_.Reset();
+  }
 
  private:
   std::vector<FlowRule> rules_;  // descending priority, stable
@@ -68,8 +80,8 @@ class FlowTable {
   // `mutable` because Process() is logically const (it does not change
   // which packets match which rules) but must tally outcomes — the same
   // convention as the per-rule packet/byte counters it updates.
-  mutable std::uint64_t hit_count_ = 0;
-  mutable std::uint64_t miss_count_ = 0;
+  mutable obs::ShardedCounter hit_count_;
+  mutable obs::ShardedCounter miss_count_;
 };
 
 }  // namespace sdx::dataplane

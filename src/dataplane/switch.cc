@@ -7,18 +7,18 @@ std::vector<Emission> SwitchDataPlane::Process(const net::Packet& packet) {
   in_stats.rx_packets += 1;
   in_stats.rx_bytes += packet.size_bytes;
 
-  auto actions = table_.Process(packet);
+  const FlowRule* rule = table_.ProcessMatched(packet);
   std::vector<Emission> out;
-  if (!actions) {
+  if (rule == nullptr) {
     drops_.Record(obs::DropReason::kTableMiss);
     return out;
   }
-  if (actions->empty()) {
+  if (rule->actions.empty()) {
     drops_.Record(obs::DropReason::kExplicitDrop);
     return out;
   }
-  out.reserve(actions->size());
-  for (const Action& action : *actions) {
+  out.reserve(rule->actions.size());
+  for (const Action& action : rule->actions) {
     Emission emission;
     emission.out_port = action.out_port;
     emission.packet = packet;
@@ -27,6 +27,17 @@ std::vector<Emission> SwitchDataPlane::Process(const net::Packet& packet) {
     PortStats& out_stats = port_stats_[action.out_port];
     out_stats.tx_packets += 1;
     out_stats.tx_bytes += emission.packet.size_bytes;
+    if (recorder_ != nullptr) {
+      // FEC tag = the dst MAC on ingress: the VMAC the route server put
+      // there names the forwarding equivalence class (DESIGN.md §3),
+      // before any rewrite restores the real next-hop MAC.
+      recorder_->RecordPacket({.in_port = packet.header.in_port,
+                               .out_port = action.out_port,
+                               .rule_cookie = rule->cookie,
+                               .priority = rule->priority,
+                               .fec = packet.header.dst_mac.value(),
+                               .size_bytes = emission.packet.size_bytes});
+    }
     out.push_back(std::move(emission));
   }
   return out;

@@ -14,6 +14,8 @@
 #include "dataplane/flow_table.h"
 #include "net/packet.h"
 #include "obs/drop_reason.h"
+#include "obs/flow_recorder.h"
+#include "obs/sharded.h"
 
 namespace sdx::dataplane {
 
@@ -43,15 +45,23 @@ class SwitchDataPlane {
   const PortStats& StatsFor(net::PortId port) const;
 
   // Per-reason drop accounting: table misses vs explicit drop rules.
-  const obs::DropCounters& drops() const { return drops_; }
+  // Sharded on the record path; reads return a merged value snapshot.
+  obs::DropCounters drops() const { return drops_.Snapshot(); }
   std::uint64_t dropped_packets() const { return drops_.total(); }
+
+  // Wires sampled flow export (null → disabled): every forwarded emission
+  // is offered to the recorder keyed by (in-port, out-port, matched rule,
+  // FEC tag = ingress dst MAC, i.e. the VMAC the route server assigned).
+  void SetFlowRecorder(obs::FlowRecorder* recorder) { recorder_ = recorder; }
+  obs::FlowRecorder* flow_recorder() const { return recorder_; }
 
   void ResetStats();
 
  private:
   FlowTable table_;
   std::unordered_map<net::PortId, PortStats> port_stats_;
-  obs::DropCounters drops_;
+  obs::ShardedDropCounters drops_;
+  obs::FlowRecorder* recorder_ = nullptr;
 };
 
 }  // namespace sdx::dataplane

@@ -104,7 +104,20 @@ BenchDiff DiffMetrics(const json::Value& before, const json::Value& after,
        [&](const std::string& name, const json::Value& b,
            const json::Value& a) {
          if (b.number == a.number) return;
-         record("gauge " + name, b.number, a.number, false, {});
+         // Telemetry overhead gauges carry a hard budget; other gauges are
+         // shape descriptions and stay informational.
+         bool regressed = false;
+         std::string note;
+         if (name.rfind("telemetry.overhead", 0) == 0 &&
+             a.number > options.max_telemetry_overhead) {
+           regressed = true;
+           std::ostringstream os;
+           os << "telemetry overhead " << a.number << " > budget "
+              << options.max_telemetry_overhead;
+           note = os.str();
+         }
+         record("gauge " + name, b.number, a.number, regressed,
+                std::move(note));
        });
 
   walk(Section(before, "histograms"), Section(after, "histograms"),

@@ -40,6 +40,11 @@ struct BenchDiffOptions {
   double max_p95_ratio = 1.5;
   double max_p99_ratio = 2.0;
   double noise_floor_seconds = 20e-6;
+  // "telemetry.overhead"-prefixed gauges carry the sampled-telemetry-on vs
+  // off time ratio measured by the bench (1.0 = free). Unlike other gauges
+  // they ARE flagged — an absolute band, not a before/after ratio: any run
+  // whose overhead gauge lands above this budget is a regression.
+  double max_telemetry_overhead = 1.05;
 };
 
 struct BenchDelta {

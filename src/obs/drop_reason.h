@@ -48,8 +48,8 @@ constexpr const char* DropReasonName(DropReason reason) {
 
 class DropCounters {
  public:
-  void Record(DropReason reason) {
-    ++counts_[static_cast<std::size_t>(reason)];
+  void Record(DropReason reason, std::uint64_t n = 1) {
+    counts_[static_cast<std::size_t>(reason)] += n;
   }
 
   std::uint64_t count(DropReason reason) const {

@@ -1,0 +1,208 @@
+#include "obs/flow_recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace sdx::obs {
+
+namespace {
+
+std::string JsonDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string FlowRecord::ToJson(bool timestamps) const {
+  std::string out = "{";
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "\"in_port\": %u, \"out_port\": %u, \"cookie\": %llu, "
+      "\"priority\": %d, \"fec\": %llu, \"src_as\": %u, \"dst_as\": %u",
+      in_port, out_port, static_cast<unsigned long long>(rule_cookie),
+      priority, static_cast<unsigned long long>(fec), src_as, dst_as);
+  out += buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      ", \"sampled_packets\": %llu, \"sampled_bytes\": %llu, "
+      "\"est_packets\": %llu, \"est_bytes\": %llu, "
+      "\"first_seq\": %llu, \"last_seq\": %llu",
+      static_cast<unsigned long long>(sampled_packets),
+      static_cast<unsigned long long>(sampled_bytes),
+      static_cast<unsigned long long>(est_packets),
+      static_cast<unsigned long long>(est_bytes),
+      static_cast<unsigned long long>(first_seq),
+      static_cast<unsigned long long>(last_seq));
+  out += buf;
+  out += ", \"close\": \"";
+  out += close_reason;
+  out += "\"";
+  if (timestamps) {
+    out += ", \"first_ts\": " + JsonDouble(first_seconds);
+    out += ", \"last_ts\": " + JsonDouble(last_seconds);
+  }
+  out += "}";
+  return out;
+}
+
+FlowRecorder::FlowRecorder() : FlowRecorder(Options()) {}
+
+FlowRecorder::FlowRecorder(Options options) : options_(options) {
+  // A zero rate would make the estimators degenerate; treat it as
+  // "sample everything".
+  options_.sample_rate = std::max<std::uint32_t>(1, options_.sample_rate);
+  sample_threshold_ = SampleThreshold(options_.sample_rate);
+  // Size never exceeds capacity + 1 (EvictIfOverCapacityLocked runs right
+  // after each insert), so this reservation guarantees no rehash ever.
+  cache_.reserve(options_.cache_capacity + 2);
+}
+
+double FlowRecorder::NowSeconds() const {
+  if (clock_) return clock_();
+  return SecondsSince(epoch_);
+}
+
+void FlowRecorder::RecordSampled(const Sample& sample, std::uint64_t seq) {
+  packets_sampled_.fetch_add(1, std::memory_order_relaxed);
+
+  const FlowKey key{sample.in_port, sample.out_port, sample.rule_cookie,
+                    sample.priority, sample.fec};
+  std::lock_guard<std::mutex> lock(mu_);
+  const double now = NowSeconds();
+  auto [it, inserted] = cache_.try_emplace(key);
+  FlowState& state = it->second;
+  if (!inserted) {
+    // Timeout check happens on touch: a flow idle past the idle timeout,
+    // or active past the active timeout, is closed and restarted.
+    const bool idle = now - state.last_seconds > options_.idle_timeout_seconds;
+    const bool active =
+        options_.active_timeout_seconds > 0.0 &&
+        now - state.first_seconds > options_.active_timeout_seconds;
+    if (idle || active) {
+      CloseLocked(key, state, idle ? "idle" : "active");
+      const auto lru_it = state.lru_it;  // keep the list node, move to back
+      state = FlowState{};
+      state.lru_it = lru_it;
+      state.first_seq = seq;
+      state.first_seconds = now;
+    }
+    lru_.splice(lru_.end(), lru_, state.lru_it);
+  } else {
+    state.first_seq = seq;
+    state.first_seconds = now;
+    state.lru_it = lru_.insert(lru_.end(), key);
+  }
+  state.sampled_packets += 1;
+  state.sampled_bytes += sample.size_bytes;
+  state.last_seq = seq;
+  state.last_seconds = now;
+  EvictIfOverCapacityLocked();
+}
+
+void FlowRecorder::SetPortOwner(std::uint32_t port, std::uint32_t as) {
+  std::lock_guard<std::mutex> lock(mu_);
+  port_owner_[port] = as;
+}
+
+void FlowRecorder::CloseLocked(const FlowKey& key, const FlowState& state,
+                               const char* reason) {
+  FlowRecord record;
+  record.in_port = key.in_port;
+  record.out_port = key.out_port;
+  record.rule_cookie = key.rule_cookie;
+  record.priority = key.priority;
+  record.fec = key.fec;
+  auto src = port_owner_.find(key.in_port);
+  if (src != port_owner_.end()) record.src_as = src->second;
+  auto dst = port_owner_.find(key.out_port);
+  if (dst != port_owner_.end()) record.dst_as = dst->second;
+  record.sampled_packets = state.sampled_packets;
+  record.sampled_bytes = state.sampled_bytes;
+  record.est_packets = state.sampled_packets * options_.sample_rate;
+  record.est_bytes = state.sampled_bytes * options_.sample_rate;
+  record.first_seq = state.first_seq;
+  record.last_seq = state.last_seq;
+  record.first_seconds = state.first_seconds;
+  record.last_seconds = state.last_seconds;
+  record.close_reason = reason;
+  exported_.push_back(std::move(record));
+  ++flows_exported_;
+}
+
+void FlowRecorder::EvictIfOverCapacityLocked() {
+  while (cache_.size() > options_.cache_capacity) {
+    // Deterministic LRU: the list front is the entry whose last sample is
+    // oldest by sequence number (ties impossible: seq is unique per
+    // packet). O(log n) for the map erase, no scan.
+    auto victim = cache_.find(lru_.front());
+    CloseLocked(victim->first, victim->second, "evict");
+    cache_.erase(victim);
+    lru_.pop_front();
+    ++cache_evictions_;
+  }
+}
+
+void FlowRecorder::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // The cache hashes, but the export format promises deterministic key
+  // order on flush; this path is cold, so sort here.
+  std::vector<const std::pair<const FlowKey, FlowState>*> live;
+  live.reserve(cache_.size());
+  for (const auto& entry : cache_) live.push_back(&entry);
+  std::sort(live.begin(), live.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  for (const auto* entry : live) {
+    CloseLocked(entry->first, entry->second, "flush");
+  }
+  cache_.clear();
+  lru_.clear();
+}
+
+std::vector<FlowRecord> FlowRecorder::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FlowRecord> out = std::move(exported_);
+  exported_.clear();
+  return out;
+}
+
+std::string FlowRecorder::DrainJsonl(bool timestamps) {
+  std::string out;
+  for (const FlowRecord& record : Drain()) {
+    out += record.ToJson(timestamps);
+    out += "\n";
+  }
+  return out;
+}
+
+std::uint64_t FlowRecorder::packets_seen() const {
+  return seq_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t FlowRecorder::packets_sampled() const {
+  return packets_sampled_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t FlowRecorder::flows_exported() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return flows_exported_;
+}
+
+std::uint64_t FlowRecorder::cache_evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_evictions_;
+}
+
+std::size_t FlowRecorder::live_flows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+void FlowRecorder::SetClockForTest(std::function<double()> clock) {
+  std::lock_guard<std::mutex> lock(mu_);
+  clock_ = std::move(clock);
+}
+
+}  // namespace sdx::obs

@@ -1,0 +1,132 @@
+#include "obs/health.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace sdx::obs {
+
+namespace {
+
+std::string JsonDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  std::string s(buf);
+  if (s.find("inf") != std::string::npos ||
+      s.find("nan") != std::string::npos) {
+    return "0";
+  }
+  return s;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string HealthReport::ToJson() const {
+  std::ostringstream os;
+  os << "{\n  \"status\": \"" << (degraded ? "degraded" : "ok") << "\",\n";
+  os << "  \"reasons\": [";
+  for (std::size_t i = 0; i < reasons.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << "\"" << JsonEscape(reasons[i]) << "\"";
+  }
+  os << "],\n";
+  os << "  \"queue_depth\": " << queue_depth << ",\n";
+  os << "  \"batch_lag_seconds\": " << JsonDouble(batch_lag_seconds) << ",\n";
+  os << "  \"updates_processed\": " << updates_processed << ",\n";
+  os << "  \"last_decision_seconds\": " << JsonDouble(last_decision_seconds)
+     << ",\n";
+  os << "  \"last_compile_seconds\": " << JsonDouble(last_compile_seconds)
+     << ",\n";
+  os << "  \"last_flush_seconds\": " << JsonDouble(last_flush_seconds)
+     << ",\n";
+  os << "  \"rib_prefixes\": " << rib_prefixes << ",\n";
+  os << "  \"flow_table_rules\": " << flow_table_rules << ",\n";
+  os << "  \"participants\": " << participants << ",\n";
+  os << "  \"table_miss_drops\": " << table_miss_drops << ",\n";
+  os << "  \"total_drops\": " << total_drops << ",\n";
+  os << "  \"histogram_bounds_conflicts\": " << histogram_bounds_conflicts
+     << ",\n";
+  os << "  \"flap_rates\": {";
+  bool first = true;
+  for (const auto& [as, rate] : flap_rates) {
+    os << (first ? "" : ", ") << "\"" << as << "\": " << JsonDouble(rate);
+    first = false;
+  }
+  os << "}\n}\n";
+  return os.str();
+}
+
+HealthReport HealthMonitor::Evaluate(HealthReport report) const {
+  report.degraded = false;
+  report.reasons.clear();
+  char buf[160];
+  if (report.queue_depth > thresholds_.max_queue_depth) {
+    std::snprintf(buf, sizeof(buf), "queue_depth %zu > %zu",
+                  report.queue_depth, thresholds_.max_queue_depth);
+    report.reasons.push_back(buf);
+  }
+  if (report.batch_lag_seconds > thresholds_.max_batch_lag_seconds) {
+    std::snprintf(buf, sizeof(buf), "batch_lag %.3fs > %.3fs",
+                  report.batch_lag_seconds,
+                  thresholds_.max_batch_lag_seconds);
+    report.reasons.push_back(buf);
+  }
+  if (report.table_miss_drops > thresholds_.max_table_miss_drops) {
+    std::snprintf(buf, sizeof(buf),
+                  "table_miss_drops %llu (catch-all missing: compiler bug)",
+                  static_cast<unsigned long long>(report.table_miss_drops));
+    report.reasons.push_back(buf);
+  }
+  if (report.histogram_bounds_conflicts > thresholds_.max_bounds_conflicts) {
+    std::snprintf(
+        buf, sizeof(buf), "histogram_bounds_conflicts %llu",
+        static_cast<unsigned long long>(report.histogram_bounds_conflicts));
+    report.reasons.push_back(buf);
+  }
+  for (const auto& [as, rate] : report.flap_rates) {
+    if (rate > thresholds_.max_flap_rate) {
+      std::snprintf(buf, sizeof(buf), "as%u flapping at %.1f updates/s", as,
+                    rate);
+      report.reasons.push_back(buf);
+    }
+  }
+  report.degraded = !report.reasons.empty();
+  return report;
+}
+
+std::map<std::uint32_t, double> HealthMonitor::FlapRatesFromJournal(
+    const Journal* journal, double min_window_seconds) {
+  std::map<std::uint32_t, double> rates;
+  if (journal == nullptr) return rates;
+  std::map<std::uint32_t, std::uint64_t> counts;
+  double first = 0.0, last = 0.0;
+  bool any = false;
+  for (const JournalEvent& e : journal->Events()) {
+    if (!any) {
+      first = last = e.seconds;
+      any = true;
+    } else {
+      first = std::min(first, e.seconds);
+      last = std::max(last, e.seconds);
+    }
+    if (e.type == JournalEventType::kBgpUpdateBegin) {
+      ++counts[static_cast<std::uint32_t>(e.arg0)];
+    }
+  }
+  if (counts.empty()) return rates;
+  const double window = std::max(last - first, min_window_seconds);
+  for (const auto& [as, count] : counts) {
+    rates[as] = static_cast<double>(count) / window;
+  }
+  return rates;
+}
+
+}  // namespace sdx::obs

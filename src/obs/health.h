@@ -1,0 +1,89 @@
+// Runtime health introspection (DESIGN.md §10): one struct answering "is
+// the control plane keeping up?", fillable in O(1) from state the runtime
+// already tracks, plus threshold evaluation into a coarse ok/degraded
+// status with human-readable reasons.
+//
+// The report is a plain value — SdxRuntime::HealthSnapshot() builds one,
+// HealthMonitor::Evaluate stamps status onto it, ToJson() exports it for
+// `sdxmon health` and the CI smoke step. Flap rates are derived from the
+// journal's retained kBgpUpdateBegin events (arg0 = sender AS) over the
+// window those events span: the flight recorder is the source of truth
+// for "who has been updating lately", so no extra per-participant state
+// is kept on the update path.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/journal.h"
+
+namespace sdx::obs {
+
+// Degraded-status trip points. Defaults are generous: they flag a runtime
+// that is clearly behind, not one that is merely busy.
+struct HealthThresholds {
+  std::size_t max_queue_depth = 10000;     // pending coalesced updates
+  double max_batch_lag_seconds = 5.0;      // oldest enqueued-but-unflushed
+  double max_flap_rate = 50.0;             // per-participant updates/sec
+  std::uint64_t max_table_miss_drops = 0;  // any miss = compiler bug
+  std::uint64_t max_bounds_conflicts = 0;  // any conflict = caller bug
+};
+
+struct HealthReport {
+  // Ingest.
+  std::size_t queue_depth = 0;        // pending updates awaiting Flush
+  double batch_lag_seconds = 0.0;     // age of the oldest pending update
+  std::uint64_t updates_processed = 0;
+
+  // Last-operation durations (0 = never ran).
+  double last_decision_seconds = 0.0;  // rib_update stage of the last batch
+  double last_compile_seconds = 0.0;   // last FullCompile wall time
+  double last_flush_seconds = 0.0;     // last batch end-to-end wall time
+
+  // Sizes.
+  std::size_t rib_prefixes = 0;
+  std::size_t flow_table_rules = 0;
+  std::size_t participants = 0;
+
+  // Error tallies.
+  std::uint64_t table_miss_drops = 0;   // kTableMiss: always a bug
+  std::uint64_t total_drops = 0;
+  std::uint64_t histogram_bounds_conflicts = 0;
+
+  // Updates/second per participant AS over the journal's retained window.
+  std::map<std::uint32_t, double> flap_rates;
+
+  // Stamped by HealthMonitor::Evaluate.
+  bool degraded = false;
+  std::vector<std::string> reasons;
+
+  // Single JSON object: {"status": "ok"|"degraded", "reasons": [...],
+  //  "queue_depth": N, ...}. Parseable by obs/json.h (sdxmon health).
+  std::string ToJson() const;
+};
+
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(HealthThresholds thresholds = {})
+      : thresholds_(thresholds) {}
+
+  const HealthThresholds& thresholds() const { return thresholds_; }
+
+  // Applies the thresholds: fills report.degraded / report.reasons (any
+  // previous evaluation is discarded) and returns the evaluated report.
+  HealthReport Evaluate(HealthReport report) const;
+
+  // Per-participant update rates from retained kBgpUpdateBegin events
+  // (arg0 = sender AS), over the time window the retained events span.
+  // Spans under `min_window_seconds` are widened to it so that a short
+  // burst does not extrapolate to an absurd rate.
+  static std::map<std::uint32_t, double> FlapRatesFromJournal(
+      const Journal* journal, double min_window_seconds = 1.0);
+
+ private:
+  HealthThresholds thresholds_;
+};
+
+}  // namespace sdx::obs

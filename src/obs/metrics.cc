@@ -49,6 +49,30 @@ std::string JsonString(const std::string& s) {
 
 }  // namespace
 
+double PercentileFromBuckets(const std::vector<double>& upper_bounds,
+                             const std::vector<std::uint64_t>& bucket_counts,
+                             std::uint64_t count, double min, double max,
+                             double q) {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < bucket_counts.size(); ++i) {
+    cumulative += bucket_counts[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (bucket_counts[i] == 0) continue;
+    // Interpolate within bucket i: [lower, upper) assumed uniform.
+    const double lower = i == 0 ? 0.0 : upper_bounds[i - 1];
+    const double upper = i < upper_bounds.size() ? upper_bounds[i] : max;
+    const double into_bucket =
+        (rank - static_cast<double>(cumulative - bucket_counts[i])) /
+        static_cast<double>(bucket_counts[i]);
+    const double v = lower + into_bucket * (upper - lower);
+    return std::clamp(v, min, max);
+  }
+  return max;
+}
+
 Histogram::Histogram(std::vector<double> upper_bounds)
     : upper_bounds_(std::move(upper_bounds)),
       bucket_counts_(upper_bounds_.size() + 1, 0) {}
@@ -69,6 +93,7 @@ std::vector<double> Histogram::LatencyBuckets() {
 }
 
 void Histogram::Observe(double value) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (count_ == 0) {
     min_ = max_ = value;
   } else {
@@ -82,61 +107,82 @@ void Histogram::Observe(double value) {
   ++bucket_counts_[static_cast<std::size_t>(it - upper_bounds_.begin())];
 }
 
+std::uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ == 0 ? 0.0 : min_;
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ == 0 ? 0.0 : max_;
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bucket_counts_;
+}
+
+Histogram::State Histogram::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  State s;
+  s.count = count_;
+  s.sum = sum_;
+  s.min = count_ == 0 ? 0.0 : min_;
+  s.max = count_ == 0 ? 0.0 : max_;
+  s.bucket_counts = bucket_counts_;
+  return s;
+}
+
 double Histogram::Percentile(double q) const {
-  if (count_ == 0) return 0.0;
-  q = std::clamp(q, 0.0, 1.0);
-  const double rank = q * static_cast<double>(count_);
-  std::uint64_t cumulative = 0;
-  for (std::size_t i = 0; i < bucket_counts_.size(); ++i) {
-    cumulative += bucket_counts_[i];
-    if (static_cast<double>(cumulative) < rank) continue;
-    if (bucket_counts_[i] == 0) continue;
-    // Interpolate within bucket i: [lower, upper) assumed uniform.
-    const double lower = i == 0 ? 0.0 : upper_bounds_[i - 1];
-    const double upper =
-        i < upper_bounds_.size() ? upper_bounds_[i] : max_;
-    const double into_bucket =
-        (rank - static_cast<double>(cumulative - bucket_counts_[i])) /
-        static_cast<double>(bucket_counts_[i]);
-    const double v = lower + into_bucket * (upper - lower);
-    return std::clamp(v, min_, max_);
-  }
-  return max_;
+  const State s = Snapshot();
+  return PercentileFromBuckets(upper_bounds_, s.bucket_counts, s.count, s.min,
+                               s.max, q);
 }
 
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   return counters_[name];
 }
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   return gauges_[name];
 }
 
 Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
-  auto it = histograms_.find(name);
-  if (it == histograms_.end()) {
-    it = histograms_.emplace(name, Histogram()).first;
-  }
-  return it->second;
+  std::lock_guard<std::mutex> lock(mu_);
+  return histograms_.try_emplace(name).first->second;
 }
 
 Histogram& MetricsRegistry::GetHistogram(const std::string& name,
                                          std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
-    it = histograms_.emplace(name, Histogram(std::move(upper_bounds))).first;
+    it = histograms_.try_emplace(name, std::move(upper_bounds)).first;
   } else if (it->second.upper_bounds() != upper_bounds) {
     // First-wins: the existing layout is kept (observations already landed
     // in its buckets), but a silently ignored bucket layout is a caller
     // bug — count it so tests and operators can see it, and fail loudly in
     // debug builds.
-    ++bounds_conflicts_;
+    bounds_conflicts_.fetch_add(1, std::memory_order_relaxed);
     assert(false && "GetHistogram: bucket bounds differ from existing");
   }
   return it->second;
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot snap;
   for (const auto& [name, counter] : counters_) {
     snap.counters[name] = counter.value();
@@ -145,16 +191,22 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     snap.gauges[name] = gauge.value();
   }
   for (const auto& [name, hist] : histograms_) {
+    // One lock acquisition per histogram: count/sum/percentiles all come
+    // from the same instant (no torn reads between them).
+    const Histogram::State state = hist.Snapshot();
     MetricsSnapshot::HistogramView view;
-    view.count = hist.count();
-    view.sum = hist.sum();
-    view.min = hist.min();
-    view.max = hist.max();
-    view.p50 = hist.Percentile(0.50);
-    view.p95 = hist.Percentile(0.95);
-    view.p99 = hist.Percentile(0.99);
+    view.count = state.count;
+    view.sum = state.sum;
+    view.min = state.min;
+    view.max = state.max;
+    view.p50 = PercentileFromBuckets(hist.upper_bounds(), state.bucket_counts,
+                                     state.count, state.min, state.max, 0.50);
+    view.p95 = PercentileFromBuckets(hist.upper_bounds(), state.bucket_counts,
+                                     state.count, state.min, state.max, 0.95);
+    view.p99 = PercentileFromBuckets(hist.upper_bounds(), state.bucket_counts,
+                                     state.count, state.min, state.max, 0.99);
     view.upper_bounds = hist.upper_bounds();
-    view.bucket_counts = hist.bucket_counts();
+    view.bucket_counts = state.bucket_counts;
     snap.histograms[name] = std::move(view);
   }
   return snap;

@@ -6,6 +6,12 @@
 // a stable reference for the registry's lifetime), then increment/observe
 // through the handle on the hot path — no string lookups per event.
 //
+// Thread safety: every individual metric operation is atomic with respect
+// to Snapshot(). Counters and gauges are lock-free atomics; histograms
+// take a per-histogram mutex (Observe is O(#buckets) under it, which is
+// far off the packet path — the packet path uses obs/sharded.h). Handle
+// resolution and Snapshot() serialize on a registry mutex.
+//
 // Metric naming scheme (see DESIGN.md "Observability"):
 //   <component>.<object>[.<detail>]   e.g. "dataplane.drop.table_miss",
 //   "compile.stage.vnh_allocation.seconds", "rs.as65001.announcements".
@@ -16,8 +22,10 @@
 // keeps Observe() O(#buckets) worst case (binary search, no allocation).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -25,23 +33,42 @@ namespace sdx::obs {
 
 class Counter {
  public:
-  void Increment(std::uint64_t n = 1) { value_ += n; }
-  void Set(std::uint64_t v) { value_ = v; }  // for syncing external tallies
-  std::uint64_t value() const { return value_; }
+  void Increment(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  // For syncing external tallies.
+  void Set(std::uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 class Gauge {
  public:
-  void Set(double v) { value_ = v; }
-  void Add(double v) { value_ += v; }
-  double value() const { return value_; }
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double v) {
+    // No atomic<double>::fetch_add until C++20 on all toolchains; CAS loop.
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + v,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
+
+// Percentile by linear interpolation within the containing bucket, shared
+// between Histogram and the sharded merge path (obs/sharded.h snapshots).
+// `bucket_counts` has one entry per bound plus the overflow bucket.
+double PercentileFromBuckets(const std::vector<double>& upper_bounds,
+                             const std::vector<std::uint64_t>& bucket_counts,
+                             std::uint64_t count, double min, double max,
+                             double q);
 
 class Histogram {
  public:
@@ -51,25 +78,36 @@ class Histogram {
 
   void Observe(double value);
 
-  std::uint64_t count() const { return count_; }
-  double sum() const { return sum_; }
-  double min() const { return count_ == 0 ? 0.0 : min_; }
-  double max() const { return count_ == 0 ? 0.0 : max_; }
+  std::uint64_t count() const;
+  double sum() const;
+  double min() const;
+  double max() const;
 
   // Value at quantile q in [0,1], interpolated within the containing
   // bucket (clamped to the observed min/max). 0 when empty.
   double Percentile(double q) const;
 
+  // Bucket layout is immutable after construction — safe to read unlocked.
   const std::vector<double>& upper_bounds() const { return upper_bounds_; }
-  const std::vector<std::uint64_t>& bucket_counts() const {
-    return bucket_counts_;
-  }
+  std::vector<std::uint64_t> bucket_counts() const;
+
+  // One consistent read of everything under a single lock acquisition
+  // (count/sum/percentiles from the same instant).
+  struct State {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::vector<std::uint64_t> bucket_counts;
+  };
+  State Snapshot() const;
 
   // Roughly exponential 1µs..60s latency buckets (seconds).
   static std::vector<double> LatencyBuckets();
 
  private:
-  std::vector<double> upper_bounds_;          // ascending, finite
+  std::vector<double> upper_bounds_;  // ascending, finite; immutable
+  mutable std::mutex mu_;
   std::vector<std::uint64_t> bucket_counts_;  // size = bounds + 1 (overflow)
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
@@ -119,20 +157,22 @@ class MetricsRegistry {
   // Times GetHistogram(name, bounds) hit an existing histogram with a
   // DIFFERENT bucket layout (the requested bounds were ignored).
   std::uint64_t histogram_bounds_conflicts() const {
-    return bounds_conflicts_;
+    return bounds_conflicts_.load(std::memory_order_relaxed);
   }
 
   MetricsSnapshot Snapshot() const;
 
   std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return counters_.size() + gauges_.size() + histograms_.size();
   }
 
  private:
+  mutable std::mutex mu_;  // guards the maps, not the metrics themselves
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;
-  std::uint64_t bounds_conflicts_ = 0;
+  std::atomic<std::uint64_t> bounds_conflicts_{0};
 };
 
 }  // namespace sdx::obs

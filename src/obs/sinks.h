@@ -14,6 +14,7 @@
 // component it wires).
 #pragma once
 
+#include "obs/flow_recorder.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -24,6 +25,9 @@ struct Sinks {
   MetricsRegistry* metrics = nullptr;
   Journal* journal = nullptr;
   Tracer* tracer = nullptr;
+  // Sampled dataplane flow export; null in every control-plane-only
+  // component (only the switch paths record packets).
+  FlowRecorder* flows = nullptr;
 };
 
 }  // namespace sdx::obs

@@ -70,8 +70,6 @@ class RouteServer {
   // re-created).
   void SetSinks(const obs::Sinks& sinks) { sinks_ = sinks; }
 
-  // Deprecated shim (one PR): pass obs::Sinks at construction or SetSinks.
-  void SetJournal(obs::Journal* journal) { sinks_.journal = journal; }
   obs::Journal* journal() const { return sinks_.journal; }
 
   bool IsRegistered(AsNumber as) const;

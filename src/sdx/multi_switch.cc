@@ -40,10 +40,12 @@ MultiSwitchDeployment::MultiSwitchDeployment(const VirtualTopology& topo,
 
 void MultiSwitchDeployment::SetSinks(const obs::Sinks& sinks) {
   fabric_.FindSwitch(kCore)->table().SetJournal(sinks.journal, kCore);
+  fabric_.FindSwitch(kCore)->SetFlowRecorder(sinks.flows);
   for (int e = 1; e <= edge_switches_; ++e) {
     auto edge = static_cast<dataplane::SwitchId>(e);
     fabric_.FindSwitch(edge)->table().SetJournal(
         sinks.journal, static_cast<std::uint32_t>(edge));
+    fabric_.FindSwitch(edge)->SetFlowRecorder(sinks.flows);
   }
 }
 

@@ -43,9 +43,6 @@ class MultiSwitchDeployment {
   // switch id (core = 0, edges = 1..edge_count). Null members → no-op.
   void SetSinks(const obs::Sinks& sinks);
 
-  // Deprecated shim (one PR): use SetSinks.
-  void SetJournal(obs::Journal* journal) { SetSinks({.journal = journal}); }
-
   dataplane::MultiSwitchFabric& fabric() { return fabric_; }
   const dataplane::MultiSwitchFabric& fabric() const { return fabric_; }
 

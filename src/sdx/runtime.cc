@@ -27,6 +27,19 @@ void SdxRuntime::DisableJournal() {
   data_plane_.table().SetJournal(nullptr);
 }
 
+void SdxRuntime::EnableFlowTelemetry(obs::FlowRecorder::Options options) {
+  flow_recorder_ = std::make_unique<obs::FlowRecorder>(options);
+  for (const PhysicalPort& port : topology_.AllPhysicalPorts()) {
+    flow_recorder_->SetPortOwner(port.id, port.owner);
+  }
+  data_plane_.SetFlowRecorder(flow_recorder_.get());
+}
+
+void SdxRuntime::DisableFlowTelemetry() {
+  data_plane_.SetFlowRecorder(nullptr);
+  flow_recorder_.reset();
+}
+
 Participant& SdxRuntime::AddParticipant(AsNumber as, int physical_ports) {
   if (participants_.contains(as)) {
     throw std::invalid_argument("participant AS" + std::to_string(as) +
@@ -46,6 +59,11 @@ Participant& SdxRuntime::AddParticipant(AsNumber as, int physical_ports) {
     // Real next-hop resolution for never-overridden prefixes: the router
     // address maps to the participant's port-0 MAC.
     arp_.Bind(router_ip, port0.mac);
+  }
+  if (flow_recorder_ != nullptr) {
+    for (int i = 0; i < physical_ports; ++i) {
+      flow_recorder_->SetPortOwner(topology_.PhysicalPortOf(as, i).id, as);
+    }
   }
   return it->second;
 }
@@ -612,6 +630,7 @@ CompileStats SdxRuntime::FullCompile() {
 
   stats.seconds = SecondsSince(start);
   stats.stages = tracer_.spans();
+  last_compile_seconds_ = stats.seconds;
   obs::JournalRecord(journal_.get(), obs::JournalEventType::kCompileEnd,
                      journal_ ? journal_->current_update_id()
                               : obs::kNoUpdateId,
@@ -668,6 +687,7 @@ BatchStats SdxRuntime::ApplyUpdates(std::span<const bgp::BgpUpdate> updates) {
 }
 
 bool SdxRuntime::EnqueueUpdate(bgp::BgpUpdate update) {
+  if (!oldest_pending_since_) oldest_pending_since_ = obs::Now();
   queue_.Enqueue(std::move(update));
   if (batch_window_ != 0 && queue_.pending_updates() >= batch_window_) {
     Flush();
@@ -678,6 +698,7 @@ bool SdxRuntime::EnqueueUpdate(bgp::BgpUpdate update) {
 
 BatchStats SdxRuntime::Flush() {
   const std::size_t raw = queue_.pending_updates();
+  oldest_pending_since_.reset();
   if (raw == 0) return {};
   last_batch_ = RunBatch(queue_.Drain(), raw, "apply_update_batch", "batch",
                          /*aggregate=*/true);
@@ -893,6 +914,13 @@ BatchStats SdxRuntime::RunBatch(std::vector<bgp::CoalescedUpdate> slots,
 
   stats.seconds = SecondsSince(start);
   stats.stages = tracer_.spans();
+  last_flush_seconds_ = stats.seconds;
+  for (const obs::SpanRecord& span : stats.stages) {
+    if (span.name == std::string("rib_update")) {
+      last_decision_seconds_ = span.seconds;
+      break;
+    }
+  }
   const auto micros = static_cast<std::uint64_t>(stats.seconds * 1e6);
 
   // Per-update end events in drain order; a changed prefix's rules are
@@ -1002,9 +1030,30 @@ void SdxRuntime::RecordTrace(const char* prefix, double total_seconds) {
 }
 
 obs::DropCounters SdxRuntime::DropCounts() const {
-  obs::DropCounters total = ingress_drops_;
+  obs::DropCounters total = ingress_drops_.Snapshot();
   total += data_plane_.drops();
   return total;
+}
+
+obs::HealthReport SdxRuntime::HealthSnapshot(
+    const obs::HealthThresholds& thresholds) const {
+  obs::HealthReport report;
+  report.queue_depth = queue_.pending_updates();
+  report.batch_lag_seconds =
+      oldest_pending_since_ ? SecondsSince(*oldest_pending_since_) : 0.0;
+  report.updates_processed = route_server_.updates_processed();
+  report.last_decision_seconds = last_decision_seconds_;
+  report.last_compile_seconds = last_compile_seconds_;
+  report.last_flush_seconds = last_flush_seconds_;
+  report.rib_prefixes = route_server_.AllPrefixes().size();
+  report.flow_table_rules = data_plane_.table().size();
+  report.participants = participants_.size();
+  const obs::DropCounters drops = DropCounts();
+  report.table_miss_drops = drops.count(obs::DropReason::kTableMiss);
+  report.total_drops = drops.total();
+  report.histogram_bounds_conflicts = metrics_.histogram_bounds_conflicts();
+  report.flap_rates = obs::HealthMonitor::FlapRatesFromJournal(journal_.get());
+  return obs::HealthMonitor(thresholds).Evaluate(std::move(report));
 }
 
 obs::MetricsSnapshot SdxRuntime::SnapshotMetrics() {
@@ -1022,6 +1071,20 @@ obs::MetricsSnapshot SdxRuntime::SnapshotMetrics() {
       .Set(static_cast<double>(table.size()));
   metrics_.GetCounter("dataplane.flow_table.hits").Set(table.hit_count());
   metrics_.GetCounter("dataplane.flow_table.misses").Set(table.miss_count());
+
+  // Sampled flow telemetry (when enabled).
+  if (flow_recorder_ != nullptr) {
+    metrics_.GetCounter("telemetry.packets_seen")
+        .Set(flow_recorder_->packets_seen());
+    metrics_.GetCounter("telemetry.packets_sampled")
+        .Set(flow_recorder_->packets_sampled());
+    metrics_.GetCounter("telemetry.flows_exported")
+        .Set(flow_recorder_->flows_exported());
+    metrics_.GetCounter("telemetry.cache_evictions")
+        .Set(flow_recorder_->cache_evictions());
+    metrics_.GetGauge("telemetry.live_flows")
+        .Set(static_cast<double>(flow_recorder_->live_flows()));
+  }
 
   // Compilation state + memoization cache.
   metrics_.GetGauge("compile.prefix_groups")

@@ -44,8 +44,11 @@
 #include "dataplane/arp.h"
 #include "dataplane/switch.h"
 #include "obs/drop_reason.h"
+#include "obs/flow_recorder.h"
+#include "obs/health.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
+#include "obs/sharded.h"
 #include "obs/sinks.h"
 #include "obs/trace.h"
 #include "policy/cache.h"
@@ -250,7 +253,8 @@ class SdxRuntime {
   obs::Sinks sinks() {
     return obs::Sinks{.metrics = &metrics_,
                       .journal = journal_.get(),
-                      .tracer = &tracer_};
+                      .tracer = &tracer_,
+                      .flows = flow_recorder_.get()};
   }
 
   // Span tree of the most recent FullCompile()/ApplyBgpUpdate().
@@ -272,6 +276,22 @@ class SdxRuntime {
   void EnableJournal(std::size_t capacity = obs::Journal::kDefaultCapacity);
   // Detaches and destroys the journal; all recording becomes a no-op.
   void DisableJournal();
+
+  // Sampled flow export (DESIGN.md §10, disabled by default): creates the
+  // recorder, seeds its port→participant map from the topology, and wires
+  // it into the data plane. Re-enabling replaces the recorder (records in
+  // the old one are dropped — Drain first).
+  void EnableFlowTelemetry(obs::FlowRecorder::Options options = {});
+  // Detaches and destroys the recorder; packet sampling stops.
+  void DisableFlowTelemetry();
+  obs::FlowRecorder* flow_recorder() { return flow_recorder_.get(); }
+
+  // One-stop runtime health introspection, evaluated against `thresholds`
+  // (obs/health.h): ingest queue depth + batch lag, last decision/compile/
+  // flush durations, RIB/flow-table sizes, per-participant flap rates from
+  // the journal, and a coarse ok/degraded status with reasons.
+  obs::HealthReport HealthSnapshot(
+      const obs::HealthThresholds& thresholds = {}) const;
 
   // Per-reason drop totals across the whole pipeline: border-router drops
   // (no_fib_route, arp_unresolved), injection-time isolation violations,
@@ -412,9 +432,19 @@ class SdxRuntime {
   obs::MetricsRegistry metrics_;
   obs::Tracer tracer_;
   std::unique_ptr<obs::Journal> journal_;
+  std::unique_ptr<obs::FlowRecorder> flow_recorder_;
   // Drops decided before the fabric: border-router FIB/ARP failures and
-  // injection-time isolation violations.
-  obs::DropCounters ingress_drops_;
+  // injection-time isolation violations. Sharded: the border-router path
+  // is a packet path (obs/sharded.h).
+  obs::ShardedDropCounters ingress_drops_;
+
+  // --- Health bookkeeping (DESIGN.md §10) --------------------------------
+  // Wall-clock moment the standing queue went empty→nonempty; cleared by
+  // Flush. Age of this = batch lag (how stale the oldest pending update is).
+  std::optional<obs::Clock::time_point> oldest_pending_since_;
+  double last_decision_seconds_ = 0.0;  // rib_update stage, last batch
+  double last_compile_seconds_ = 0.0;   // last FullCompile wall time
+  double last_flush_seconds_ = 0.0;     // last batch end-to-end wall time
 };
 
 }  // namespace sdx::core

@@ -168,6 +168,38 @@ TEST(BenchDiffTest, GaugesAreInformationalOnly) {
   EXPECT_FALSE(diff.deltas[0].regressed);
 }
 
+TEST(BenchDiffTest, TelemetryOverheadGaugesCarryAHardBudget) {
+  // Unlike other gauges, telemetry.overhead* is an absolute band: any
+  // after-value above the budget is a regression, regardless of before.
+  BenchDiff over = DiffMetrics(
+      Snapshot("", "\"telemetry.overhead_ratio\": 1.01", ""),
+      Snapshot("", "\"telemetry.overhead_ratio\": 1.08", ""));
+  EXPECT_TRUE(over.regression);
+  ASSERT_EQ(over.deltas.size(), 1u);
+  EXPECT_TRUE(over.deltas[0].regressed);
+  EXPECT_NE(over.deltas[0].note.find("budget"), std::string::npos);
+
+  BenchDiff under = DiffMetrics(
+      Snapshot("", "\"telemetry.overhead_ratio\": 1.04", ""),
+      Snapshot("", "\"telemetry.overhead_ratio\": 1.02", ""));
+  EXPECT_FALSE(under.regression);
+
+  // The budget is tunable (sdxmon diff --max-telemetry-overhead).
+  BenchDiffOptions loose;
+  loose.max_telemetry_overhead = 1.10;
+  EXPECT_FALSE(DiffMetrics(
+                   Snapshot("", "\"telemetry.overhead_ratio\": 1.01", ""),
+                   Snapshot("", "\"telemetry.overhead_ratio\": 1.08", ""),
+                   loose)
+                   .regression);
+
+  // Non-overhead telemetry gauges (timings, cache sizes) stay
+  // informational.
+  BenchDiff info = DiffMetrics(Snapshot("", "\"telemetry.on_seconds\": 1", ""),
+                               Snapshot("", "\"telemetry.on_seconds\": 9", ""));
+  EXPECT_FALSE(info.regression);
+}
+
 TEST(BenchDiffTest, MembershipChangesAreReportedNotFlagged) {
   BenchDiff diff = DiffMetrics(Snapshot("\"old\": 1", "", ""),
                                Snapshot("\"new\": 1", "", ""));

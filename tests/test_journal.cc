@@ -308,7 +308,7 @@ TEST(MultiSwitchJournal, FlowModsAttributedPerSwitch) {
   runtime.FullCompile();
 
   MultiSwitchDeployment deployment(runtime.topology(), 2);
-  deployment.SetJournal(runtime.journal());
+  deployment.SetSinks(runtime.sinks());
   const std::uint64_t before = runtime.journal()->next_seq();
   deployment.Install(runtime.data_plane().table().rules());
 

@@ -7,9 +7,12 @@
 #include <cctype>
 #include <set>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "obs/drop_reason.h"
 #include "obs/metrics.h"
+#include "obs/sharded.h"
 #include "obs/timer.h"
 #include "obs/trace.h"
 
@@ -471,6 +474,175 @@ TEST(MetricsSnapshot, ToTextMentionsEveryMetric) {
   EXPECT_NE(text.find("a.count"), std::string::npos);
   EXPECT_NE(text.find("b.fill"), std::string::npos);
   EXPECT_NE(text.find("c.seconds"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded hot-path counters (DESIGN.md §10)
+
+TEST(ShardedCounter, CountsAndResets) {
+  ShardedCounter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(9);
+  EXPECT_EQ(c.value(), 10u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ShardedCounter, MergesIncrementsAcrossThreads) {
+  ShardedCounter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Quiescent read: every increment is visible.
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(ShardedDropCounters, SnapshotMatchesThePlainCounters) {
+  ShardedDropCounters sharded;
+  sharded.Record(DropReason::kTableMiss);
+  sharded.Record(DropReason::kTableMiss);
+  sharded.Record(DropReason::kNoFibRoute);
+  EXPECT_EQ(sharded.count(DropReason::kTableMiss), 2u);
+  EXPECT_EQ(sharded.total(), 3u);
+
+  const DropCounters snap = sharded.Snapshot();
+  for (DropReason reason : kAllDropReasons) {
+    EXPECT_EQ(snap.count(reason), sharded.count(reason))
+        << DropReasonName(reason);
+  }
+  EXPECT_EQ(snap.total(), 3u);
+
+  sharded.Reset();
+  EXPECT_EQ(sharded.total(), 0u);
+}
+
+TEST(ShardedDropCounters, ConcurrentRecordsAllLand) {
+  ShardedDropCounters drops;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&drops, t] {
+      const DropReason reason =
+          t % 2 == 0 ? DropReason::kExplicitDrop : DropReason::kNoFibRoute;
+      for (int i = 0; i < kPerThread; ++i) drops.Record(reason);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(drops.total(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(drops.count(DropReason::kExplicitDrop),
+            drops.count(DropReason::kNoFibRoute));
+}
+
+TEST(ShardedHistogram, BucketsLikeThePlainHistogram) {
+  ShardedHistogram sharded({1.0, 10.0, 100.0});
+  Histogram plain({1.0, 10.0, 100.0});
+  for (double v : {0.5, 1.0, 5.0, 100.0, 1e6}) {
+    sharded.Observe(v);
+    plain.Observe(v);
+  }
+  EXPECT_EQ(sharded.count(), plain.count());
+  EXPECT_EQ(sharded.bucket_counts(), plain.bucket_counts());
+  EXPECT_DOUBLE_EQ(sharded.min(), plain.min());
+  EXPECT_DOUBLE_EQ(sharded.max(), plain.max());
+  // Sum is kept in integer nanounits: equal within that granularity.
+  EXPECT_NEAR(sharded.sum(), plain.sum(), 1e-6 * plain.count());
+
+  sharded.Reset();
+  EXPECT_EQ(sharded.count(), 0u);
+  EXPECT_EQ(sharded.sum(), 0.0);
+  EXPECT_EQ(sharded.min(), 0.0);
+  EXPECT_EQ(sharded.max(), 0.0);
+}
+
+TEST(ShardedHistogram, PercentilesComeFromTheSharedHelper) {
+  ShardedHistogram h({10.0, 20.0, 30.0});
+  for (int i = 1; i <= 10; ++i) h.Observe(10.0 + i);
+  const double p50 = PercentileFromBuckets(h.upper_bounds(),
+                                           h.bucket_counts(), h.count(),
+                                           h.min(), h.max(), 0.5);
+  EXPECT_GE(p50, 10.0);
+  EXPECT_LE(p50, 20.0);
+}
+
+TEST(ShardedHistogram, ConcurrentObservationsMergeExactly) {
+  ShardedHistogram h({0.25, 0.5, 1.0});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Observe(t % 2 == 0 ? 0.1 : 0.75);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  const auto buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], static_cast<std::uint64_t>(kThreads / 2) *
+                            kPerThread);  // the 0.1 observations
+  EXPECT_EQ(buckets[3], 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.1);
+  EXPECT_DOUBLE_EQ(h.max(), 0.75);
+}
+
+// ---------------------------------------------------------------------------
+// Registry concurrency (satellite: snapshot-vs-increment races). Run under
+// TSan these would flag any unsynchronized metric access.
+
+TEST(MetricsRegistry, SnapshotIsSafeAgainstConcurrentMutation) {
+  MetricsRegistry registry;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&registry, &stop, t] {
+      const std::string name = "w" + std::to_string(t);
+      Counter& counter = registry.GetCounter(name + ".count");
+      Gauge& gauge = registry.GetGauge(name + ".fill");
+      Histogram& hist = registry.GetHistogram(name + ".seconds");
+      std::uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        counter.Increment();
+        gauge.Add(0.5);
+        hist.Observe(static_cast<double>(i % 100) * 1e-4);
+        ++i;
+      }
+    });
+  }
+  // Readers snapshot while writers mutate AND register new metrics.
+  for (int round = 0; round < 50; ++round) {
+    registry.GetCounter("reader.round" + std::to_string(round)).Increment();
+    const MetricsSnapshot snap = registry.Snapshot();
+    for (const auto& [name, view] : snap.histograms) {
+      // Internal consistency of each histogram view: buckets sum to count.
+      std::uint64_t bucket_sum = 0;
+      for (std::uint64_t b : view.bucket_counts) bucket_sum += b;
+      EXPECT_EQ(bucket_sum, view.count) << name;
+    }
+  }
+  stop.store(true);
+  for (auto& t : writers) t.join();
+
+  const MetricsSnapshot final_snap = registry.Snapshot();
+  for (int t = 0; t < 4; ++t) {
+    const std::string name = "w" + std::to_string(t);
+    // Quiescent: counter, gauge, and histogram all saw the same event count.
+    EXPECT_EQ(final_snap.counters.at(name + ".count"),
+              final_snap.histograms.at(name + ".seconds").count);
+    EXPECT_DOUBLE_EQ(
+        final_snap.gauges.at(name + ".fill"),
+        0.5 * static_cast<double>(final_snap.counters.at(name + ".count")));
+  }
 }
 
 // ---------------------------------------------------------------------------

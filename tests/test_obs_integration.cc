@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "sdx/multi_switch.h"
 #include "sdx/runtime.h"
 
 namespace sdx::core {
@@ -313,6 +314,118 @@ TEST_F(ObsIntegrationTest, BgpUpdateMetricsAccumulate) {
       snap.histograms.contains("bgp_update.stage.slice_compile.seconds"));
   // The fast-path singleton group shows up in the synced gauges.
   EXPECT_GT(snap.gauges.at("compile.fast_path_groups"), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Sinks propagation (satellite: one SetSinks wiring point per component)
+
+TEST_F(ObsIntegrationTest, SinksExposeTheRuntimeBackendsAndShareOneJournal) {
+  const obs::Sinks sinks = runtime_.sinks();
+  EXPECT_EQ(sinks.metrics, &runtime_.metrics());
+  EXPECT_EQ(sinks.journal, runtime_.journal());
+  EXPECT_EQ(sinks.flows, nullptr);  // flow telemetry is off by default
+  ASSERT_NE(sinks.journal, nullptr);
+
+  // The data plane's wired journal IS the runtime's: a sentinel recorded
+  // through the component handle surfaces in the shared ring.
+  ASSERT_EQ(runtime_.data_plane().table().journal(), runtime_.journal());
+  const std::uint64_t before = sinks.journal->next_seq();
+  runtime_.data_plane().table().journal()->Record(
+      obs::JournalEventType::kCompileBegin, obs::kNoUpdateId,
+      /*arg0=*/424242);
+  const auto events = runtime_.journal()->TailSince(before);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].arg0, 424242u);
+}
+
+TEST_F(ObsIntegrationTest, MultiSwitchSetSinksPropagatesTheSharedJournal) {
+  MultiSwitchDeployment deployment(runtime_.topology(), 1);
+  deployment.SetSinks(runtime_.sinks());
+  const std::uint64_t before = runtime_.journal()->next_seq();
+  deployment.Install(runtime_.data_plane().table().rules());
+  // The deployment's switches journaled their installs into the runtime's
+  // ring — no per-component journal, one flight recorder.
+  bool saw_flow_mod = false;
+  for (const obs::JournalEvent& e : runtime_.journal()->TailSince(before)) {
+    saw_flow_mod = saw_flow_mod ||
+                   e.type == obs::JournalEventType::kFlowRulesBulk ||
+                   e.type == obs::JournalEventType::kFlowRuleInstall;
+  }
+  EXPECT_TRUE(saw_flow_mod);
+}
+
+// ---------------------------------------------------------------------------
+// Flow telemetry (DESIGN.md §10)
+
+TEST_F(ObsIntegrationTest, EnableFlowTelemetryWiresRecorderIntoSinks) {
+  EXPECT_EQ(runtime_.flow_recorder(), nullptr);
+  obs::FlowRecorder::Options options;
+  options.sample_rate = 1;
+  runtime_.EnableFlowTelemetry(options);
+  ASSERT_NE(runtime_.flow_recorder(), nullptr);
+  EXPECT_EQ(runtime_.sinks().flows, runtime_.flow_recorder());
+  EXPECT_EQ(runtime_.data_plane().flow_recorder(), runtime_.flow_recorder());
+
+  runtime_.DisableFlowTelemetry();
+  EXPECT_EQ(runtime_.flow_recorder(), nullptr);
+  EXPECT_EQ(runtime_.sinks().flows, nullptr);
+  EXPECT_EQ(runtime_.data_plane().flow_recorder(), nullptr);
+}
+
+TEST_F(ObsIntegrationTest, FlowRecordsResolveParticipantsAndFec) {
+  obs::FlowRecorder::Options options;
+  options.sample_rate = 1;  // record every packet: deterministic counts
+  runtime_.EnableFlowTelemetry(options);
+
+  ASSERT_EQ(runtime_.InjectFromParticipant(kA, PacketToPrefix(1, 80)).size(),
+            1u);
+  obs::FlowRecorder* recorder = runtime_.flow_recorder();
+  EXPECT_EQ(recorder->packets_seen(), 1u);
+  recorder->FlushAll();
+  const auto records = recorder->Drain();
+  ASSERT_EQ(records.size(), 1u);
+  // Port owners were seeded from the topology: A sent, B's port received
+  // (A's web traffic goes to B per the outbound policy).
+  EXPECT_EQ(records[0].src_as, kA);
+  EXPECT_EQ(records[0].dst_as, kB);
+  // The FEC tag is the ingress VMAC the route server assigned: non-zero
+  // for a forwarded packet.
+  EXPECT_NE(records[0].fec, 0u);
+  EXPECT_EQ(records[0].sampled_packets, 1u);
+  EXPECT_EQ(records[0].est_packets, 1u);
+
+  // The telemetry self-metrics land in the runtime snapshot.
+  const obs::MetricsSnapshot snap = runtime_.SnapshotMetrics();
+  EXPECT_EQ(snap.counters.at("telemetry.packets_seen"), 1u);
+  EXPECT_EQ(snap.counters.at("telemetry.flows_exported"), 1u);
+}
+
+TEST_F(ObsIntegrationTest, FlowTelemetryDoesNotChangeForwarding) {
+  // The oracle property in miniature: the same packet set produces
+  // byte-identical emissions with telemetry off and on.
+  const std::vector<net::Packet> packets = {
+      PacketToPrefix(1, 80),  PacketToPrefix(3, 443), PacketToPrefix(2, 80),
+      PacketToPrefix(4, 443), PacketToPrefix(1, 22),
+  };
+  std::vector<std::vector<dataplane::Emission>> off;
+  for (const auto& packet : packets) {
+    off.push_back(runtime_.InjectFromParticipant(kA, packet));
+  }
+
+  obs::FlowRecorder::Options options;
+  options.sample_rate = 2;
+  runtime_.EnableFlowTelemetry(options);
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    const auto on = runtime_.InjectFromParticipant(kA, packets[i]);
+    ASSERT_EQ(on.size(), off[i].size()) << "packet " << i;
+    for (std::size_t j = 0; j < on.size(); ++j) {
+      EXPECT_EQ(on[j].out_port, off[i][j].out_port) << "packet " << i;
+      EXPECT_EQ(on[j].packet.header, off[i][j].packet.header) << "packet "
+                                                              << i;
+      EXPECT_EQ(on[j].packet.size_bytes, off[i][j].packet.size_bytes);
+    }
+  }
+  EXPECT_GT(runtime_.flow_recorder()->packets_seen(), 0u);
 }
 
 }  // namespace

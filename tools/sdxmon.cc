@@ -14,6 +14,11 @@
 //   sdxmon diff  <before.json> <after.json> [threshold flags]
 //                                         bench-metrics regression differ;
 //                                         exits 1 when a threshold trips
+//   sdxmon health <health.json>           renders a HealthReport export;
+//                                         exits 1 on "degraded" status (the
+//                                         CI smoke step relies on this)
+//   sdxmon flows <flows.jsonl> [--top=N]  renders FlowRecorder JSONL: top-N
+//                                         flows by estimated bytes + totals
 //
 // diff flags (defaults in obs/bench_diff.h):
 //   --max-counter-rel=R  --min-counter-abs=N
@@ -24,6 +29,7 @@
 //   --noise-floor-us=U
 //
 // Exit codes: 0 ok, 1 regression detected (diff only), 2 usage/IO/parse.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -57,7 +63,10 @@ int Usage() {
       "        [--max-counter-rel=R] [--min-counter-abs=N]\n"
       "        [--max-batch-counter-rel=R] [--min-batch-counter-abs=N]\n"
       "        [--max-p50-ratio=R] [--max-p95-ratio=R] [--max-p99-ratio=R]\n"
-      "        [--noise-floor-us=U]\n";
+      "        [--noise-floor-us=U] [--max-telemetry-overhead=R]\n"
+      "  health <health.json>                render a runtime health\n"
+      "                                      snapshot; exit 1 on degraded\n"
+      "  flows <flows.jsonl> [--top=N]       render sampled flow records\n";
   return kExitUsage;
 }
 
@@ -228,6 +237,8 @@ int CmdDiff(const std::vector<std::string>& args) {
       options.max_p99_ratio = std::stod(value);
     } else if (FlagValue(args[i], "--noise-floor-us", &value)) {
       options.noise_floor_seconds = std::stod(value) * 1e-6;
+    } else if (FlagValue(args[i], "--max-telemetry-overhead", &value)) {
+      options.max_telemetry_overhead = std::stod(value);
     } else {
       return Usage();
     }
@@ -237,6 +248,97 @@ int CmdDiff(const std::vector<std::string>& args) {
       sdx::obs::json::Parse(ReadFile(args[1])), options);
   std::cout << diff.Render();
   return diff.regression ? kExitRegression : kExitOk;
+}
+
+int CmdHealth(const std::vector<std::string>& args) {
+  if (args.size() != 1) return Usage();
+  const sdx::obs::json::Value doc =
+      sdx::obs::json::Parse(ReadFile(args[0]));
+  const auto* status = doc.Find("status");
+  if (status == nullptr || !status->is_string()) {
+    throw std::runtime_error("not a health snapshot (missing \"status\")");
+  }
+  std::cout << "status: " << status->string << "\n";
+  const auto* reasons = doc.Find("reasons");
+  if (reasons != nullptr && !reasons->array.empty()) {
+    for (const auto& reason : reasons->array) {
+      std::cout << "  reason: " << reason.string << "\n";
+    }
+  }
+  std::cout << "ingest:   queue_depth=" << doc.NumberAt("queue_depth")
+            << " batch_lag=" << sdx::obs::json::Number(
+                                   doc.NumberAt("batch_lag_seconds"))
+            << "s updates_processed=" << doc.NumberAt("updates_processed")
+            << "\n";
+  std::cout << "last:     decision="
+            << sdx::obs::json::Number(doc.NumberAt("last_decision_seconds"))
+            << "s compile="
+            << sdx::obs::json::Number(doc.NumberAt("last_compile_seconds"))
+            << "s flush="
+            << sdx::obs::json::Number(doc.NumberAt("last_flush_seconds"))
+            << "s\n";
+  std::cout << "sizes:    rib_prefixes=" << doc.NumberAt("rib_prefixes")
+            << " flow_table_rules=" << doc.NumberAt("flow_table_rules")
+            << " participants=" << doc.NumberAt("participants") << "\n";
+  std::cout << "drops:    total=" << doc.NumberAt("total_drops")
+            << " table_miss=" << doc.NumberAt("table_miss_drops") << "\n";
+  const auto* flaps = doc.Find("flap_rates");
+  if (flaps != nullptr && !flaps->object.empty()) {
+    std::cout << "flap rates (updates/s):\n";
+    for (const auto& [as, rate] : flaps->object) {
+      std::cout << "  as" << as << " = "
+                << sdx::obs::json::Number(rate.number) << "\n";
+    }
+  }
+  return status->string == "degraded" ? kExitRegression : kExitOk;
+}
+
+int CmdFlows(const std::vector<std::string>& args) {
+  if (args.empty() || args.size() > 2) return Usage();
+  std::size_t top = 20;
+  if (args.size() == 2) {
+    std::string value;
+    if (!FlagValue(args[1], "--top", &value)) return Usage();
+    top = std::stoull(value);
+  }
+  std::istringstream is(ReadFile(args[0]));
+  std::string line;
+  std::vector<sdx::obs::json::Value> records;
+  std::uint64_t total_est_packets = 0, total_est_bytes = 0;
+  while (std::getline(is, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    records.push_back(sdx::obs::json::Parse(line));
+    total_est_packets +=
+        static_cast<std::uint64_t>(records.back().NumberAt("est_packets"));
+    total_est_bytes +=
+        static_cast<std::uint64_t>(records.back().NumberAt("est_bytes"));
+  }
+  std::sort(records.begin(), records.end(),
+            [](const sdx::obs::json::Value& a, const sdx::obs::json::Value& b) {
+              return a.NumberAt("est_bytes") > b.NumberAt("est_bytes");
+            });
+  std::cout << records.size() << " flow record(s), est "
+            << total_est_packets << " packets / " << total_est_bytes
+            << " bytes total\n";
+  std::cout << "  in->out  src_as->dst_as      cookie  prio      "
+               "est_pkts     est_bytes  close\n";
+  for (std::size_t i = 0; i < records.size() && i < top; ++i) {
+    const auto& r = records[i];
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%5.0f->%-5.0f %6.0f->%-8.0f %9.0f  %4.0f  %12.0f  "
+                  "%12.0f  %s",
+                  r.NumberAt("in_port"), r.NumberAt("out_port"),
+                  r.NumberAt("src_as"), r.NumberAt("dst_as"),
+                  r.NumberAt("cookie"), r.NumberAt("priority"),
+                  r.NumberAt("est_packets"), r.NumberAt("est_bytes"),
+                  r.StringAt("close").c_str());
+    std::cout << buf << "\n";
+  }
+  if (records.size() > top) {
+    std::cout << "  ... " << (records.size() - top) << " more\n";
+  }
+  return kExitOk;
 }
 
 }  // namespace
@@ -250,6 +352,8 @@ int main(int argc, char** argv) {
     if (command == "tail") return CmdTail(args);
     if (command == "chain") return CmdChain(args);
     if (command == "diff") return CmdDiff(args);
+    if (command == "health") return CmdHealth(args);
+    if (command == "flows") return CmdFlows(args);
   } catch (const std::exception& e) {
     std::cerr << "sdxmon: " << e.what() << "\n";
     return kExitUsage;
