@@ -26,6 +26,9 @@ void MultiSwitchFabric::Connect(SwitchId a, net::PortId a_port, SwitchId b,
   }
   links_[{a, a_port}] = Endpoint{b, b_port};
   links_[{b, b_port}] = Endpoint{a, a_port};
+  // Link endpoints are part of each switch's declared port space.
+  switches_.at(a).RegisterPort(a_port);
+  switches_.at(b).RegisterPort(b_port);
 }
 
 void MultiSwitchFabric::AssignEdgePort(net::PortId port, SwitchId switch_id) {
@@ -33,6 +36,7 @@ void MultiSwitchFabric::AssignEdgePort(net::PortId port, SwitchId switch_id) {
     throw std::invalid_argument("edge port on unknown switch");
   }
   edge_ports_[port] = switch_id;
+  switches_.at(switch_id).RegisterPort(port);
 }
 
 std::optional<SwitchId> MultiSwitchFabric::SwitchOfEdgePort(
@@ -47,23 +51,18 @@ bool MultiSwitchFabric::IsInternalPort(SwitchId switch_id,
   return links_.contains({switch_id, port});
 }
 
-std::vector<Emission> MultiSwitchFabric::ProcessFromEdge(
-    const net::Packet& packet, int max_hops) {
-  std::vector<Emission> out;
+void MultiSwitchFabric::ProcessFromEdgeInto(const net::Packet& packet,
+                                            int max_hops,
+                                            std::deque<InFlight>& queue,
+                                            std::vector<Emission>& out) {
   auto entry = SwitchOfEdgePort(packet.header.in_port);
   if (!entry) {
     // Traffic entering outside the declared edge-port space violates the
     // fabric's isolation contract.
     drops_.Record(obs::DropReason::kIsolationViolation);
-    return out;
+    return;
   }
 
-  struct InFlight {
-    SwitchId at;
-    net::Packet packet;
-    int hops;
-  };
-  std::deque<InFlight> queue;
   queue.push_back({*entry, packet, 0});
 
   while (!queue.empty()) {
@@ -73,11 +72,24 @@ std::vector<Emission> MultiSwitchFabric::ProcessFromEdge(
     for (Emission& emission : sw.Process(current.packet)) {
       auto link = links_.find({current.at, emission.out_port});
       if (link == links_.end()) {
+        // Not a link: only a declared edge port *owned by the emitting
+        // switch* may leave the fabric. Anything else — an undeclared
+        // port, or another switch's edge port — is a rule set violating
+        // isolation; drop it and undo the emission's tx accounting.
+        auto owner = edge_ports_.find(emission.out_port);
+        if (owner == edge_ports_.end() || owner->second != current.at) {
+          drops_.Record(obs::DropReason::kIsolationViolation);
+          sw.UnrecordTx(emission.out_port, emission.packet.size_bytes);
+          continue;
+        }
         out.push_back(std::move(emission));  // edge emission
         continue;
       }
       if (current.hops + 1 > max_hops) {
+        // The packet never actually left the emitting switch: reverse its
+        // tx accounting so port stats reflect emission fate.
         drops_.Record(obs::DropReason::kHopLimit);
+        sw.UnrecordTx(emission.out_port, emission.packet.size_bytes);
         continue;
       }
       // Cross the internal link: the packet arrives at the far switch on
@@ -89,6 +101,24 @@ std::vector<Emission> MultiSwitchFabric::ProcessFromEdge(
       next.hops = current.hops + 1;
       queue.push_back(std::move(next));
     }
+  }
+}
+
+std::vector<Emission> MultiSwitchFabric::ProcessFromEdge(
+    const net::Packet& packet, int max_hops) {
+  std::vector<Emission> out;
+  std::deque<InFlight> queue;
+  ProcessFromEdgeInto(packet, max_hops, queue, out);
+  return out;
+}
+
+std::vector<Emission> MultiSwitchFabric::ProcessFromEdgeBatch(
+    std::span<const net::Packet> packets, int max_hops) {
+  std::vector<Emission> out;
+  out.reserve(packets.size());
+  std::deque<InFlight> queue;
+  for (const net::Packet& packet : packets) {
+    ProcessFromEdgeInto(packet, max_hops, queue, out);
   }
   return out;
 }

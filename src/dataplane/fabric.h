@@ -10,8 +10,10 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "dataplane/switch.h"
@@ -43,9 +45,19 @@ class MultiSwitchFabric {
 
   // Runs a packet (header.in_port = an edge port) through the fabric.
   // Returns the edge emissions. Packets exceeding `max_hops` internal hops
-  // are dropped and counted.
+  // are dropped and counted. An emission on a port that is neither an
+  // internal link nor a declared edge port *of the emitting switch* is an
+  // isolation violation: it is dropped (and the emitting switch's tx
+  // accounting reversed), never surfaced as an edge emission.
   std::vector<Emission> ProcessFromEdge(const net::Packet& packet,
                                         int max_hops = 8);
+
+  // Batched variant: every packet through the fabric, emissions
+  // concatenated in packet order. Observably identical to calling
+  // ProcessFromEdge() per packet, but reuses the in-flight queue and the
+  // output vector across the whole batch.
+  std::vector<Emission> ProcessFromEdgeBatch(
+      std::span<const net::Packet> packets, int max_hops = 8);
 
   std::uint64_t hop_limit_drops() const {
     return drops_.count(obs::DropReason::kHopLimit);
@@ -69,6 +81,18 @@ class MultiSwitchFabric {
     SwitchId switch_id = 0;
     net::PortId port = net::kNoPort;
   };
+
+  struct InFlight {
+    SwitchId at = 0;
+    net::Packet packet;
+    int hops = 0;
+  };
+
+  // One packet through the fabric, appending edge emissions to `out`.
+  // `queue` is caller-owned scratch so batches reuse its storage.
+  void ProcessFromEdgeInto(const net::Packet& packet, int max_hops,
+                           std::deque<InFlight>& queue,
+                           std::vector<Emission>& out);
 
   std::map<SwitchId, SwitchDataPlane> switches_;
   // (switch, port) -> far end of the internal link.

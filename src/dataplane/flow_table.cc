@@ -4,6 +4,27 @@
 
 namespace sdx::dataplane {
 
+namespace {
+// Install bursts longer than this recompile from scratch rather than
+// replaying per-rule inserts: one O(rules) rebuild beats many O(entries)
+// shift passes.
+constexpr std::size_t kMaxPendingInserts = 32;
+}  // namespace
+
+void FlowTable::NoteMutation(std::size_t insert_pos) {
+  ++version_;
+  if (insert_pos == kBulkChange || pending_full_ ||
+      pending_inserts_.size() >= kMaxPendingInserts ||
+      compiled_version_.load(std::memory_order_relaxed) == 0) {
+    // Bulk change, overflowed log, or nothing compiled yet to patch:
+    // the next compile rebuilds from scratch.
+    pending_full_ = true;
+    pending_inserts_.clear();
+    return;
+  }
+  pending_inserts_.push_back(insert_pos);
+}
+
 void FlowTable::Install(FlowRule rule) {
   if (journal_ != nullptr) {
     journal_->Record(obs::JournalEventType::kFlowRuleInstall,
@@ -18,11 +39,14 @@ void FlowTable::Install(FlowRule rule) {
       [](std::int32_t priority, const FlowRule& r) {
         return priority > r.priority;
       });
+  const auto index = static_cast<std::size_t>(pos - rules_.begin());
   rules_.insert(pos, std::move(rule));
+  NoteMutation(index);
 }
 
 void FlowTable::InstallAll(std::vector<FlowRule> rules) {
-  if (journal_ != nullptr && !rules.empty()) {
+  if (rules.empty()) return;
+  if (journal_ != nullptr) {
     journal_->Record(obs::JournalEventType::kFlowRulesBulk,
                      journal_->current_update_id(), switch_id_,
                      rules.size(), rules.front().cookie);
@@ -33,6 +57,7 @@ void FlowTable::InstallAll(std::vector<FlowRule> rules) {
                    });
   if (rules_.empty()) {
     rules_ = std::move(rules);
+    NoteMutation(kBulkChange);
     return;
   }
   std::vector<FlowRule> merged;
@@ -44,6 +69,7 @@ void FlowTable::InstallAll(std::vector<FlowRule> rules) {
                return a.priority > b.priority;
              });
   rules_ = std::move(merged);
+  NoteMutation(kBulkChange);
 }
 
 std::size_t FlowTable::RemoveByCookie(Cookie cookie) {
@@ -69,23 +95,78 @@ std::size_t FlowTable::RemoveByCookie(Cookie cookie) {
                      journal_->current_update_id(), switch_id_, removed,
                      cookie);
   }
+  if (removed > 0) NoteMutation(kBulkChange);
   return removed;
 }
 
 void FlowTable::Clear() {
-  if (journal_ != nullptr && !rules_.empty()) {
+  if (rules_.empty()) return;
+  if (journal_ != nullptr) {
     journal_->Record(obs::JournalEventType::kFlowRulesRetire,
                      journal_->current_update_id(), switch_id_, rules_.size(),
                      kNoCookie, "clear");
   }
   rules_.clear();
+  NoteMutation(kBulkChange);
 }
 
-const FlowRule* FlowTable::Lookup(const net::PacketHeader& header) const {
+void FlowTable::Compile() const {
+  std::lock_guard<std::mutex> lock(compile_mu_);
+  if (compiled_version_.load(std::memory_order_relaxed) == version_) return;
+  if (!pending_full_ && !pending_inserts_.empty() &&
+      compiled_version_.load(std::memory_order_relaxed) +
+              pending_inserts_.size() ==
+          version_) {
+    // Every version bump since the last compile was a logged single-rule
+    // insert. Each logged position is relative to the vector state at its
+    // own install time, but InsertRule reads from the *current* vector —
+    // so first map every logged position to where that rule sits now
+    // (each later insert at or below it shifted it up by one; O(k²) with
+    // k ≤ kMaxPendingInserts), then replay in ascending current-position
+    // order, which reconstructs the current vector exactly: an earlier
+    // (lower) insert is never displaced by a later (higher) one, and an
+    // existing entry is shifted once per new rule at or below it.
+    std::vector<std::size_t> positions(pending_inserts_.begin(),
+                                       pending_inserts_.end());
+    for (std::size_t j = 1; j < positions.size(); ++j) {
+      for (std::size_t i = 0; i < j; ++i) {
+        if (positions[i] >= pending_inserts_[j]) ++positions[i];
+      }
+    }
+    std::sort(positions.begin(), positions.end());
+    for (const std::size_t pos : positions) {
+      classifier_.InsertRule(rules_, pos);
+    }
+  } else {
+    classifier_.Build(rules_);
+  }
+  pending_inserts_.clear();
+  pending_full_ = false;
+  compiled_version_.store(version_, std::memory_order_release);
+}
+
+const FlowRule* FlowTable::LinearLookup(const net::PacketHeader& header) const {
   for (const FlowRule& rule : rules_) {
     if (rule.match.Matches(header)) return &rule;
   }
   return nullptr;
+}
+
+const FlowRule* FlowTable::Lookup(const net::PacketHeader& header) const {
+  if (backend_ == Backend::kCompiled) {
+    if (compiled_version_.load(std::memory_order_acquire) != version_) {
+      Compile();
+    }
+    // The guard: only a compile of exactly the current rule set is ever
+    // consulted. (After Compile() this always holds; the check is the
+    // invariant, not an expected branch.)
+    if (compiled_version_.load(std::memory_order_acquire) == version_) {
+      const std::uint32_t index = classifier_.LookupIndex(header);
+      return index == CompiledClassifier::kNotFound ? nullptr
+                                                    : &rules_[index];
+    }
+  }
+  return LinearLookup(header);
 }
 
 const FlowRule* FlowTable::ProcessMatched(const net::Packet& packet) const {

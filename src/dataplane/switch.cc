@@ -2,31 +2,55 @@
 
 namespace sdx::dataplane {
 
-std::vector<Emission> SwitchDataPlane::Process(const net::Packet& packet) {
-  PortStats& in_stats = port_stats_[packet.header.in_port];
-  in_stats.rx_packets += 1;
-  in_stats.rx_bytes += packet.size_bytes;
+PortStats* SwitchDataPlane::StatsSlot(net::PortId port) {
+  auto it = port_stats_.find(port);
+  if (it != port_stats_.end()) return &it->second;
+  if (port_stats_.size() >= max_tracked_ports_ &&
+      !registered_ports_.contains(port)) {
+    return nullptr;
+  }
+  return &port_stats_[port];
+}
+
+void SwitchDataPlane::ProcessInto(const net::Packet& packet,
+                                  std::vector<Emission>& out) {
+  if (strict_ingress_ &&
+      !registered_ports_.contains(packet.header.in_port)) {
+    drops_.Record(obs::DropReason::kIsolationViolation);
+    return;
+  }
+  PortStats* in_stats = StatsSlot(packet.header.in_port);
+  if (in_stats == nullptr) {
+    // Undeclared ingress beyond the tracking cap: refuse it rather than
+    // forwarding traffic the stats plane cannot account for.
+    drops_.Record(obs::DropReason::kIsolationViolation);
+    return;
+  }
+  in_stats->rx_packets += 1;
+  in_stats->rx_bytes += packet.size_bytes;
 
   const FlowRule* rule = table_.ProcessMatched(packet);
-  std::vector<Emission> out;
   if (rule == nullptr) {
     drops_.Record(obs::DropReason::kTableMiss);
-    return out;
+    return;
   }
   if (rule->actions.empty()) {
     drops_.Record(obs::DropReason::kExplicitDrop);
-    return out;
+    return;
   }
-  out.reserve(rule->actions.size());
+  // Only pre-size a fresh vector: in a batch, push_back's geometric
+  // growth beats repeated exact reserves.
+  if (out.capacity() == 0) out.reserve(rule->actions.size());
   for (const Action& action : rule->actions) {
     Emission emission;
     emission.out_port = action.out_port;
     emission.packet = packet;
     action.rewrites.ApplyTo(emission.packet.header);
     emission.packet.header.in_port = net::kNoPort;  // no longer meaningful
-    PortStats& out_stats = port_stats_[action.out_port];
-    out_stats.tx_packets += 1;
-    out_stats.tx_bytes += emission.packet.size_bytes;
+    if (PortStats* out_stats = StatsSlot(action.out_port)) {
+      out_stats->tx_packets += 1;
+      out_stats->tx_bytes += emission.packet.size_bytes;
+    }
     if (recorder_ != nullptr) {
       // FEC tag = the dst MAC on ingress: the VMAC the route server put
       // there names the forwarding equivalence class (DESIGN.md §3),
@@ -40,7 +64,25 @@ std::vector<Emission> SwitchDataPlane::Process(const net::Packet& packet) {
     }
     out.push_back(std::move(emission));
   }
+}
+
+std::vector<Emission> SwitchDataPlane::Process(const net::Packet& packet) {
+  std::vector<Emission> out;
+  ProcessInto(packet, out);
   return out;
+}
+
+std::vector<Emission> SwitchDataPlane::ProcessBatch(
+    std::span<const net::Packet> packets) {
+  std::vector<Emission> out;
+  out.reserve(packets.size());  // one emission per packet is the norm
+  for (const net::Packet& packet : packets) ProcessInto(packet, out);
+  return out;
+}
+
+void SwitchDataPlane::RegisterPort(net::PortId port) {
+  registered_ports_.insert(port);
+  port_stats_[port];  // slot exists regardless of the tracking cap
 }
 
 const PortStats& SwitchDataPlane::StatsFor(net::PortId port) const {
@@ -49,8 +91,16 @@ const PortStats& SwitchDataPlane::StatsFor(net::PortId port) const {
   return it == port_stats_.end() ? kEmpty : it->second;
 }
 
+void SwitchDataPlane::UnrecordTx(net::PortId port, std::uint32_t bytes) {
+  auto it = port_stats_.find(port);
+  if (it == port_stats_.end()) return;
+  it->second.tx_packets -= 1;
+  it->second.tx_bytes -= bytes;
+}
+
 void SwitchDataPlane::ResetStats() {
   port_stats_.clear();
+  for (const net::PortId port : registered_ports_) port_stats_[port];
   drops_.Reset();
   table_.ResetCounters();
 }

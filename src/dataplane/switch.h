@@ -5,10 +5,19 @@
 // priority matching, multi-field matches, header rewrites, unicast or
 // multicast output, and drop-on-miss (the SDX always installs a lowest-
 // priority catch-all, so misses indicate a compiler bug and are counted).
+//
+// Port accounting is bounded: stats entries are auto-created on first use
+// up to a cap, beyond which packets from never-seen ingress ports are
+// dropped as isolation violations instead of growing the table — garbage
+// traffic can no longer allocate unbounded per-port state. Deployments
+// that know their port space pre-register it (RegisterPort); strict mode
+// (SetStrictIngress) then refuses any undeclared ingress outright.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "dataplane/flow_table.h"
@@ -34,6 +43,9 @@ struct PortStats {
 
 class SwitchDataPlane {
  public:
+  // Default cap on distinct ports the stats table will track.
+  static constexpr std::size_t kDefaultMaxTrackedPorts = 8192;
+
   FlowTable& table() { return table_; }
   const FlowTable& table() const { return table_; }
 
@@ -42,7 +54,36 @@ class SwitchDataPlane {
   // (empty on drop or miss).
   std::vector<Emission> Process(const net::Packet& packet);
 
+  // Batched variant: runs every packet through the flow table and returns
+  // the concatenated emissions in packet order. Observably identical to
+  // calling Process() per packet (same counters, drops, telemetry, and
+  // emission order) but amortizes the per-call output allocation and
+  // keeps the lookup loop tight — the DPDK-style fast path the Mpps
+  // microbench drives.
+  std::vector<Emission> ProcessBatch(std::span<const net::Packet> packets);
+
+  // Declares a port so its stats slot always exists (never subject to the
+  // tracking cap) and so strict-ingress mode admits it.
+  void RegisterPort(net::PortId port);
+  bool IsRegisteredPort(net::PortId port) const {
+    return registered_ports_.contains(port);
+  }
+
+  // Strict mode: ingress on any unregistered port is dropped and counted
+  // as an isolation violation. Off by default (open mode), where unknown
+  // ports are admitted and tracked until the cap is reached.
+  void SetStrictIngress(bool strict) { strict_ingress_ = strict; }
+
+  // Caps auto-created port-stats entries (registered ports always fit).
+  // Ingress on a never-seen port beyond the cap is dropped and counted.
+  void SetMaxTrackedPorts(std::size_t max) { max_tracked_ports_ = max; }
+
   const PortStats& StatsFor(net::PortId port) const;
+
+  // Reverses the tx accounting of one emission. The fabric calls this
+  // when it drops an already-emitted packet (hop limit, edge-port
+  // ownership violation) so tx counters reflect actual emission fate.
+  void UnrecordTx(net::PortId port, std::uint32_t bytes);
 
   // Per-reason drop accounting: table misses vs explicit drop rules.
   // Sharded on the record path; reads return a merged value snapshot.
@@ -58,8 +99,19 @@ class SwitchDataPlane {
   void ResetStats();
 
  private:
+  // Appends this packet's emissions to `out` (shared by the single-packet
+  // and batched entry points).
+  void ProcessInto(const net::Packet& packet, std::vector<Emission>& out);
+
+  // Stats slot for `port`, auto-creating within the cap; nullptr when the
+  // port is unknown and the table is full.
+  PortStats* StatsSlot(net::PortId port);
+
   FlowTable table_;
   std::unordered_map<net::PortId, PortStats> port_stats_;
+  std::unordered_set<net::PortId> registered_ports_;
+  bool strict_ingress_ = false;
+  std::size_t max_tracked_ports_ = kDefaultMaxTrackedPorts;
   obs::ShardedDropCounters drops_;
   obs::FlowRecorder* recorder_ = nullptr;
 };

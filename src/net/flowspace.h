@@ -14,7 +14,9 @@
 // that can produce it return std::optional.
 #pragma once
 
+#include <array>
 #include <compare>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
@@ -119,6 +121,51 @@ class FieldMatch {
 std::ostream& operator<<(std::ostream& os, const FieldMatch& match);
 
 std::size_t HashValue(const FieldMatch& match);
+
+// --- Mask extraction for compiled classifiers -------------------------
+//
+// A MaskSignature names which fields a match constrains — and, for the IP
+// fields, at which prefix length. Every exact-match field is an implicit
+// full-width mask, so two matches with the same signature differ only in
+// the constrained *values*: projecting both a match and a packet header
+// onto the signature reduces "does the packet match?" to key equality.
+// This is the decomposition tuple-space-search classifiers are built on
+// (dataplane/classifier.h): one hash table per signature.
+
+// Bit for `field` in MaskSignature::fields (Field has exactly 8 members).
+constexpr std::uint8_t FieldBit(Field field) {
+  return static_cast<std::uint8_t>(1u << static_cast<unsigned>(field));
+}
+
+struct MaskSignature {
+  std::uint8_t fields = 0;       // FieldBit(f) set when f is constrained
+  std::uint8_t src_ip_bits = 0;  // prefix length; meaningful iff kSrcIp set
+  std::uint8_t dst_ip_bits = 0;  // prefix length; meaningful iff kDstIp set
+
+  friend constexpr auto operator<=>(const MaskSignature&,
+                                    const MaskSignature&) = default;
+};
+
+// Every header field projected under a signature, packed into four words;
+// unconstrained fields contribute zero. The classifier's correctness
+// hinge, for sig = MaskSignatureOf(m):
+//   m.Matches(h)  <=>  ProjectKey(m, sig) == ProjectKey(h, sig)
+// which holds because non-IP constraints are exact values and IP
+// constraints compare only the top `*_ip_bits` bits on both sides.
+using MaskedKey = std::array<std::uint64_t, 4>;
+
+// The signature of the fields `match` constrains.
+MaskSignature MaskSignatureOf(const FieldMatch& match);
+
+// The match's constrained values under `sig`; `sig` must equal
+// MaskSignatureOf(match).
+MaskedKey ProjectKey(const FieldMatch& match, const MaskSignature& sig);
+
+// The header's fields projected under `sig` (IP fields masked to the
+// signature's prefix lengths).
+MaskedKey ProjectKey(const PacketHeader& header, const MaskSignature& sig);
+
+std::size_t HashValue(const MaskedKey& key);
 
 }  // namespace sdx::net
 

@@ -104,16 +104,25 @@ BenchDiff DiffMetrics(const json::Value& before, const json::Value& after,
        [&](const std::string& name, const json::Value& b,
            const json::Value& a) {
          if (b.number == a.number) return;
-         // Telemetry overhead gauges carry a hard budget; other gauges are
-         // shape descriptions and stay informational.
+         // Two gauges carry hard absolute bands; other gauges are shape
+         // descriptions and stay informational. The telemetry band is the
+         // exact ratio gauge only — its overhead_ns and
+         // overhead_ratio_compiled companions live on other scales.
          bool regressed = false;
          std::string note;
-         if (name.rfind("telemetry.overhead", 0) == 0 &&
+         if (name == "telemetry.overhead_ratio" &&
              a.number > options.max_telemetry_overhead) {
            regressed = true;
            std::ostringstream os;
            os << "telemetry overhead " << a.number << " > budget "
               << options.max_telemetry_overhead;
+           note = os.str();
+         } else if (name.rfind("fastpath.speedup", 0) == 0 &&
+                    a.number < options.min_fastpath_speedup) {
+           regressed = true;
+           std::ostringstream os;
+           os << "fastpath speedup " << a.number << " < floor "
+              << options.min_fastpath_speedup;
            note = os.str();
          }
          record("gauge " + name, b.number, a.number, regressed,

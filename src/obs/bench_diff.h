@@ -40,11 +40,19 @@ struct BenchDiffOptions {
   double max_p95_ratio = 1.5;
   double max_p99_ratio = 2.0;
   double noise_floor_seconds = 20e-6;
-  // "telemetry.overhead"-prefixed gauges carry the sampled-telemetry-on vs
+  // The telemetry.overhead_ratio gauge carries the sampled-telemetry-on vs
   // off time ratio measured by the bench (1.0 = free). Unlike other gauges
-  // they ARE flagged — an absolute band, not a before/after ratio: any run
-  // whose overhead gauge lands above this budget is a regression.
+  // it IS flagged — an absolute band, not a before/after ratio: any run
+  // whose overhead gauge lands above this budget is a regression. (Only
+  // the exact gauge: its overhead_ns / overhead_ratio_compiled companions
+  // are informational and live on other scales.)
   double max_telemetry_overhead = 1.05;
+  // "fastpath.speedup"-prefixed gauges carry the compiled-classifier vs
+  // linear-scan packets/sec ratio (DESIGN.md §11). Also an absolute band,
+  // in the opposite direction: any run whose speedup lands BELOW this
+  // floor is a regression — the compiled backend stopped paying for
+  // itself.
+  double min_fastpath_speedup = 10.0;
 };
 
 struct BenchDelta {

@@ -38,6 +38,15 @@ MultiSwitchDeployment::MultiSwitchDeployment(const VirtualTopology& topo,
   }
 }
 
+void MultiSwitchDeployment::SetBackend(dataplane::FlowTable::Backend backend) {
+  fabric_.FindSwitch(kCore)->table().SetBackend(backend);
+  for (int e = 1; e <= edge_switches_; ++e) {
+    fabric_.FindSwitch(static_cast<dataplane::SwitchId>(e))
+        ->table()
+        .SetBackend(backend);
+  }
+}
+
 void MultiSwitchDeployment::SetSinks(const obs::Sinks& sinks) {
   fabric_.FindSwitch(kCore)->table().SetJournal(sinks.journal, kCore);
   fabric_.FindSwitch(kCore)->SetFlowRecorder(sinks.flows);

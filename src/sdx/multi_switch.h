@@ -19,6 +19,7 @@
 #pragma once
 
 #include <map>
+#include <span>
 
 #include "dataplane/fabric.h"
 #include "dataplane/flow_rule.h"
@@ -53,6 +54,15 @@ class MultiSwitchDeployment {
   std::vector<dataplane::Emission> Process(const net::Packet& packet) {
     return fabric_.ProcessFromEdge(packet);
   }
+
+  // Batched variant (dataplane fast path): one fabric pass per burst.
+  std::vector<dataplane::Emission> ProcessBatch(
+      std::span<const net::Packet> packets) {
+    return fabric_.ProcessFromEdgeBatch(packets);
+  }
+
+  // Selects the lookup backend on every member switch's flow table.
+  void SetBackend(dataplane::FlowTable::Backend backend);
 
  private:
   static constexpr dataplane::SwitchId kCore = 0;

@@ -60,6 +60,12 @@ Participant& SdxRuntime::AddParticipant(AsNumber as, int physical_ports) {
     // address maps to the participant's port-0 MAC.
     arp_.Bind(router_ip, port0.mac);
   }
+  // Declare the participant's fabric attachments to the data plane so
+  // its per-port stats are pre-registered (bounded-tracking, §11) and
+  // strict-ingress deployments admit them.
+  for (int i = 0; i < physical_ports; ++i) {
+    data_plane_.RegisterPort(topology_.PhysicalPortOf(as, i).id);
+  }
   if (flow_recorder_ != nullptr) {
     for (int i = 0; i < physical_ports; ++i) {
       flow_recorder_->SetPortOwner(topology_.PhysicalPortOf(as, i).id, as);
@@ -1006,6 +1012,30 @@ std::vector<dataplane::Emission> SdxRuntime::InjectFromParticipant(
     return {};
   }
   return data_plane_.Process(*tagged);
+}
+
+std::vector<dataplane::Emission> SdxRuntime::InjectFromParticipantBatch(
+    AsNumber as, std::span<const net::Packet> packets) {
+  auto it = routers_.find(as);
+  if (it == routers_.end()) {
+    for (std::size_t i = 0; i < packets.size(); ++i) {
+      ingress_drops_.Record(obs::DropReason::kIsolationViolation);
+    }
+    return {};
+  }
+  // Border-router stage per packet, then one fabric pass for the burst.
+  std::vector<net::Packet> tagged;
+  tagged.reserve(packets.size());
+  for (const net::Packet& packet : packets) {
+    obs::DropReason reason = obs::DropReason::kNoFibRoute;
+    auto emitted = it->second.EmitPacket(packet, arp_, &reason);
+    if (!emitted) {
+      ingress_drops_.Record(reason);
+      continue;
+    }
+    tagged.push_back(std::move(*emitted));
+  }
+  return data_plane_.ProcessBatch(tagged);
 }
 
 std::vector<dataplane::Emission> SdxRuntime::ReinjectFromPort(

@@ -222,6 +222,20 @@ class SdxRuntime {
   std::vector<dataplane::Emission> ReinjectFromPort(net::PortId port,
                                                     net::Packet packet);
 
+  // Batched border-router injection: each packet FIB-looked-up, tagged,
+  // then the whole burst through the fabric's batch path. Emissions in
+  // packet order; per-packet drops are counted exactly as in
+  // InjectFromParticipant.
+  std::vector<dataplane::Emission> InjectFromParticipantBatch(
+      AsNumber as, std::span<const net::Packet> packets);
+
+  // Selects the data-plane lookup backend (DESIGN.md §11): kCompiled is
+  // the production fast path, kLinear the reference scan the equivalence
+  // oracle diffs against.
+  void SetDataPlaneBackend(dataplane::FlowTable::Backend backend) {
+    data_plane_.table().SetBackend(backend);
+  }
+
   // --- Introspection -----------------------------------------------------------
   rs::RouteServer& route_server() { return route_server_; }
   const rs::RouteServer& route_server() const { return route_server_; }

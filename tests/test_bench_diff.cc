@@ -198,6 +198,50 @@ TEST(BenchDiffTest, TelemetryOverheadGaugesCarryAHardBudget) {
   BenchDiff info = DiffMetrics(Snapshot("", "\"telemetry.on_seconds\": 1", ""),
                                Snapshot("", "\"telemetry.on_seconds\": 9", ""));
   EXPECT_FALSE(info.regression);
+
+  // Only the exact ratio gauge is gated: its companions report the same
+  // measurement on other scales (nanoseconds; the compiled-backend ratio)
+  // and must not be judged against the 1.05 band.
+  EXPECT_FALSE(DiffMetrics(Snapshot("", "\"telemetry.overhead_ns\": 7.1", ""),
+                           Snapshot("", "\"telemetry.overhead_ns\": 7.6", ""))
+                   .regression);
+  EXPECT_FALSE(
+      DiffMetrics(
+          Snapshot("", "\"telemetry.overhead_ratio_compiled\": 1.08", ""),
+          Snapshot("", "\"telemetry.overhead_ratio_compiled\": 1.12", ""))
+          .regression);
+}
+
+TEST(BenchDiffTest, FastPathSpeedupGaugeCarriesAHardFloor) {
+  // The fastpath.speedup band points the other way: any after-value BELOW
+  // the floor is a regression — the compiled backend must keep paying for
+  // itself — regardless of the before-value.
+  BenchDiff below = DiffMetrics(
+      Snapshot("", "\"fastpath.speedup_ratio\": 30.0", ""),
+      Snapshot("", "\"fastpath.speedup_ratio\": 6.5", ""));
+  EXPECT_TRUE(below.regression);
+  ASSERT_EQ(below.deltas.size(), 1u);
+  EXPECT_TRUE(below.deltas[0].regressed);
+  EXPECT_NE(below.deltas[0].note.find("floor"), std::string::npos);
+
+  BenchDiff above = DiffMetrics(
+      Snapshot("", "\"fastpath.speedup_ratio\": 30.0", ""),
+      Snapshot("", "\"fastpath.speedup_ratio\": 15.0", ""));
+  EXPECT_FALSE(above.regression);
+
+  // The floor is tunable.
+  BenchDiffOptions loose;
+  loose.min_fastpath_speedup = 5.0;
+  EXPECT_FALSE(DiffMetrics(
+                   Snapshot("", "\"fastpath.speedup_ratio\": 30.0", ""),
+                   Snapshot("", "\"fastpath.speedup_ratio\": 6.5", ""),
+                   loose)
+                   .regression);
+
+  // Companion gauges (Mpps, rule/tuple counts) stay informational.
+  EXPECT_FALSE(DiffMetrics(Snapshot("", "\"fastpath.linear_mpps\": 0.2", ""),
+                           Snapshot("", "\"fastpath.linear_mpps\": 0.1", ""))
+                   .regression);
 }
 
 TEST(BenchDiffTest, MembershipChangesAreReportedNotFlagged) {

@@ -1,0 +1,380 @@
+// The compiled (tuple-space-search) lookup backend must be observationally
+// identical to the linear reference scan — same matched rule on every
+// packet, same tie-break contract, across incremental installs, bulk
+// merges, and removals. Seeded fuzz drives the equivalence; the version
+// counter guarantees a stale compile is never consulted.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "dataplane/classifier.h"
+#include "dataplane/flow_table.h"
+#include "dataplane/switch.h"
+
+namespace sdx::dataplane {
+namespace {
+
+using net::FieldMatch;
+using net::PacketHeader;
+
+FlowRule MakeRule(std::int32_t priority, FieldMatch match, net::PortId out,
+                  Cookie cookie = kNoCookie) {
+  FlowRule rule;
+  rule.priority = priority;
+  rule.match = std::move(match);
+  rule.actions = {Action{{}, out}};
+  rule.cookie = cookie;
+  return rule;
+}
+
+PacketHeader PortPacket(std::uint16_t dst_port) {
+  PacketHeader h;
+  h.in_port = 1;
+  h.dst_port = dst_port;
+  return h;
+}
+
+// Index of `rule` in the table's vector (identity across two tables that
+// hold identical rule vectors).
+std::ptrdiff_t IndexOf(const FlowTable& table, const FlowRule* rule) {
+  if (rule == nullptr) return -1;
+  return rule - table.rules().data();
+}
+
+// --- Mask extraction (net/flowspace) ---------------------------------
+
+TEST(MaskSignature, ProjectionEquivalentToMatches) {
+  // The classifier's correctness hinge: for sig = MaskSignatureOf(m),
+  // m.Matches(h) iff ProjectKey(m, sig) == ProjectKey(h, sig).
+  std::mt19937 rng(7);
+  std::vector<FieldMatch> matches;
+  matches.push_back(FieldMatch());  // wildcard
+  for (int i = 0; i < 64; ++i) {
+    FieldMatch m;
+    if (rng() % 2) m.WithInPort(rng() % 8);
+    if (rng() % 2) m.WithDstPort(static_cast<std::uint16_t>(rng() % 100));
+    if (rng() % 2) m.WithProto(rng() % 2 ? 6 : 17);
+    if (rng() % 2) {
+      m.WithDstIp(net::IPv4Prefix(
+          net::IPv4Address(static_cast<std::uint32_t>(rng())),
+          static_cast<std::uint8_t>(rng() % 33)));
+    }
+    if (rng() % 2) m.WithSrcMac(net::MacAddress(rng() % 1024));
+    matches.push_back(m);
+  }
+  for (int i = 0; i < 2000; ++i) {
+    PacketHeader h;
+    h.in_port = rng() % 8;
+    h.dst_port = static_cast<std::uint16_t>(rng() % 100);
+    h.proto = rng() % 2 ? 6 : 17;
+    h.dst_ip = net::IPv4Address(static_cast<std::uint32_t>(rng()));
+    h.src_mac = net::MacAddress(rng() % 1024);
+    for (const FieldMatch& m : matches) {
+      const net::MaskSignature sig = net::MaskSignatureOf(m);
+      EXPECT_EQ(m.Matches(h),
+                net::ProjectKey(m, sig) == net::ProjectKey(h, sig))
+          << m.ToString() << " vs " << h.ToString();
+    }
+  }
+}
+
+// --- CompiledClassifier ----------------------------------------------
+
+TEST(CompiledClassifier, GroupsRulesIntoTuples) {
+  std::vector<FlowRule> rules;
+  for (int i = 0; i < 16; ++i) {
+    rules.push_back(MakeRule(100, FieldMatch::DstPort(1000 + i), 1));
+  }
+  for (int i = 0; i < 16; ++i) {
+    rules.push_back(MakeRule(50, FieldMatch::InPort(i), 2));
+  }
+  rules.push_back(MakeRule(0, FieldMatch(), 3));  // catch-all
+  CompiledClassifier classifier;
+  classifier.Build(rules);
+  EXPECT_EQ(classifier.tuple_count(), 3u);
+  EXPECT_EQ(classifier.rule_count(), rules.size());
+
+  PacketHeader h = PortPacket(1005);
+  EXPECT_EQ(classifier.LookupIndex(h), 5u);
+  h.dst_port = 9;  // falls through dst-port tuple, hits in-port tuple
+  EXPECT_EQ(classifier.LookupIndex(h), 17u);
+  h.in_port = 99;  // falls through to the wildcard
+  EXPECT_EQ(classifier.LookupIndex(h), 32u);
+}
+
+TEST(CompiledClassifier, MissWithoutCatchAll) {
+  std::vector<FlowRule> rules;
+  rules.push_back(MakeRule(10, FieldMatch::DstPort(80), 1));
+  CompiledClassifier classifier;
+  classifier.Build(rules);
+  EXPECT_EQ(classifier.LookupIndex(PortPacket(443)),
+            CompiledClassifier::kNotFound);
+}
+
+// --- FlowTable backend contract --------------------------------------
+
+class BackendTest : public ::testing::TestWithParam<FlowTable::Backend> {
+ protected:
+  FlowTable table_;
+  void SetUp() override { table_.SetBackend(GetParam()); }
+};
+
+TEST_P(BackendTest, HigherPriorityWins) {
+  table_.Install(MakeRule(10, FieldMatch(), 1));
+  table_.Install(MakeRule(20, FieldMatch::DstPort(80), 2));
+  ASSERT_NE(table_.Lookup(PortPacket(80)), nullptr);
+  EXPECT_EQ(table_.Lookup(PortPacket(80))->actions[0].out_port, 2u);
+  EXPECT_EQ(table_.Lookup(PortPacket(443))->actions[0].out_port, 1u);
+}
+
+// The tie-break ordering contract, asserted directly: Install is stable
+// (first installed wins among equal priorities) and InstallAll merges
+// with existing rules winning ties.
+TEST_P(BackendTest, InstallTieBreakFirstInstalledWins) {
+  table_.Install(MakeRule(10, FieldMatch::DstPort(80), 1));
+  table_.Install(MakeRule(10, FieldMatch::DstPort(80), 2));
+  const FlowRule* hit = table_.Lookup(PortPacket(80));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->actions[0].out_port, 1u);
+}
+
+TEST_P(BackendTest, InstallAllTieBreakExistingRulesWin) {
+  table_.Install(MakeRule(10, FieldMatch::DstPort(80), 1));
+  std::vector<FlowRule> batch;
+  batch.push_back(MakeRule(10, FieldMatch::DstPort(80), 2));
+  batch.push_back(MakeRule(10, FieldMatch::DstPort(443), 3));
+  table_.InstallAll(std::move(batch));
+  ASSERT_EQ(table_.size(), 3u);
+  const FlowRule* hit = table_.Lookup(PortPacket(80));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->actions[0].out_port, 1u);  // pre-existing rule wins the tie
+  hit = table_.Lookup(PortPacket(443));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->actions[0].out_port, 3u);
+}
+
+TEST_P(BackendTest, RemoveByCookieUpdatesLookup) {
+  table_.Install(MakeRule(20, FieldMatch::DstPort(80), 1, /*cookie=*/7));
+  table_.Install(MakeRule(10, FieldMatch(), 2, /*cookie=*/8));
+  EXPECT_EQ(table_.Lookup(PortPacket(80))->actions[0].out_port, 1u);
+  EXPECT_EQ(table_.RemoveByCookie(7), 1u);
+  EXPECT_EQ(table_.Lookup(PortPacket(80))->actions[0].out_port, 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, BackendTest,
+    ::testing::Values(FlowTable::Backend::kLinear,
+                      FlowTable::Backend::kCompiled),
+    [](const ::testing::TestParamInfo<FlowTable::Backend>& info) {
+      return info.param == FlowTable::Backend::kLinear ? "linear" : "compiled";
+    });
+
+// --- Version counter / staleness -------------------------------------
+
+TEST(FlowTableVersioning, MutationsBumpVersionAndLookupNeverStale) {
+  FlowTable table;  // compiled by default
+  EXPECT_EQ(table.backend(), FlowTable::Backend::kCompiled);
+  table.Install(MakeRule(10, FieldMatch::DstPort(80), 1));
+  const std::uint64_t v1 = table.version();
+  ASSERT_NE(table.Lookup(PortPacket(80)), nullptr);  // compiles on demand
+  EXPECT_EQ(table.compiled_version(), v1);
+
+  // A mutation invalidates the compile; the very next lookup must already
+  // see the new rule — a stale classifier is never consulted.
+  table.Install(MakeRule(20, FieldMatch::DstPort(80), 2));
+  EXPECT_GT(table.version(), v1);
+  const FlowRule* hit = table.Lookup(PortPacket(80));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->actions[0].out_port, 2u);
+  EXPECT_EQ(table.compiled_version(), table.version());
+
+  EXPECT_EQ(table.RemoveByCookie(kNoCookie), 2u);
+  EXPECT_EQ(table.Lookup(PortPacket(80)), nullptr);
+}
+
+TEST(FlowTableVersioning, IncrementalInstallsMatchFullRebuild) {
+  // A burst of single-rule installs onto a compiled table exercises the
+  // incremental InsertRule replay; a reference table built in one shot
+  // must agree everywhere.
+  FlowTable incremental;
+  FlowTable reference;
+  std::vector<FlowRule> all;
+  for (int i = 0; i < 12; ++i) {
+    all.push_back(MakeRule(10 * (i % 4), FieldMatch::DstPort(1000 + i),
+                           static_cast<net::PortId>(i), 100 + i));
+  }
+  all.push_back(MakeRule(0, FieldMatch(), 99));
+
+  // Compile the incremental table early so later installs are replayed.
+  incremental.Install(all[0]);
+  ASSERT_NE(incremental.Lookup(PortPacket(1000)), nullptr);
+  for (std::size_t i = 1; i < all.size(); ++i) incremental.Install(all[i]);
+  for (const FlowRule& rule : all) reference.Install(rule);
+
+  for (int port = 990; port < 1020; ++port) {
+    const auto header = PortPacket(static_cast<std::uint16_t>(port));
+    EXPECT_EQ(IndexOf(incremental, incremental.Lookup(header)),
+              IndexOf(reference, reference.Lookup(header)))
+        << "dst_port=" << port;
+  }
+}
+
+TEST(FlowTableVersioning, SwitchingBackendsPreservesBehavior) {
+  FlowTable table;
+  table.SetBackend(FlowTable::Backend::kLinear);
+  table.Install(MakeRule(10, FieldMatch::DstPort(80), 1));
+  table.Install(MakeRule(0, FieldMatch(), 2));
+  EXPECT_EQ(table.Lookup(PortPacket(80))->actions[0].out_port, 1u);
+  table.SetBackend(FlowTable::Backend::kCompiled);
+  EXPECT_EQ(table.Lookup(PortPacket(80))->actions[0].out_port, 1u);
+  EXPECT_EQ(table.Lookup(PortPacket(22))->actions[0].out_port, 2u);
+}
+
+// --- Seeded fuzz equivalence ------------------------------------------
+
+FieldMatch FuzzMatch(std::mt19937& rng) {
+  FieldMatch m;
+  if (rng() % 2) m.WithInPort(rng() % 6);
+  if (rng() % 2) m.WithDstPort(static_cast<std::uint16_t>(rng() % 32));
+  if (rng() % 3 == 0) m.WithSrcPort(static_cast<std::uint16_t>(rng() % 32));
+  if (rng() % 3 == 0) m.WithProto(rng() % 2 ? 6 : 17);
+  if (rng() % 3 == 0) m.WithDstMac(net::MacAddress(rng() % 16));
+  if (rng() % 2) {
+    // Small address pool + varied lengths → plenty of overlap and plenty
+    // of distinct tuples.
+    m.WithDstIp(net::IPv4Prefix(
+        net::IPv4Address(10, 0, static_cast<std::uint8_t>(rng() % 4),
+                         static_cast<std::uint8_t>(rng() % 8)),
+        static_cast<std::uint8_t>(8 + 4 * (rng() % 7))));
+  }
+  if (rng() % 4 == 0) {
+    m.WithSrcIp(net::IPv4Prefix(
+        net::IPv4Address(static_cast<std::uint32_t>(rng())),
+        static_cast<std::uint8_t>(rng() % 33)));
+  }
+  return m;
+}
+
+PacketHeader FuzzHeader(std::mt19937& rng) {
+  PacketHeader h;
+  h.in_port = rng() % 6;
+  h.dst_port = static_cast<std::uint16_t>(rng() % 32);
+  h.src_port = static_cast<std::uint16_t>(rng() % 32);
+  h.proto = rng() % 2 ? 6 : 17;
+  h.dst_mac = net::MacAddress(rng() % 16);
+  h.src_mac = net::MacAddress(rng() % 16);
+  h.dst_ip = net::IPv4Address(10, 0, static_cast<std::uint8_t>(rng() % 4),
+                              static_cast<std::uint8_t>(rng() % 8));
+  h.src_ip = net::IPv4Address(static_cast<std::uint32_t>(rng()));
+  return h;
+}
+
+TEST(CompiledBackendFuzz, EquivalentToLinearAcrossMutations) {
+  for (std::uint32_t seed = 1; seed <= 4; ++seed) {
+    std::mt19937 rng(seed);
+    FlowTable linear;
+    linear.SetBackend(FlowTable::Backend::kLinear);
+    FlowTable compiled;
+    compiled.SetBackend(FlowTable::Backend::kCompiled);
+
+    const auto check = [&](int rounds) {
+      for (int i = 0; i < rounds; ++i) {
+        const PacketHeader h = FuzzHeader(rng);
+        ASSERT_EQ(IndexOf(linear, linear.Lookup(h)),
+                  IndexOf(compiled, compiled.Lookup(h)))
+            << "seed=" << seed << " header=" << h.ToString();
+      }
+    };
+
+    // Phase 1: bulk install.
+    std::vector<FlowRule> batch;
+    for (int i = 0; i < 150; ++i) {
+      batch.push_back(MakeRule(static_cast<std::int32_t>(rng() % 20),
+                               FuzzMatch(rng),
+                               static_cast<net::PortId>(rng() % 8),
+                               /*cookie=*/1 + rng() % 5));
+    }
+    linear.InstallAll(batch);
+    compiled.InstallAll(batch);
+    check(400);
+
+    // Phase 2: incremental single-rule installs (with priority ties).
+    for (int i = 0; i < 50; ++i) {
+      const FlowRule rule =
+          MakeRule(static_cast<std::int32_t>(rng() % 20), FuzzMatch(rng),
+                   static_cast<net::PortId>(rng() % 8), 1 + rng() % 5);
+      linear.Install(rule);
+      compiled.Install(rule);
+    }
+    check(400);
+
+    // Phase 3: removal by cookie, then more installs.
+    const Cookie victim = 1 + rng() % 5;
+    ASSERT_EQ(linear.RemoveByCookie(victim), compiled.RemoveByCookie(victim));
+    check(400);
+    for (int i = 0; i < 20; ++i) {
+      const FlowRule rule =
+          MakeRule(static_cast<std::int32_t>(rng() % 20), FuzzMatch(rng),
+                   static_cast<net::PortId>(rng() % 8), 1 + rng() % 5);
+      linear.Install(rule);
+      compiled.Install(rule);
+    }
+    check(400);
+  }
+}
+
+// --- Batched processing ----------------------------------------------
+
+TEST(ProcessBatch, MatchesSequentialProcessing) {
+  std::mt19937 rng(11);
+  std::vector<FlowRule> rules;
+  for (int i = 0; i < 64; ++i) {
+    rules.push_back(MakeRule(100, FieldMatch::DstPort(1000 + i),
+                             static_cast<net::PortId>(16 + i % 4), 50 + i));
+  }
+  rules.push_back(MakeRule(0, FieldMatch(), 0, 1));
+  rules.back().actions.clear();  // catch-all drop
+
+  SwitchDataPlane sequential;
+  SwitchDataPlane batched;
+  sequential.table().InstallAll(rules);
+  batched.table().InstallAll(rules);
+
+  std::vector<net::Packet> packets;
+  for (int i = 0; i < 500; ++i) {
+    net::Packet p;
+    p.header.in_port = rng() % 4;
+    p.header.dst_port = static_cast<std::uint16_t>(1000 + rng() % 96);
+    p.size_bytes = 64 + rng() % 512;
+    packets.push_back(p);
+  }
+
+  std::vector<Emission> expected;
+  for (const net::Packet& p : packets) {
+    for (Emission& e : sequential.Process(p)) expected.push_back(std::move(e));
+  }
+  const std::vector<Emission> got = batched.ProcessBatch(packets);
+
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].out_port, expected[i].out_port);
+    EXPECT_EQ(got[i].packet.header, expected[i].packet.header);
+    EXPECT_EQ(got[i].packet.size_bytes, expected[i].packet.size_bytes);
+  }
+  // Same counters and drops, port by port and reason by reason.
+  for (net::PortId port = 0; port < 24; ++port) {
+    EXPECT_EQ(batched.StatsFor(port).rx_packets,
+              sequential.StatsFor(port).rx_packets);
+    EXPECT_EQ(batched.StatsFor(port).tx_bytes,
+              sequential.StatsFor(port).tx_bytes);
+  }
+  for (const obs::DropReason reason : obs::kAllDropReasons) {
+    EXPECT_EQ(batched.drops().count(reason), sequential.drops().count(reason));
+  }
+  EXPECT_EQ(batched.table().hit_count(), sequential.table().hit_count());
+  EXPECT_EQ(batched.table().miss_count(), sequential.table().miss_count());
+}
+
+}  // namespace
+}  // namespace sdx::dataplane

@@ -87,6 +87,134 @@ TEST(MultiSwitchFabric, HopLimitStopsLoops) {
   EXPECT_EQ(fabric.hop_limit_drops(), 1u);
 }
 
+// Regression: a rule emitting on a port that is neither an internal link
+// nor an edge port used to surface as an edge emission from thin air — a
+// rule on switch A could "deliver" traffic to a port it does not host.
+// Such emissions are isolation violations and must be dropped.
+TEST(MultiSwitchFabric, EmissionOnUndeclaredPortIsDropped) {
+  MultiSwitchFabric fabric;
+  auto& sw = fabric.AddSwitch(1);
+  fabric.AssignEdgePort(10, 1);
+  dataplane::FlowRule rule;
+  rule.priority = 1;
+  rule.actions = {dataplane::Action{{}, 777}};  // 777 declared nowhere
+  sw.table().Install(rule);
+
+  net::Packet packet;
+  packet.header.in_port = 10;
+  packet.size_bytes = 500;
+  EXPECT_TRUE(fabric.ProcessFromEdge(packet).empty());
+  EXPECT_EQ(fabric.drops().count(obs::DropReason::kIsolationViolation), 1u);
+  // The emitting switch's tx accounting was reversed: the packet never
+  // actually left.
+  EXPECT_EQ(sw.StatsFor(777).tx_packets, 0u);
+  EXPECT_EQ(sw.StatsFor(777).tx_bytes, 0u);
+}
+
+// Regression: switch A emitting on an edge port that belongs to switch B
+// used to be surfaced as a legitimate delivery — bypassing B's tables
+// entirely. Edge emissions are only valid from the port's hosting switch.
+TEST(MultiSwitchFabric, EmissionOnForeignEdgePortIsDropped) {
+  MultiSwitchFabric fabric;
+  auto& a = fabric.AddSwitch(1);
+  fabric.AddSwitch(2);
+  fabric.AssignEdgePort(10, 1);
+  fabric.AssignEdgePort(20, 2);  // hosted by switch 2
+
+  dataplane::FlowRule rule;
+  rule.priority = 1;
+  rule.actions = {dataplane::Action{{}, 20}};  // not ours to emit on
+  a.table().Install(rule);
+
+  net::Packet packet;
+  packet.header.in_port = 10;
+  EXPECT_TRUE(fabric.ProcessFromEdge(packet).empty());
+  EXPECT_EQ(fabric.drops().count(obs::DropReason::kIsolationViolation), 1u);
+  EXPECT_EQ(a.StatsFor(20).tx_packets, 0u);
+}
+
+// Regression: packets dropped at the hop limit had already incremented
+// tx counters at every traversed link port, so tx stats reported traffic
+// that never reached an edge. The final (dropped) emission's tx must be
+// reversed — counters reflect actual emission fate.
+TEST(MultiSwitchFabric, HopLimitDropReversesTxAccounting) {
+  MultiSwitchFabric fabric;
+  auto& a = fabric.AddSwitch(1);
+  auto& b = fabric.AddSwitch(2);
+  fabric.Connect(1, 100, 2, 200);
+  fabric.AssignEdgePort(10, 1);
+
+  dataplane::FlowRule bounce_a;
+  bounce_a.priority = 1;
+  bounce_a.actions = {dataplane::Action{{}, 100}};
+  a.table().Install(bounce_a);
+  dataplane::FlowRule bounce_b;
+  bounce_b.priority = 1;
+  bounce_b.actions = {dataplane::Action{{}, 200}};
+  b.table().Install(bounce_b);
+
+  net::Packet packet;
+  packet.header.in_port = 10;
+  packet.size_bytes = 100;
+  // max_hops=4: emissions at 100, 200, 100, 200, then the 5th (on 100)
+  // trips the limit and must be un-counted → 2 on each link port.
+  EXPECT_TRUE(fabric.ProcessFromEdge(packet, /*max_hops=*/4).empty());
+  EXPECT_EQ(fabric.hop_limit_drops(), 1u);
+  EXPECT_EQ(a.StatsFor(100).tx_packets, 2u);
+  EXPECT_EQ(b.StatsFor(200).tx_packets, 2u);
+  EXPECT_EQ(a.StatsFor(100).tx_bytes, 200u);
+}
+
+TEST(MultiSwitchFabric, BatchMatchesSequentialProcessing) {
+  auto build = [](MultiSwitchFabric& fabric) {
+    auto& a = fabric.AddSwitch(1);
+    auto& b = fabric.AddSwitch(2);
+    fabric.Connect(1, 100, 2, 200);
+    fabric.AssignEdgePort(10, 1);
+    fabric.AssignEdgePort(20, 2);
+    dataplane::FlowRule to_link;
+    to_link.priority = 1;
+    to_link.match = net::FieldMatch::DstPort(80);
+    to_link.actions = {dataplane::Action{{}, 100}};
+    a.table().Install(to_link);
+    dataplane::FlowRule to_edge;
+    to_edge.priority = 1;
+    to_edge.match = net::FieldMatch::InPort(200);
+    to_edge.actions = {dataplane::Action{{}, 20}};
+    b.table().Install(to_edge);
+  };
+  MultiSwitchFabric sequential;
+  MultiSwitchFabric batched;
+  build(sequential);
+  build(batched);
+
+  std::vector<net::Packet> packets;
+  for (int i = 0; i < 32; ++i) {
+    net::Packet p;
+    p.header.in_port = 10;
+    p.header.dst_port = i % 3 == 0 ? 80 : 81;  // mix of delivered and missed
+    p.header.src_port = static_cast<std::uint16_t>(i);
+    p.size_bytes = 64;
+    packets.push_back(p);
+  }
+  std::vector<dataplane::Emission> expected;
+  for (const net::Packet& p : packets) {
+    for (auto& e : sequential.ProcessFromEdge(p)) {
+      expected.push_back(std::move(e));
+    }
+  }
+  const auto got = batched.ProcessFromEdgeBatch(packets);
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].out_port, expected[i].out_port);
+    EXPECT_EQ(got[i].packet.header, expected[i].packet.header);
+  }
+  EXPECT_EQ(batched.AggregateDrops().total(),
+            sequential.AggregateDrops().total());
+  EXPECT_EQ(batched.FindSwitch(2)->StatsFor(20).tx_packets,
+            sequential.FindSwitch(2)->StatsFor(20).tx_packets);
+}
+
 TEST(MultiSwitchFabric, UnknownEntryPortDrops) {
   MultiSwitchFabric fabric;
   fabric.AddSwitch(1);

@@ -103,5 +103,121 @@ TEST(SwitchDataPlane, ResetStatsClearsCounters) {
   EXPECT_EQ(sw.StatsFor(1).rx_packets, 0u);
 }
 
+// Regression: port_stats_ used to grow without bound under garbage traffic
+// — every never-seen in_port allocated a fresh map entry forever. The cap
+// turns over-cap unknown ingress into a counted isolation drop instead.
+TEST(SwitchDataPlane, BoundsPortStatsUnderGarbageIngress) {
+  SwitchDataPlane sw;
+  FlowRule rule;
+  rule.priority = 10;
+  rule.actions = {Action{{}, 9}};
+  sw.table().Install(rule);
+
+  sw.SetMaxTrackedPorts(5);
+  for (net::PortId port = 100; port < 104; ++port) {
+    EXPECT_EQ(sw.Process(MakePacket(port, 80)).size(), 1u);
+  }
+  // The cap of 5 is now full: ingress ports 100..103 plus out-port 9.
+  const std::uint64_t drops_before =
+      sw.drops().count(obs::DropReason::kIsolationViolation);
+
+  // A fifth never-seen ingress port is over the cap: dropped and counted,
+  // and no new stats entry appears.
+  EXPECT_TRUE(sw.Process(MakePacket(500, 80)).empty());
+  EXPECT_EQ(sw.drops().count(obs::DropReason::kIsolationViolation),
+            drops_before + 1);
+  EXPECT_EQ(sw.StatsFor(500).rx_packets, 0u);
+
+  // Already-tracked ports keep working at the cap.
+  EXPECT_EQ(sw.Process(MakePacket(100, 80)).size(), 1u);
+  EXPECT_EQ(sw.StatsFor(100).rx_packets, 2u);
+}
+
+TEST(SwitchDataPlane, RegisteredPortsAreExemptFromCap) {
+  SwitchDataPlane sw;
+  FlowRule rule;
+  rule.priority = 10;
+  rule.actions = {Action{{}, 9}};
+  sw.table().Install(rule);
+
+  sw.SetMaxTrackedPorts(0);  // nothing auto-creates
+  sw.RegisterPort(7);
+  EXPECT_TRUE(sw.IsRegisteredPort(7));
+
+  EXPECT_EQ(sw.Process(MakePacket(7, 80)).size(), 1u);
+  EXPECT_EQ(sw.StatsFor(7).rx_packets, 1u);
+  EXPECT_TRUE(sw.Process(MakePacket(8, 80)).empty());
+  EXPECT_EQ(sw.drops().count(obs::DropReason::kIsolationViolation), 1u);
+}
+
+TEST(SwitchDataPlane, StrictIngressRefusesUnregisteredPorts) {
+  SwitchDataPlane sw;
+  FlowRule rule;
+  rule.priority = 10;
+  rule.actions = {Action{{}, 9}};
+  sw.table().Install(rule);
+
+  sw.SetStrictIngress(true);
+  sw.RegisterPort(1);
+  EXPECT_EQ(sw.Process(MakePacket(1, 80)).size(), 1u);
+  EXPECT_TRUE(sw.Process(MakePacket(2, 80)).empty());
+  EXPECT_EQ(sw.drops().count(obs::DropReason::kIsolationViolation), 1u);
+  // The refused port gained no stats entry.
+  EXPECT_EQ(sw.StatsFor(2).rx_packets, 0u);
+}
+
+TEST(SwitchDataPlane, RegistrationSurvivesResetStats) {
+  SwitchDataPlane sw;
+  sw.SetMaxTrackedPorts(0);
+  sw.RegisterPort(7);
+  sw.ResetStats();
+  EXPECT_TRUE(sw.IsRegisteredPort(7));
+  FlowRule rule;
+  rule.priority = 10;
+  rule.actions = {Action{{}, 9}};
+  sw.table().Install(rule);
+  EXPECT_EQ(sw.Process(MakePacket(7, 80)).size(), 1u);
+  EXPECT_EQ(sw.StatsFor(7).rx_packets, 1u);
+}
+
+TEST(SwitchDataPlane, UnrecordTxReversesEmissionAccounting) {
+  SwitchDataPlane sw;
+  FlowRule rule;
+  rule.priority = 10;
+  rule.actions = {Action{{}, 9}};
+  sw.table().Install(rule);
+
+  sw.Process(MakePacket(1, 80, 500));
+  EXPECT_EQ(sw.StatsFor(9).tx_packets, 1u);
+  EXPECT_EQ(sw.StatsFor(9).tx_bytes, 500u);
+  sw.UnrecordTx(9, 500);
+  EXPECT_EQ(sw.StatsFor(9).tx_packets, 0u);
+  EXPECT_EQ(sw.StatsFor(9).tx_bytes, 0u);
+}
+
+TEST(SwitchDataPlane, ProcessBatchConcatenatesEmissionsInOrder) {
+  SwitchDataPlane sw;
+  FlowRule fwd;
+  fwd.priority = 10;
+  fwd.match = FieldMatch::DstPort(80);
+  fwd.actions = {Action{{}, 5}, Action{{}, 6}};
+  sw.table().Install(fwd);
+
+  const std::vector<net::Packet> packets = {
+      MakePacket(1, 80, 100),  // two emissions
+      MakePacket(1, 81, 200),  // miss
+      MakePacket(2, 80, 300),  // two emissions
+  };
+  const auto emissions = sw.ProcessBatch(packets);
+  ASSERT_EQ(emissions.size(), 4u);
+  EXPECT_EQ(emissions[0].out_port, 5u);
+  EXPECT_EQ(emissions[1].out_port, 6u);
+  EXPECT_EQ(emissions[0].packet.size_bytes, 100u);
+  EXPECT_EQ(emissions[2].packet.size_bytes, 300u);
+  EXPECT_EQ(sw.drops().count(obs::DropReason::kTableMiss), 1u);
+  EXPECT_EQ(sw.StatsFor(1).rx_packets, 2u);
+  EXPECT_EQ(sw.StatsFor(5).tx_packets, 2u);
+}
+
 }  // namespace
 }  // namespace sdx::dataplane

@@ -64,6 +64,7 @@ int Usage() {
       "        [--max-batch-counter-rel=R] [--min-batch-counter-abs=N]\n"
       "        [--max-p50-ratio=R] [--max-p95-ratio=R] [--max-p99-ratio=R]\n"
       "        [--noise-floor-us=U] [--max-telemetry-overhead=R]\n"
+      "        [--min-fastpath-speedup=R]\n"
       "  health <health.json>                render a runtime health\n"
       "                                      snapshot; exit 1 on degraded\n"
       "  flows <flows.jsonl> [--top=N]       render sampled flow records\n";
@@ -239,6 +240,8 @@ int CmdDiff(const std::vector<std::string>& args) {
       options.noise_floor_seconds = std::stod(value) * 1e-6;
     } else if (FlagValue(args[i], "--max-telemetry-overhead", &value)) {
       options.max_telemetry_overhead = std::stod(value);
+    } else if (FlagValue(args[i], "--min-fastpath-speedup", &value)) {
+      options.min_fastpath_speedup = std::stod(value);
     } else {
       return Usage();
     }
