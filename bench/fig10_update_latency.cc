@@ -82,6 +82,11 @@ int main() {
                                      /*policy_scale=*/1.0,
                                      /*coverage_fanout=*/participants / 2);
     bench::BuildAndCompile(runtime, built);
+    // Per-update convergence accounting (DESIGN.md §12) over the measured
+    // stream; at the largest config a background sampler additionally
+    // records the metric trajectory for BENCH_*.timeseries.json.
+    runtime.EnableConvergenceTracking();
+    if (participants == 300) runtime.EnableTimeSeries(/*interval_seconds=*/0.02);
 
     auto params = workload::UpdateStreamParams::Small(
         /*prefixes=*/4000, /*updates=*/600, /*seed=*/5);
@@ -91,9 +96,13 @@ int main() {
 
     std::vector<double> latencies_ms;
     latencies_ms.reserve(stream.updates.size());
+    std::size_t applied = 0;
     for (const auto& update : stream.updates) {
       auto stats = runtime.ApplyBgpUpdate(update);
       latencies_ms.push_back(stats.seconds * 1e3);
+      // Periodic health verdicts so the time-series carries a health.*
+      // trajectory (the sampler itself must not inspect the runtime).
+      if (++applied % 100 == 0) runtime.PublishHealth();
     }
     std::sort(latencies_ms.begin(), latencies_ms.end());
     auto pct = [&](double p) {
@@ -105,7 +114,9 @@ int main() {
                 pct(0.10), pct(0.50), pct(0.90), pct(0.99),
                 latencies_ms.back(), latencies_ms.size());
     if (participants == 300) {
+      std::printf("%s", runtime.convergence()->Snapshot().ToText().c_str());
       bench::WriteMetricsSnapshot(runtime, "fig10_update_latency");
+      bench::WriteTimeSeries(runtime, "fig10_update_latency");
       // Flight-recorder tail of the stream's recent past, for
       // `sdxmon print/tail/chain` (DESIGN.md §7).
       if (std::FILE* f = std::fopen("BENCH_fig10_update_latency.journal.jsonl",
@@ -139,6 +150,10 @@ int main() {
   core::SdxRuntime bat;
   bench::BuildAndCompile(seq, built);
   bench::BuildAndCompile(bat, built);
+  // Convergence through the batched path: queue-wait + coalesced
+  // attribution show up here (part (a) is a batch-of-one per update).
+  bat.EnableConvergenceTracking();
+  bat.EnableTimeSeries(/*interval_seconds=*/0.02);
 
   bool gate_failed = false;
   std::uint32_t escalation = 500;
@@ -182,8 +197,11 @@ int main() {
     // Background coalescing pass between bursts, as in Figure 9.
     seq.FullCompile();
     bat.FullCompile();
+    bat.PublishHealth();
   }
+  std::printf("%s", bat.convergence()->Snapshot().ToText().c_str());
   bench::WriteMetricsSnapshot(bat, "fig10_batched");
+  bench::WriteTimeSeries(bat, "fig10_batched");
   // Health snapshot artifact for `sdxmon health` (DESIGN.md §10): taken
   // after the final batch drained, so a healthy run reports status "ok"
   // with an empty queue — CI renders it and fails on "degraded".

@@ -126,7 +126,14 @@ int main(int argc, char** argv) {
       core::SdxRuntime inc;
       inc.SetCompileOptions(IncrementalOptions(threads));
       if (!journal) inc.DisableJournal();
+      // Largest config: record the metric trajectory across the full
+      // build + edit + recompile cycle for BENCH_*.timeseries.json
+      // (DESIGN.md §12).
+      const bool largest = participants == participant_counts.back() &&
+                           prefixes == prefix_counts.back();
+      if (largest) inc.EnableTimeSeries(/*interval_seconds=*/0.02);
       bench::BuildAndCompile(inc, built);
+      if (largest) inc.PublishHealth();
 
       bool equivalent = true;
       if (oracle_checks) {
@@ -169,9 +176,9 @@ int main(int argc, char** argv) {
           inc_stats.blocks_reused, inc_stats.blocks_total,
           oracle_checks ? (equivalent ? "ok" : "FAIL") : "off");
 
-      if (participants == participant_counts.back() &&
-          prefixes == prefix_counts.back()) {
+      if (largest) {
         bench::WriteMetricsSnapshot(inc, "fig8_compile_time");
+        bench::WriteTimeSeries(inc, "fig8_compile_time");
       }
     }
     std::printf("\n");

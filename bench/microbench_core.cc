@@ -582,6 +582,117 @@ int RunFastPathGate(obs::MetricsRegistry& metrics) {
   return 0;
 }
 
+// The convergence tracker's budget, mirroring the telemetry gate: per-
+// update convergence accounting (ingest stamping, journal tail sync,
+// per-batch histogram writes — DESIGN.md §12) may cost at most 5% on the
+// ingest+batch path. Measured as interleaved tracking-off/on pass pairs
+// over identical flap bursts through EnqueueUpdate/Flush on one runtime,
+// best pass per mode (noise only ever adds time). Each enable is followed
+// by an unmeasured warm-up flush so the measured passes pay the tracker's
+// steady-state incremental journal scan, not the one-time whole-ring
+// catch-up. The ratio lands in the snapshot as gauge
+// `convergence.overhead_ratio`, banded across PRs by
+// BenchDiffOptions::max_convergence_overhead; the gate also fails THIS
+// run when the budget is blown.
+constexpr double kConvergenceOverheadBudget = 1.05;
+
+int RunConvergenceOverheadGate(obs::MetricsRegistry& metrics) {
+  constexpr int kPairs = 12;
+  constexpr int kWarmupPairs = 3;
+  constexpr std::size_t kDistinct = 8;
+  constexpr std::size_t kBurst = 64;
+
+  auto built = bench::MakeScenario(/*participants=*/20, /*prefixes=*/500,
+                                   /*seed=*/4242, /*policy_scale=*/1.0,
+                                   /*coverage_fanout=*/10);
+  core::SdxRuntime runtime;
+  bench::BuildAndCompile(runtime, built);
+
+  struct Key {
+    bgp::AsNumber as;
+    net::IPv4Prefix prefix;
+  };
+  std::vector<Key> keys;
+  for (const auto& member : built.scenario.members) {
+    if (member.announced.empty()) continue;
+    keys.push_back({member.as, member.announced.front()});
+    if (keys.size() == kDistinct) break;
+  }
+
+  // One flap burst: kDistinct prefixes re-announced with escalating
+  // local-pref (every update changes the best path; the queue coalesces
+  // kBurst -> kDistinct survivors), then one Flush through the batch
+  // pipeline. Identical work per pass, tracking on or off.
+  std::uint32_t escalation = 1000;
+  const auto run_burst = [&]() {
+    std::size_t sent = 0;
+    while (sent < kBurst) {
+      const std::uint32_t pref = escalation++;
+      for (const Key& key : keys) {
+        if (sent == kBurst) break;
+        bgp::Announcement a;
+        a.from_as = key.as;
+        a.route.prefix = key.prefix;
+        a.route.as_path = {key.as};
+        a.route.local_pref = pref;
+        a.route.next_hop = runtime.RouterIp(key.as);
+        runtime.EnqueueUpdate(bgp::BgpUpdate{a});
+        ++sent;
+      }
+    }
+    runtime.Flush();
+  };
+  const auto pass_seconds = [&]() {
+    const auto start = obs::Now();
+    run_burst();
+    return obs::SecondsSince(start);
+  };
+
+  double off_seconds = std::numeric_limits<double>::infinity();
+  double on_seconds = std::numeric_limits<double>::infinity();
+  std::uint64_t accounted = 0;
+  for (int pair = 0; pair < kPairs; ++pair) {
+    const double off = pass_seconds();
+    runtime.EnableConvergenceTracking();
+    run_burst();  // unmeasured: syncs the tracker cursor past the ring
+    const double on = pass_seconds();
+    accounted = runtime.convergence()->tracked() +
+                runtime.convergence()->coalesced_attributed();
+    runtime.DisableConvergenceTracking();
+    if (pair < kWarmupPairs) continue;
+    off_seconds = std::min(off_seconds, off);
+    on_seconds = std::min(on_seconds, on);
+  }
+  const double ratio = on_seconds / off_seconds;
+  metrics.GetGauge("convergence.overhead_ratio").Set(ratio);
+  metrics.GetGauge("convergence.off_seconds").Set(off_seconds);
+  metrics.GetGauge("convergence.on_seconds").Set(on_seconds);
+  metrics.GetGauge("convergence.overhead_ns")
+      .Set((on_seconds - off_seconds) / static_cast<double>(kBurst) * 1e9);
+
+  std::printf(
+      "convergence overhead: off=%.6fs on=%.6fs ratio=%.4f (budget %.2f); "
+      "%llu update(s) accounted per tracked pass\n",
+      off_seconds, on_seconds, ratio, kConvergenceOverheadBudget,
+      static_cast<unsigned long long>(accounted));
+  // A vacuous measurement would pass any budget: the final tracked pass
+  // must have accounted for the warm-up plus the measured burst.
+  if (accounted < 2 * kBurst) {
+    std::fprintf(stderr,
+                 "FAIL: convergence gate accounted %llu update(s), expected "
+                 ">= %zu — tracker not observing the burst\n",
+                 static_cast<unsigned long long>(accounted), 2 * kBurst);
+    return 1;
+  }
+  if (ratio > kConvergenceOverheadBudget) {
+    std::fprintf(stderr,
+                 "FAIL: convergence overhead ratio %.4f exceeds budget %.2f\n",
+                 ratio, kConvergenceOverheadBudget);
+    return 1;
+  }
+  return 0;
+}
+
 // Console reporter that also tees each benchmark's per-iteration real time
 // into a latency histogram (one observation per run), so microbench
 // timings land in BENCH_microbench_core.metrics.json and the `sdxmon diff`
@@ -620,6 +731,7 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
   int gate = RunTelemetryOverheadGate(metrics);
   gate |= RunFastPathGate(metrics);
+  gate |= RunConvergenceOverheadGate(metrics);
   bench::WriteMetricsSnapshot(metrics.Snapshot(), "microbench_core");
   return gate;
 }

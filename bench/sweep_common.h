@@ -80,4 +80,32 @@ inline void WriteMetricsSnapshot(core::SdxRuntime& runtime,
   WriteMetricsSnapshot(runtime.SnapshotMetrics(), bench_name);
 }
 
+// Writes the runtime's time-series ring to BENCH_<name>.timeseries.json
+// (the `sdxmon top` / `sdxmon health` input format, DESIGN.md §12). Takes
+// one final synchronous sample first so the export always ends on the
+// finished state, then stops the sampler thread — the samples stay
+// readable after DisableTimeSeries. No-op when EnableTimeSeries was never
+// called.
+inline void WriteTimeSeries(core::SdxRuntime& runtime,
+                            const std::string& bench_name) {
+  if (runtime.timeseries() == nullptr) return;
+  runtime.PublishHealth();
+  runtime.SampleTimeSeriesNow();
+  const double interval = runtime.timeseries_sampler() != nullptr
+                              ? runtime.timeseries_sampler()->interval_seconds()
+                              : 0.0;
+  runtime.DisableTimeSeries();
+  const std::string path = "BENCH_" + bench_name + ".timeseries.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  const std::string json = runtime.timeseries()->ToJson(interval);
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("timeseries: %s (%zu sample(s))\n", path.c_str(),
+              runtime.timeseries()->size());
+}
+
 }  // namespace sdx::bench

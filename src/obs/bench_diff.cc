@@ -117,6 +117,13 @@ BenchDiff DiffMetrics(const json::Value& before, const json::Value& after,
            os << "telemetry overhead " << a.number << " > budget "
               << options.max_telemetry_overhead;
            note = os.str();
+         } else if (name == "convergence.overhead_ratio" &&
+                    a.number > options.max_convergence_overhead) {
+           regressed = true;
+           std::ostringstream os;
+           os << "convergence tracker overhead " << a.number << " > budget "
+              << options.max_convergence_overhead;
+           note = os.str();
          } else if (name.rfind("fastpath.speedup", 0) == 0 &&
                     a.number < options.min_fastpath_speedup) {
            regressed = true;
@@ -145,10 +152,25 @@ BenchDiff DiffMetrics(const json::Value& before, const json::Value& after,
          for (const QuantileCheck& q : kQuantiles) {
            const double b_q = b.NumberAt(q.key);
            const double a_q = a.NumberAt(q.key);
-           if (b_q == a_q) continue;
            bool regressed = false;
            std::string note;
-           if (b_q > options.noise_floor_seconds &&
+           // Convergence-tail band (DESIGN.md §12): an absolute ceiling on
+           // the after-side p99 of convergence histograms, applied even
+           // when before == after — a run over budget is a regression no
+           // matter what it is compared against.
+           const bool convergence_p99 =
+               std::string(q.key) == "p99" &&
+               name.rfind("convergence.", 0) == 0;
+           if (convergence_p99 &&
+               a_q > options.max_convergence_p99_seconds) {
+             regressed = true;
+             std::ostringstream os;
+             os << "convergence p99 " << a_q << "s > band "
+                << options.max_convergence_p99_seconds << "s";
+             note = os.str();
+           }
+           if (b_q == a_q && !regressed) continue;
+           if (!regressed && b_q > options.noise_floor_seconds &&
                a_q > options.noise_floor_seconds && b_q > 0.0) {
              const double ratio = a_q / b_q;
              const double max_ratio = options.*(q.max_ratio);

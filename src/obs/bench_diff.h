@@ -53,6 +53,17 @@ struct BenchDiffOptions {
   // floor is a regression — the compiled backend stopped paying for
   // itself.
   double min_fastpath_speedup = 10.0;
+  // Absolute ceiling on the p99 of "convergence."-prefixed histograms
+  // (DESIGN.md §12): per-update convergence tail latency in seconds. The
+  // paper's claim is sub-second convergence; any run whose after-side
+  // convergence p99 lands above this band is a regression regardless of
+  // how slow the before side was. Checked whenever the after value is
+  // above the band — even when before == after.
+  double max_convergence_p99_seconds = 2.0;
+  // The convergence.overhead_ratio gauge mirrors telemetry.overhead_ratio:
+  // tracker-on vs tracker-off time on the ingest+batch path, measured by
+  // microbench_core's gate. Absolute budget, exact-name gauge only.
+  double max_convergence_overhead = 1.05;
 };
 
 struct BenchDelta {

@@ -60,10 +60,7 @@ FlowRecorder::FlowRecorder(Options options) : options_(options) {
   cache_.reserve(options_.cache_capacity + 2);
 }
 
-double FlowRecorder::NowSeconds() const {
-  if (clock_) return clock_();
-  return SecondsSince(epoch_);
-}
+double FlowRecorder::NowSeconds() const { return clock_.NowSeconds(); }
 
 void FlowRecorder::RecordSampled(const Sample& sample, std::uint64_t seq) {
   packets_sampled_.fetch_add(1, std::memory_order_relaxed);
@@ -202,7 +199,7 @@ std::size_t FlowRecorder::live_flows() const {
 
 void FlowRecorder::SetClockForTest(std::function<double()> clock) {
   std::lock_guard<std::mutex> lock(mu_);
-  clock_ = std::move(clock);
+  clock_.SetClockForTest(std::move(clock));
 }
 
 }  // namespace sdx::obs

@@ -208,8 +208,7 @@ class FlowRecorder {
   std::vector<FlowRecord> exported_;
   std::uint64_t flows_exported_ = 0;
   std::uint64_t cache_evictions_ = 0;
-  std::function<double()> clock_;
-  Clock::time_point epoch_ = Now();
+  ClockSource clock_;  // injectable via SetClockForTest (under mu_)
 };
 
 }  // namespace sdx::obs

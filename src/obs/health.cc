@@ -38,6 +38,7 @@ std::string HealthReport::ToJson() const {
     os << (i == 0 ? "" : ", ") << "\"" << JsonEscape(reasons[i]) << "\"";
   }
   os << "],\n";
+  os << "  \"ts\": " << JsonDouble(snapshot_seconds) << ",\n";
   os << "  \"queue_depth\": " << queue_depth << ",\n";
   os << "  \"batch_lag_seconds\": " << JsonDouble(batch_lag_seconds) << ",\n";
   os << "  \"updates_processed\": " << updates_processed << ",\n";
@@ -67,6 +68,7 @@ std::string HealthReport::ToJson() const {
 HealthReport HealthMonitor::Evaluate(HealthReport report) const {
   report.degraded = false;
   report.reasons.clear();
+  report.snapshot_seconds = clock_.NowSeconds();
   char buf[160];
   if (report.queue_depth > thresholds_.max_queue_depth) {
     std::snprintf(buf, sizeof(buf), "queue_depth %zu > %zu",

@@ -58,6 +58,7 @@ struct HealthReport {
   // Stamped by HealthMonitor::Evaluate.
   bool degraded = false;
   std::vector<std::string> reasons;
+  double snapshot_seconds = 0.0;  // monitor-clock time of the evaluation
 
   // Single JSON object: {"status": "ok"|"degraded", "reasons": [...],
   //  "queue_depth": N, ...}. Parseable by obs/json.h (sdxmon health).
@@ -72,8 +73,15 @@ class HealthMonitor {
   const HealthThresholds& thresholds() const { return thresholds_; }
 
   // Applies the thresholds: fills report.degraded / report.reasons (any
-  // previous evaluation is discarded) and returns the evaluated report.
+  // previous evaluation is discarded), stamps report.snapshot_seconds from
+  // the monitor's clock, and returns the evaluated report.
   HealthReport Evaluate(HealthReport report) const;
+
+  // Evaluation-timestamp clock; inject via clock().SetClockForTest so
+  // interval-oriented consumers (the time-series layer, tests) see
+  // deterministic snapshot times.
+  ClockSource& clock() { return clock_; }
+  const ClockSource& clock() const { return clock_; }
 
   // Per-participant update rates from retained kBgpUpdateBegin events
   // (arg0 = sender AS), over the time window the retained events span.
@@ -84,6 +92,7 @@ class HealthMonitor {
 
  private:
   HealthThresholds thresholds_;
+  ClockSource clock_;
 };
 
 }  // namespace sdx::obs

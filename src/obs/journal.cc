@@ -33,6 +33,7 @@ constexpr TypeName kTypeNames[] = {
     {JournalEventType::kBatchEnd, "batch_end"},
     {JournalEventType::kUpdateCoalesced, "update_coalesced"},
     {JournalEventType::kCompileOptionsChanged, "compile_options_changed"},
+    {JournalEventType::kUpdateEnqueued, "update_enqueued"},
 };
 
 }  // namespace
@@ -63,7 +64,7 @@ void Journal::Record(JournalEventType type, UpdateId update_id,
                      std::uint64_t arg2, std::string detail) {
   JournalEvent& slot = ring_[total_ % ring_.size()];
   slot.seq = total_;
-  slot.seconds = SecondsSince(epoch_);
+  slot.seconds = clock_.NowSeconds();
   slot.update_id = update_id;
   slot.type = type;
   slot.arg0 = arg0;

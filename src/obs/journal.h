@@ -69,6 +69,10 @@ enum class JournalEventType : std::uint8_t {
                         // `sdxmon chain <loser>` still explains its fate
   kCompileOptionsChanged,  // SetCompileOptions (arg0/arg1 = new/old packed
                            // {parallel, incremental} bits, arg2 = new threads)
+  kUpdateEnqueued,         // update entered the batch queue directly (no
+                           // session hop); arg0=sender AS, arg1=is_announce,
+                           // detail=prefix. The ingest stamp ConvergenceTracker
+                           // measures queue-wait from.
 };
 
 // Stable wire name ("rs_decision") used by the JSONL export and sdxmon.
@@ -104,6 +108,15 @@ class Journal {
   void Record(JournalEventType type, UpdateId update_id,
               std::uint64_t arg0 = 0, std::uint64_t arg1 = 0,
               std::uint64_t arg2 = 0, std::string detail = {});
+
+  // The clock every event timestamp comes from. Exposed so (a) tests can
+  // inject a manual clock (`journal.clock().SetClockForTest(...)`) and make
+  // flap windows / convergence latencies deterministic, and (b) consumers
+  // that relate "now" to event timestamps (ConvergenceTracker) read the
+  // same epoch the events were stamped against.
+  ClockSource& clock() { return clock_; }
+  const ClockSource& clock() const { return clock_; }
+  double NowSeconds() const { return clock_.NowSeconds(); }
 
   std::size_t capacity() const { return ring_.size(); }
   std::size_t size() const;                 // events currently retained
@@ -142,7 +155,7 @@ class Journal {
   std::uint64_t cleared_below_ = 0;     // Clear() forgets seqs below this
   UpdateId next_update_id_ = 1;
   UpdateId current_update_id_ = kNoUpdateId;
-  Clock::time_point epoch_ = Now();
+  ClockSource clock_;
 };
 
 // RAII ambient-update-id scope: sets the journal's current id, restores

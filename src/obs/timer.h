@@ -3,9 +3,18 @@
 // Every timed path in the tree (runtime compilation, benches, spans) goes
 // through these two functions so "seconds" means the same thing everywhere:
 // steady_clock, converted to double seconds.
+//
+// ClockSource is the injectable form: components that stamp events with
+// "seconds since my epoch" (Journal, FlowRecorder, HealthMonitor,
+// TimeSeries) own one and read NowSeconds() through it, so a test can
+// substitute a manual clock in one place and every time-based behavior
+// (timeouts, convergence latencies, sample timestamps) becomes
+// deterministic without sleeping.
 #pragma once
 
 #include <chrono>
+#include <functional>
+#include <utility>
 
 namespace sdx::obs {
 
@@ -17,5 +26,28 @@ inline Clock::time_point Now() { return Clock::now(); }
 inline double SecondsSince(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
+
+// Injectable seconds-since-epoch clock. Default: steady_clock seconds
+// since construction. SetClockForTest replaces the reading wholesale;
+// call it before any thread other than the installer reads NowSeconds()
+// (the override is not synchronized — it is test plumbing, not a
+// runtime-reconfigurable clock).
+class ClockSource {
+ public:
+  double NowSeconds() const {
+    if (override_) return override_();
+    return SecondsSince(epoch_);
+  }
+
+  void SetClockForTest(std::function<double()> clock) {
+    override_ = std::move(clock);
+  }
+
+  bool overridden() const { return static_cast<bool>(override_); }
+
+ private:
+  std::function<double()> override_;
+  Clock::time_point epoch_ = Now();
+};
 
 }  // namespace sdx::obs

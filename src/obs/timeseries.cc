@@ -1,0 +1,114 @@
+#include "obs/timeseries.h"
+
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "obs/json.h"
+
+namespace sdx::obs {
+
+TimeSeries::TimeSeries(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void TimeSeries::Append(TimeSeriesSample sample) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(sample));
+  } else {
+    ring_[total_ % capacity_] = std::move(sample);
+  }
+  ++total_;
+}
+
+std::vector<TimeSeriesSample> TimeSeries::Samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TimeSeriesSample> out;
+  out.reserve(ring_.size());
+  const std::uint64_t first = total_ <= capacity_ ? 0 : total_ - capacity_;
+  for (std::uint64_t i = first; i < total_; ++i) {
+    out.push_back(ring_[i % capacity_]);
+  }
+  return out;
+}
+
+std::size_t TimeSeries::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::uint64_t TimeSeries::total_appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::string TimeSeries::ToJson(double interval_seconds) const {
+  const std::vector<TimeSeriesSample> samples = Samples();
+  std::ostringstream os;
+  os << "{\n  \"interval_seconds\": " << json::Number(interval_seconds)
+     << ",\n  \"samples\": [";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    {\"t\": "
+       << json::Number(samples[i].seconds) << ", \"values\": {";
+    bool first = true;
+    for (const auto& [name, value] : samples[i].values) {
+      os << (first ? "" : ", ") << json::Quote(name) << ": "
+         << json::Number(value);
+      first = false;
+    }
+    os << "}}";
+  }
+  os << (samples.empty() ? "]" : "\n  ]") << "\n}\n";
+  return os.str();
+}
+
+TimeSeriesSampler::TimeSeriesSampler(TimeSeries* series, Producer producer,
+                                     Options options)
+    : series_(series), producer_(std::move(producer)), options_(options) {
+  if (options_.interval_seconds <= 0.0) options_.interval_seconds = 0.05;
+}
+
+TimeSeriesSampler::~TimeSeriesSampler() { Stop(); }
+
+void TimeSeriesSampler::Start() {
+  if (thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = false;
+  }
+  thread_ = std::thread(&TimeSeriesSampler::Run, this);
+}
+
+void TimeSeriesSampler::Stop() {
+  if (!thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void TimeSeriesSampler::SampleNow() {
+  if (series_ == nullptr || !producer_) return;
+  TimeSeriesSample sample;
+  sample.values = producer_();
+  sample.seconds = clock_.NowSeconds();
+  series_->Append(std::move(sample));
+}
+
+void TimeSeriesSampler::Run() {
+  const auto interval =
+      std::chrono::duration<double>(options_.interval_seconds);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, interval, [this] { return stop_; })) break;
+    lock.unlock();
+    SampleNow();
+    lock.lock();
+  }
+}
+
+}  // namespace sdx::obs

@@ -1,0 +1,122 @@
+// Ring-buffer time-series telemetry (DESIGN.md §12).
+//
+// Point-in-time metric snapshots answer "where is the runtime now"; the
+// convergence work needs "how did it get there" — percentile trajectories
+// over a run, degraded intervals rather than a final verdict. TimeSeries
+// is the storage: a fixed-capacity ring of (timestamp, flat name→value
+// map) samples, oldest overwritten first, exported as a single JSON
+// document (`BENCH_*.timeseries.json`) that `sdxmon top` renders live and
+// `sdxmon health` scans for degraded intervals.
+//
+// TimeSeriesSampler is the collection side: a background thread that
+// calls a producer callback every interval and appends the result. The
+// producer must be safe to call off the control thread — in practice it
+// reads MetricsRegistry::Snapshot(), sharded drop counters, gauges the
+// control thread publishes, and ConvergenceTracker::AppendSeries, all of
+// which are thread-safe by construction. SampleNow() takes one sample
+// synchronously (benches use it to guarantee a final sample before
+// export; tests use it with an injected clock for determinism).
+//
+// Schema (one JSON object):
+//   {"interval_seconds": S,
+//    "samples": [{"t": T, "values": {"name": V, ...}}, ...]}
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/timer.h"
+
+namespace sdx::obs {
+
+struct TimeSeriesSample {
+  double seconds = 0.0;  // sampler-clock timestamp
+  std::map<std::string, double> values;
+};
+
+// Thread-safe sample ring. Append and read may race freely.
+class TimeSeries {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1024;
+
+  explicit TimeSeries(std::size_t capacity = kDefaultCapacity);
+
+  TimeSeries(const TimeSeries&) = delete;
+  TimeSeries& operator=(const TimeSeries&) = delete;
+
+  void Append(TimeSeriesSample sample);
+
+  // Retained samples, oldest first.
+  std::vector<TimeSeriesSample> Samples() const;
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const;
+  std::uint64_t total_appended() const;
+
+  // The export document. `interval_seconds` is advisory metadata (the
+  // sampler's configured cadence; 0 = unknown/manual sampling).
+  std::string ToJson(double interval_seconds = 0.0) const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<TimeSeriesSample> ring_;  // slot = total % capacity
+  std::uint64_t total_ = 0;
+};
+
+struct TimeSeriesSamplerOptions {
+  double interval_seconds = 0.05;
+};
+
+// Background sampling thread. Start/Stop are idempotent; the destructor
+// stops the thread. Not thread-safe itself (drive it from one thread);
+// the underlying TimeSeries and the producer are what the thread shares.
+class TimeSeriesSampler {
+ public:
+  using Producer = std::function<std::map<std::string, double>()>;
+
+  // Defined at namespace scope (TimeSeriesSamplerOptions) so it is a
+  // complete type for the constructor's default argument.
+  using Options = TimeSeriesSamplerOptions;
+
+  TimeSeriesSampler(TimeSeries* series, Producer producer,
+                    Options options = {});
+  ~TimeSeriesSampler();
+
+  TimeSeriesSampler(const TimeSeriesSampler&) = delete;
+  TimeSeriesSampler& operator=(const TimeSeriesSampler&) = delete;
+
+  void Start();
+  void Stop();
+  bool running() const { return thread_.joinable(); }
+
+  // One synchronous sample on the calling thread.
+  void SampleNow();
+
+  double interval_seconds() const { return options_.interval_seconds; }
+
+  // Timestamp clock for appended samples; inject via
+  // clock().SetClockForTest *before* Start() for deterministic tests.
+  ClockSource& clock() { return clock_; }
+
+ private:
+  void Run();
+
+  TimeSeries* series_;
+  Producer producer_;
+  Options options_;
+  ClockSource clock_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace sdx::obs

@@ -12,6 +12,7 @@ namespace sdx::core {
 using obs::SecondsSince;
 
 SdxRuntime::SdxRuntime() : composer_(topology_, route_server_) {
+  queue_depth_gauge_ = &metrics_.GetGauge("health.queue_depth");
   EnableJournal();
 }
 
@@ -19,12 +20,35 @@ void SdxRuntime::EnableJournal(std::size_t capacity) {
   journal_ = std::make_unique<obs::Journal>(capacity);
   route_server_.SetSinks(sinks());
   data_plane_.table().SetJournal(journal_.get());
+  if (convergence_ != nullptr) convergence_->AttachJournal(journal_.get());
 }
 
 void SdxRuntime::DisableJournal() {
   journal_.reset();
   route_server_.SetSinks(sinks());
   data_plane_.table().SetJournal(nullptr);
+  if (convergence_ != nullptr) convergence_->AttachJournal(nullptr);
+}
+
+void SdxRuntime::EnableConvergenceTracking(std::size_t max_pending) {
+  convergence_ = std::make_unique<obs::ConvergenceTracker>(max_pending);
+  convergence_->AttachJournal(journal_.get());
+}
+
+void SdxRuntime::DisableConvergenceTracking() { convergence_.reset(); }
+
+void SdxRuntime::EnableTimeSeries(double interval_seconds,
+                                  std::size_t capacity) {
+  DisableTimeSeries();
+  timeseries_ = std::make_unique<obs::TimeSeries>(capacity);
+  sampler_ = std::make_unique<obs::TimeSeriesSampler>(
+      timeseries_.get(), [this] { return CollectTimeSeriesValues(); },
+      obs::TimeSeriesSampler::Options{interval_seconds});
+  sampler_->Start();
+}
+
+void SdxRuntime::DisableTimeSeries() {
+  sampler_.reset();  // joins the sampler thread; the series stays readable
 }
 
 void SdxRuntime::EnableFlowTelemetry(obs::FlowRecorder::Options options) {
@@ -685,16 +709,33 @@ UpdateStats SdxRuntime::ApplyBgpUpdate(const bgp::BgpUpdate& update) {
   return stats;
 }
 
+void SdxRuntime::StampIngress(bgp::BgpUpdate& update) {
+  if (journal_ == nullptr) return;
+  if (bgp::UpdateProvenance(update) != obs::kNoUpdateId) return;
+  const obs::UpdateId id = journal_->NextUpdateId();
+  bgp::SetUpdateProvenance(update, id);
+  journal_->Record(obs::JournalEventType::kUpdateEnqueued, id,
+                   bgp::UpdateFrom(update),
+                   bgp::IsAnnouncement(update) ? 1 : 0, 0,
+                   bgp::UpdatePrefix(update).ToString());
+}
+
 BatchStats SdxRuntime::ApplyUpdates(std::span<const bgp::BgpUpdate> updates) {
   // Joins anything already pending, so explicit spans and the standing
   // queue coalesce against each other in arrival order.
-  for (const bgp::BgpUpdate& update : updates) queue_.Enqueue(update);
+  for (const bgp::BgpUpdate& update : updates) {
+    bgp::BgpUpdate stamped = update;
+    StampIngress(stamped);
+    queue_.Enqueue(std::move(stamped));
+  }
   return Flush();
 }
 
 bool SdxRuntime::EnqueueUpdate(bgp::BgpUpdate update) {
   if (!oldest_pending_since_) oldest_pending_since_ = obs::Now();
+  StampIngress(update);
   queue_.Enqueue(std::move(update));
+  queue_depth_gauge_->Set(static_cast<double>(queue_.pending_updates()));
   if (batch_window_ != 0 && queue_.pending_updates() >= batch_window_) {
     Flush();
     return true;
@@ -705,6 +746,7 @@ bool SdxRuntime::EnqueueUpdate(bgp::BgpUpdate update) {
 BatchStats SdxRuntime::Flush() {
   const std::size_t raw = queue_.pending_updates();
   oldest_pending_since_.reset();
+  queue_depth_gauge_->Set(0.0);
   if (raw == 0) return {};
   last_batch_ = RunBatch(queue_.Drain(), raw, "apply_update_batch", "batch",
                          /*aggregate=*/true);
@@ -920,6 +962,11 @@ BatchStats SdxRuntime::RunBatch(std::vector<bgp::CoalescedUpdate> slots,
 
   stats.seconds = SecondsSince(start);
   stats.stages = tracer_.spans();
+  // Convergence end stamp: taken on the journal's clock (the same clock
+  // the ingest events carry) the moment the flush completed, before the
+  // tail-end journaling/metrics below add their microseconds.
+  const double convergence_end_seconds =
+      journal_ != nullptr ? journal_->NowSeconds() : 0.0;
   last_flush_seconds_ = stats.seconds;
   for (const obs::SpanRecord& span : stats.stages) {
     if (span.name == std::string("rib_update")) {
@@ -965,6 +1012,34 @@ BatchStats SdxRuntime::RunBatch(std::vector<bgp::CoalescedUpdate> slots,
       metrics_.GetCounter("batch.compile_skipped").Increment();
     }
   }
+
+  if (convergence_ != nullptr) {
+    obs::ConvergenceBatch cb;
+    cb.end_seconds = convergence_end_seconds;
+    cb.batch_seconds = stats.seconds;
+    for (const obs::SpanRecord& span : stats.stages) {
+      if (span.parent == obs::SpanRecord::kNoParent) continue;
+      if (span.name == "rib_update") {
+        cb.decision_seconds += span.seconds;
+      } else if (span.name == "group_construction" ||
+                 span.name == "slice_compile") {
+        cb.compile_seconds += span.seconds;
+      } else if (span.name == "rule_install" || span.name == "readvertise") {
+        cb.flush_seconds += span.seconds;
+      }
+    }
+    cb.applied.reserve(slots.size());
+    for (const bgp::CoalescedUpdate& slot : slots) {
+      cb.applied.emplace_back(
+          bgp::UpdateProvenance(slot.update),
+          static_cast<std::uint32_t>(bgp::UpdateFrom(slot.update)));
+      for (const std::uint64_t loser : slot.superseded) {
+        cb.coalesced.push_back(loser);
+      }
+    }
+    convergence_->RecordBatch(cb);
+  }
+
   RecordTrace(metric_prefix, stats.seconds);
   return stats;
 }
@@ -1086,6 +1161,58 @@ obs::HealthReport SdxRuntime::HealthSnapshot(
   return obs::HealthMonitor(thresholds).Evaluate(std::move(report));
 }
 
+obs::HealthReport SdxRuntime::PublishHealth(
+    const obs::HealthThresholds& thresholds) {
+  obs::HealthReport report = HealthSnapshot(thresholds);
+  metrics_.GetGauge("health.degraded").Set(report.degraded ? 1.0 : 0.0);
+  metrics_.GetGauge("health.queue_depth")
+      .Set(static_cast<double>(report.queue_depth));
+  metrics_.GetGauge("health.batch_lag_seconds").Set(report.batch_lag_seconds);
+  metrics_.GetGauge("health.flow_table_rules")
+      .Set(static_cast<double>(report.flow_table_rules));
+  metrics_.GetGauge("health.total_drops")
+      .Set(static_cast<double>(report.total_drops));
+  return report;
+}
+
+std::map<std::string, double> SdxRuntime::CollectTimeSeriesValues() const {
+  std::map<std::string, double> values;
+
+  // Registry metrics the dashboard cares about: batch/update counters,
+  // published health gauges, and a fixed set of latency histograms.
+  // Snapshot() is thread-safe; everything else here is sharded/atomic.
+  const obs::MetricsSnapshot snap = metrics_.Snapshot();
+  for (const auto& [name, value] : snap.counters) {
+    if (name.rfind("batch.", 0) == 0 || name.rfind("bgp_update.", 0) == 0) {
+      values[name] = static_cast<double>(value);
+    }
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    if (name.rfind("health.", 0) == 0) values[name] = value;
+  }
+  for (const char* name :
+       {"batch.depth", "batch.seconds", "bgp_update.seconds",
+        "compile.seconds"}) {
+    const auto it = snap.histograms.find(name);
+    if (it == snap.histograms.end()) continue;
+    const std::string base(name);
+    values[base + ".count"] = static_cast<double>(it->second.count);
+    values[base + ".p50"] = it->second.p50;
+    values[base + ".p95"] = it->second.p95;
+    values[base + ".p99"] = it->second.p99;
+  }
+
+  const obs::DropCounters drops = DropCounts();
+  values["drop.total"] = static_cast<double>(drops.total());
+  for (obs::DropReason reason : obs::kAllDropReasons) {
+    values[std::string("drop.") + obs::DropReasonName(reason)] =
+        static_cast<double>(drops.count(reason));
+  }
+
+  if (convergence_ != nullptr) convergence_->AppendSeries(&values);
+  return values;
+}
+
 obs::MetricsSnapshot SdxRuntime::SnapshotMetrics() {
   // Drop accounting, one counter per reason.
   const obs::DropCounters drops = DropCounts();
@@ -1159,7 +1286,12 @@ obs::MetricsSnapshot SdxRuntime::SnapshotMetrics() {
   metrics_.GetCounter("traffic.sent_packets").Set(sent);
   metrics_.GetCounter("traffic.received_packets").Set(received);
 
-  return metrics_.Snapshot();
+  obs::MetricsSnapshot snapshot = metrics_.Snapshot();
+  // The convergence histograms live in sharded cells, not the registry
+  // (registry histograms cannot be bulk-merged); splice their views in so
+  // exports and `sdxmon diff` treat them like any other metric.
+  if (convergence_ != nullptr) convergence_->FillMetrics(&snapshot);
+  return snapshot;
 }
 
 const Participant* SdxRuntime::FindParticipant(AsNumber as) const {

@@ -43,6 +43,7 @@
 #include "bgp/update_queue.h"
 #include "dataplane/arp.h"
 #include "dataplane/switch.h"
+#include "obs/convergence.h"
 #include "obs/drop_reason.h"
 #include "obs/flow_recorder.h"
 #include "obs/health.h"
@@ -50,6 +51,7 @@
 #include "obs/metrics.h"
 #include "obs/sharded.h"
 #include "obs/sinks.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "policy/cache.h"
 #include "rs/route_server.h"
@@ -307,6 +309,51 @@ class SdxRuntime {
   obs::HealthReport HealthSnapshot(
       const obs::HealthThresholds& thresholds = {}) const;
 
+  // HealthSnapshot plus publication: mirrors the verdict into "health.*"
+  // gauges (degraded, queue_depth, batch_lag_seconds, ...) so the
+  // time-series sampler — which must not touch control-thread-only state —
+  // picks the health trajectory up from the registry. Call it periodically
+  // from the control thread while sampling.
+  obs::HealthReport PublishHealth(const obs::HealthThresholds& thresholds = {});
+
+  // --- Convergence tracking (DESIGN.md §12) ------------------------------
+  // Per-update end-to-end convergence latency: ingest-stamped provenance
+  // ids matched against batch flush completion, decomposed into
+  // queue_wait/decision/compile/flush segments. Reads ingest stamps from
+  // the journal — with the journal disabled every update counts as
+  // chain-truncated. Disabled by default (zero cost when off).
+  void EnableConvergenceTracking(
+      std::size_t max_pending = std::size_t{1} << 16);
+  // Stop the time-series sampler (DisableTimeSeries) before disabling if
+  // it was enabled after the tracker — the sampler reads the tracker.
+  void DisableConvergenceTracking();
+  obs::ConvergenceTracker* convergence() { return convergence_.get(); }
+  const obs::ConvergenceTracker* convergence() const {
+    return convergence_.get();
+  }
+
+  // --- Time-series telemetry (DESIGN.md §12) -----------------------------
+  // Starts a background thread sampling CollectTimeSeriesValues() every
+  // `interval_seconds` into a ring of `capacity` samples. Re-enabling
+  // replaces the series; DisableTimeSeries stops the thread but keeps the
+  // collected samples readable via timeseries() until the next enable.
+  void EnableTimeSeries(double interval_seconds = 0.05,
+                        std::size_t capacity = obs::TimeSeries::kDefaultCapacity);
+  void DisableTimeSeries();
+  obs::TimeSeries* timeseries() { return timeseries_.get(); }
+  obs::TimeSeriesSampler* timeseries_sampler() { return sampler_.get(); }
+  // One synchronous sample (benches take a final sample before export).
+  void SampleTimeSeriesNow() {
+    if (sampler_ != nullptr) sampler_->SampleNow();
+  }
+
+  // The sampler's producer: a flat name→value map of batch/update
+  // counters, selected latency-histogram percentiles, drop totals,
+  // published "health.*" gauges, and convergence percentiles. Safe to
+  // call from any thread (reads only thread-safe sources — never the
+  // journal or the route server).
+  std::map<std::string, double> CollectTimeSeriesValues() const;
+
   // Per-reason drop totals across the whole pipeline: border-router drops
   // (no_fib_route, arp_unresolved), injection-time isolation violations,
   // and the data plane's table_miss/explicit_drop counters. Every packet
@@ -353,6 +400,12 @@ class SdxRuntime {
   BatchStats RunBatch(std::vector<bgp::CoalescedUpdate> slots,
                       std::size_t raw_count, const char* root_span,
                       const char* metric_prefix, bool aggregate);
+
+  // Ingest-time provenance: assigns an id to a not-yet-stamped update and
+  // journals kUpdateEnqueued, so queue-wait is measurable from the moment
+  // the update entered the standing queue (session-delivered updates are
+  // already stamped at kBgpSessionRx). No-op without a journal.
+  void StampIngress(bgp::BgpUpdate& update);
 
   // Re-advertises next hops into the border-router FIBs (one router per
   // worker when `pool` is set). Full mode rebuilds every FIB from scratch;
@@ -459,6 +512,16 @@ class SdxRuntime {
   double last_decision_seconds_ = 0.0;  // rib_update stage, last batch
   double last_compile_seconds_ = 0.0;   // last FullCompile wall time
   double last_flush_seconds_ = 0.0;     // last batch end-to-end wall time
+  // Resolved once (ctor) so the ingest path publishes queue depth with one
+  // relaxed store, no registry lookup.
+  obs::Gauge* queue_depth_gauge_ = nullptr;
+
+  // --- Convergence + time-series (DESIGN.md §12) -------------------------
+  // Declared last: the sampler thread reads metrics_/convergence_/the drop
+  // counters, so it must be destroyed (joined) before any of them.
+  std::unique_ptr<obs::ConvergenceTracker> convergence_;
+  std::unique_ptr<obs::TimeSeries> timeseries_;
+  std::unique_ptr<obs::TimeSeriesSampler> sampler_;
 };
 
 }  // namespace sdx::core

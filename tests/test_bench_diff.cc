@@ -244,6 +244,74 @@ TEST(BenchDiffTest, FastPathSpeedupGaugeCarriesAHardFloor) {
                    .regression);
 }
 
+TEST(BenchDiffTest, ConvergenceP99CarriesAnAbsoluteCeiling) {
+  // "convergence."-prefixed histogram p99s get an absolute after-side band
+  // (DESIGN.md §12): a tail over the budget is a regression no matter the
+  // before-value — INCLUDING when before == after, which the ratio checks
+  // would skip entirely.
+  const std::string slow = "\"convergence.e2e.seconds\": " +
+                           Hist(100, 0.1, 1.0, 3.5);
+  BenchDiff equal = DiffMetrics(Snapshot("", "", slow), Snapshot("", "", slow));
+  EXPECT_TRUE(equal.regression);
+  ASSERT_FALSE(equal.deltas.empty());
+  EXPECT_EQ(equal.deltas[0].metric, "histogram convergence.e2e.seconds p99");
+  EXPECT_NE(equal.deltas[0].note.find("band"), std::string::npos);
+
+  // Under the 2s default ceiling: clean, even against a faster before.
+  const std::string fast = "\"convergence.e2e.seconds\": " +
+                           Hist(100, 0.1, 0.5, 1.5);
+  EXPECT_FALSE(
+      DiffMetrics(Snapshot("", "", fast), Snapshot("", "", fast)).regression);
+
+  // The ceiling is tunable (sdxmon diff --max-convergence-p99).
+  BenchDiffOptions loose;
+  loose.max_convergence_p99_seconds = 5.0;
+  EXPECT_FALSE(DiffMetrics(Snapshot("", "", slow), Snapshot("", "", slow),
+                           loose)
+                   .regression);
+  BenchDiffOptions strict;
+  strict.max_convergence_p99_seconds = 1.0;
+  EXPECT_TRUE(DiffMetrics(Snapshot("", "", fast), Snapshot("", "", fast),
+                          strict)
+                  .regression);
+
+  // Non-convergence histograms keep ratio-only semantics: a huge-but-
+  // stable p99 elsewhere is not flagged.
+  const std::string other = "\"compile.seconds\": " + Hist(100, 1.0, 2.0, 9.0);
+  EXPECT_FALSE(DiffMetrics(Snapshot("", "", other), Snapshot("", "", other))
+                   .regression);
+}
+
+TEST(BenchDiffTest, ConvergenceOverheadGaugeCarriesAHardBudget) {
+  // convergence.overhead_ratio mirrors telemetry.overhead_ratio: absolute
+  // budget on the after-side, exact-name gauge only.
+  BenchDiff over = DiffMetrics(
+      Snapshot("", "\"convergence.overhead_ratio\": 1.01", ""),
+      Snapshot("", "\"convergence.overhead_ratio\": 1.09", ""));
+  EXPECT_TRUE(over.regression);
+  ASSERT_EQ(over.deltas.size(), 1u);
+  EXPECT_NE(over.deltas[0].note.find("budget"), std::string::npos);
+
+  EXPECT_FALSE(DiffMetrics(
+                   Snapshot("", "\"convergence.overhead_ratio\": 1.06", ""),
+                   Snapshot("", "\"convergence.overhead_ratio\": 1.02", ""))
+                   .regression);
+
+  BenchDiffOptions loose;
+  loose.max_convergence_overhead = 1.20;
+  EXPECT_FALSE(DiffMetrics(
+                   Snapshot("", "\"convergence.overhead_ratio\": 1.01", ""),
+                   Snapshot("", "\"convergence.overhead_ratio\": 1.09", ""),
+                   loose)
+                   .regression);
+
+  // Companions (off/on seconds, overhead_ns) stay informational.
+  EXPECT_FALSE(
+      DiffMetrics(Snapshot("", "\"convergence.overhead_ns\": 50", ""),
+                  Snapshot("", "\"convergence.overhead_ns\": 500", ""))
+          .regression);
+}
+
 TEST(BenchDiffTest, MembershipChangesAreReportedNotFlagged) {
   BenchDiff diff = DiffMetrics(Snapshot("\"old\": 1", "", ""),
                                Snapshot("\"new\": 1", "", ""));
