@@ -1,0 +1,49 @@
+// Prefix-hash shard routing for the sharded control-plane decision pass
+// (DESIGN.md §13).
+//
+// All per-prefix route-server state (Adj-RIB-In entries, announcer sets,
+// Loc-RIB entries) is keyed by prefix, and the decision process for one
+// update reads and writes only its own prefix's entries. Routing every
+// update for a prefix to the same shard therefore makes shards fully
+// independent: per-prefix sequential semantics are preserved inside a
+// shard, and no two shards ever touch the same entry.
+//
+// The hash must be deterministic across runs, platforms, and standard
+// libraries (std::hash is none of these), because shard assignment decides
+// which worker computes a decision and the equivalence/determinism tests
+// replay recorded universes. splitmix64 over (network, length) is cheap
+// and mixes the low bits real prefix distributions cluster in.
+#pragma once
+
+#include <cstdint>
+
+#include "net/ipv4.h"
+
+namespace sdx::bgp {
+
+// Decision shards are capped so per-shard bookkeeping stays bounded; 16
+// matches obs::kShardCount and is far above any core count that pays off
+// on the per-prefix decision process.
+inline constexpr int kMaxDecisionShards = 16;
+
+// Deterministic 64-bit mix of a prefix (splitmix64 finalizer).
+inline std::uint64_t PrefixShardHash(const net::IPv4Prefix& prefix) {
+  std::uint64_t x =
+      (static_cast<std::uint64_t>(prefix.network().value()) << 8) |
+      static_cast<std::uint64_t>(prefix.length());
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+// The shard [0, shards) that owns `prefix`. shards <= 1 collapses to 0.
+inline int PrefixShard(const net::IPv4Prefix& prefix, int shards) {
+  if (shards <= 1) return 0;
+  return static_cast<int>(PrefixShardHash(prefix) %
+                          static_cast<std::uint64_t>(shards));
+}
+
+}  // namespace sdx::bgp

@@ -34,6 +34,7 @@ constexpr TypeName kTypeNames[] = {
     {JournalEventType::kUpdateCoalesced, "update_coalesced"},
     {JournalEventType::kCompileOptionsChanged, "compile_options_changed"},
     {JournalEventType::kUpdateEnqueued, "update_enqueued"},
+    {JournalEventType::kDecisionOptionsChanged, "decision_options_changed"},
 };
 
 }  // namespace

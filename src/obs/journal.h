@@ -73,6 +73,8 @@ enum class JournalEventType : std::uint8_t {
                            // session hop); arg0=sender AS, arg1=is_announce,
                            // detail=prefix. The ingest stamp ConvergenceTracker
                            // measures queue-wait from.
+  kDecisionOptionsChanged,  // SetDecisionOptions (arg0/arg1 = new/old packed
+                            // {parallel, shards<<1}, arg2 = resolved shards)
 };
 
 // Stable wire name ("rs_decision") used by the JSONL export and sdxmon.

@@ -75,6 +75,19 @@ struct CompileOptions {
   int threads = 0;          // 0 = util::ThreadPool::DefaultThreadCount()
 };
 
+// How the per-batch BGP decision pass runs (DESIGN.md §13). With the
+// defaults the rib_update stage of ApplyUpdates fans the per-prefix
+// decision process out across prefix-hash shards on the compile pool,
+// falling back to the classic sequential pass whenever sharding cannot
+// help (one shard, no pool, a single slot, bulk loading). Behavior-
+// equivalent either way: identical Loc-RIB/FIB/VNH state, journal stream,
+// and metrics (tests/test_decision_shards.cc, tests/oracle).
+struct DecisionOptions {
+  bool parallel = true;  // fan the decision pass across the compile pool
+  int shards = 0;        // 0 = $SDX_DECISION_SHARDS, else pool thread count;
+                         // clamped to [1, bgp::kMaxDecisionShards]
+};
+
 struct CompileStats {
   std::size_t prefix_group_count = 0;
   std::size_t flow_rule_count = 0;
@@ -126,11 +139,19 @@ struct BatchStats {
   // readvertise stages were skipped entirely.
   bool compiled = false;
   double seconds = 0.0;
-  // Batch stages, pre-order: rib_update, then (when compiled)
+  // Batch stages, pre-order: rib_update (with one decision.shard<i> child
+  // per shard when the decision pass fanned out), then (when compiled)
   // group_construction, slice_compile, rule_install, readvertise.
   std::vector<obs::SpanRecord> stages;
   // One entry per applied update, in drain order.
   std::vector<BatchOutcome> outcomes;
+  // How the decision pass ran (DESIGN.md §13): shard count actually used,
+  // whether it fanned out, and the per-shard worker seconds / slot counts
+  // (one entry per shard; a single entry on the sequential path).
+  int decision_shards = 1;
+  bool decision_parallel = false;
+  std::vector<double> decision_shard_seconds;
+  std::vector<std::size_t> decision_shard_updates;
 };
 
 // Per-participant traffic totals derived from the fabric's port counters
@@ -211,6 +232,16 @@ class SdxRuntime {
   // event, so option flips are auditable next to the compiles they affect.
   CompileOptions SetCompileOptions(const CompileOptions& options);
   const CompileOptions& compile_options() const { return options_; }
+
+  // Takes effect at the next drained batch. Returns the previous options
+  // and journals a decision_options_changed event (mirrors
+  // SetCompileOptions). The effective shard count also honors the
+  // SDX_DECISION_SHARDS environment knob when `shards` is 0 (see
+  // DecisionOptions).
+  DecisionOptions SetDecisionOptions(const DecisionOptions& options);
+  const DecisionOptions& decision_options() const {
+    return decision_options_;
+  }
 
   // --- Traffic ---------------------------------------------------------------
   // Border-router model: FIB lookup + ARP + tag, then the fabric. Empty
@@ -425,6 +456,11 @@ class SdxRuntime {
   // The worker pool per current options (nullptr = compile inline).
   util::ThreadPool* CompilePool();
 
+  // The decision shard count for the next batch: 1 when parallel is off,
+  // else options.shards, else $SDX_DECISION_SHARDS, else the compile
+  // pool's thread count — clamped to [1, bgp::kMaxDecisionShards].
+  int ResolvedDecisionShards() const;
+
   // Behavior-set membership of a single prefix (fast path).
   std::vector<std::uint32_t> SetsContaining(const net::IPv4Prefix& prefix)
       const;
@@ -447,6 +483,7 @@ class SdxRuntime {
 
   // --- Incremental-compilation state (DESIGN.md §8) ----------------------
   CompileOptions options_;
+  DecisionOptions decision_options_;
   std::unique_ptr<util::ThreadPool> pool_;
   BlockMemo block_memo_;
   bool have_previous_compile_ = false;
@@ -504,6 +541,11 @@ class SdxRuntime {
   // injection-time isolation violations. Sharded: the border-router path
   // is a packet path (obs/sharded.h).
   obs::ShardedDropCounters ingress_drops_;
+  // Updates decided so far, incremented live by whichever thread decides
+  // each slot (decision workers when sharded). The time-series sampler
+  // reads it concurrently as "decision.updates"; SnapshotMetrics syncs it
+  // into the registry.
+  obs::ShardedCounter decision_updates_;
 
   // --- Health bookkeeping (DESIGN.md §10) --------------------------------
   // Wall-clock moment the standing queue went empty→nonempty; cleared by

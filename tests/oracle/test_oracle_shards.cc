@@ -1,0 +1,151 @@
+// Tier-1 cross-shard decision oracle (DESIGN.md §13): ApplyUpdates with
+// the decision pass fanned across N prefix-hash shards must be packet-for-
+// packet AND state-for-state identical to the 1-shard sequential pass, for
+// every N. Seeded mini-fuzz over shards ∈ {1, 2, 4, 8} on generated
+// topologies, flap bursts, and mixed announce/withdraw streams; a failing
+// run prints the master seed to replay (override with SDX_ORACLE_SEED).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "bgp/rib.h"
+#include "oracle.h"
+#include "workload/policy_gen.h"
+#include "workload/seed.h"
+#include "workload/topology_gen.h"
+#include "workload/update_gen.h"
+
+namespace sdx::oracle {
+namespace {
+
+using core::CompileOptions;
+using core::DecisionOptions;
+using core::SdxRuntime;
+
+std::uint64_t MasterSeed() {
+  if (const char* env = std::getenv("SDX_ORACLE_SEED")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 0x5dc151a4d5eed001ull;
+}
+
+struct Fixture {
+  workload::IxpScenario scenario;
+  workload::GeneratedPolicies policies;
+};
+
+Fixture MakeFixture(int participants, int prefixes, std::uint64_t seed) {
+  Fixture fixture;
+  workload::TopologyParams topo;
+  topo.participants = participants;
+  topo.total_prefixes = prefixes;
+  topo.seed = seed;
+  fixture.scenario = workload::TopologyGenerator(topo).Generate();
+  workload::PolicyParams policy_params;
+  policy_params.seed = workload::DeriveSeed(seed, 1);
+  policy_params.coverage_fanout = participants / 2;
+  fixture.policies =
+      workload::PolicyGenerator(policy_params).Generate(fixture.scenario);
+  return fixture;
+}
+
+// A runtime over the fixture with the decision pass pinned to `shards`
+// (shards <= 1 = the classic sequential pass). The compile pool is pinned
+// to 4 threads so the fan-out engages regardless of host core count.
+std::unique_ptr<SdxRuntime> MakeRuntime(const Fixture& fixture, int shards) {
+  CompileOptions options;
+  options.threads = 4;
+  auto runtime = BuildRuntime(fixture.scenario, fixture.policies, options);
+  runtime->SetDecisionOptions(
+      DecisionOptions{.parallel = shards > 1, .shards = shards});
+  return runtime;
+}
+
+// Loc-RIB contents for every participant — the control-plane state the
+// decision pass owns. AdvertisedNextHop (the FIB/VNH surface) is covered
+// packet-level by ComparePacketBehavior.
+std::map<bgp::AsNumber, std::map<net::IPv4Prefix, bgp::BgpRoute>> LocRibs(
+    const SdxRuntime& runtime) {
+  std::map<bgp::AsNumber, std::map<net::IPv4Prefix, bgp::BgpRoute>> out;
+  const rs::RouteServer& rs = runtime.route_server();
+  for (const bgp::AsNumber as : rs.Participants()) {
+    if (const bgp::LocRib* rib = rs.LocRibFor(as)) {
+      auto& routes = out[as];
+      rib->ForEach([&routes](const bgp::BgpRoute& route) {
+        routes[route.prefix] = route;
+      });
+    }
+  }
+  return out;
+}
+
+TEST(OracleShards, ShardCountsAreObservationallyEquivalent) {
+  const std::uint64_t master = MasterSeed();
+  std::cout << "[ oracle ] master seed " << master
+            << " (override with SDX_ORACLE_SEED)\n";
+
+  struct Config {
+    int participants;
+    int prefixes;
+    std::size_t burst_updates;
+  };
+  const Config configs[] = {{24, 360, 96}, {40, 600, 160}};
+  const int shard_counts[] = {1, 2, 4, 8};
+
+  for (std::size_t c = 0; c < std::size(configs); ++c) {
+    const Config& config = configs[c];
+    const std::uint64_t config_seed = workload::DeriveSeed(master, c);
+    SCOPED_TRACE(::testing::Message()
+                 << "config " << config.participants << "p/" << config.prefixes
+                 << "pfx seed " << config_seed);
+    const Fixture fixture =
+        MakeFixture(config.participants, config.prefixes, config_seed);
+
+    std::vector<std::unique_ptr<SdxRuntime>> runtimes;
+    for (const int shards : shard_counts) {
+      runtimes.push_back(MakeRuntime(fixture, shards));
+    }
+    SdxRuntime& baseline = *runtimes.front();  // 1 shard, sequential
+
+    // A mixed announce/withdraw stream, fed to every runtime in identical
+    // batches of 24 so coalescing and the shard fan-out both engage.
+    auto params = workload::UpdateStreamParams::Small(
+        config.prefixes, config.burst_updates,
+        workload::DeriveSeed(config_seed, 2));
+    params.duration_seconds = 1e12;
+    const auto stream =
+        workload::UpdateGenerator(params).GenerateFor(fixture.scenario);
+    ASSERT_FALSE(stream.updates.empty());
+
+    constexpr std::size_t kChunk = 24;
+    for (std::size_t base = 0; base < stream.updates.size(); base += kChunk) {
+      const std::size_t n = std::min(kChunk, stream.updates.size() - base);
+      const std::span<const bgp::BgpUpdate> chunk(stream.updates.data() + base,
+                                                  n);
+      for (auto& runtime : runtimes) runtime->ApplyUpdates(chunk);
+    }
+
+    const auto baseline_ribs = LocRibs(baseline);
+    for (std::size_t r = 1; r < runtimes.size(); ++r) {
+      SCOPED_TRACE(::testing::Message() << "shards=" << shard_counts[r]);
+      // Control-plane state equality: every participant's Loc-RIB.
+      EXPECT_EQ(baseline_ribs, LocRibs(*runtimes[r]))
+          << "Loc-RIB diverged from the sequential baseline";
+      // Packet-level equivalence: emissions + drop deltas per probe.
+      const OracleResult result = ComparePacketBehavior(
+          baseline, *runtimes[r], fixture.scenario,
+          workload::DeriveSeed(config_seed, 100 + r), 300);
+      EXPECT_TRUE(result.equivalent) << result.report;
+      EXPECT_EQ(result.packets_checked, 300u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sdx::oracle

@@ -1,0 +1,512 @@
+// Sharded decision pass (DESIGN.md §13): the cross-shard equivalence
+// harness gating the parallel rib_update stage of ApplyUpdates.
+//
+//   * shard routing units — PrefixShard determinism, ShardByPrefix
+//     partition/cover properties, option resolution (env knob, clamp,
+//     parallel=false collapse) via the journaled resolved count;
+//   * the equivalence oracle — a 1-shard sequential runtime and an N-shard
+//     parallel runtime fed the same mixed announce/withdraw/flap batches
+//     must end with identical Loc-RIB / advertised-next-hop (FIB/VNH)
+//     state, identical route-server counters, and an identical journal
+//     event stream (timestamps excluded);
+//   * determinism — same fixture + same shard count twice gives
+//     byte-identical journal JSONL (sans ts) and identical metric
+//     counters;
+//   * the TSan stress surface — parallel decision workers incrementing the
+//     live decision.updates counter while a TimeSeriesSampler thread reads
+//     it and the control thread polls HealthSnapshot/PublishHealth.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <numeric>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bgp/shard.h"
+#include "bgp/update_queue.h"
+#include "obs/journal.h"
+#include "sdx/runtime.h"
+
+namespace sdx::core {
+namespace {
+
+net::IPv4Prefix P(int i) {
+  return net::IPv4Prefix(
+      net::IPv4Address(10, static_cast<uint8_t>(i), 0, 0), 16);
+}
+
+// ---------------------------------------------------------------------------
+// Shard routing units.
+
+TEST(PrefixShard, DeterministicAndInRange) {
+  for (int i = 1; i <= 64; ++i) {
+    const net::IPv4Prefix prefix = P(i % 32 + 1);
+    const std::uint64_t hash = bgp::PrefixShardHash(prefix);
+    EXPECT_EQ(hash, bgp::PrefixShardHash(prefix)) << "hash must be pure";
+    for (const int shards : {1, 2, 4, 8, bgp::kMaxDecisionShards}) {
+      const int shard = bgp::PrefixShard(prefix, shards);
+      EXPECT_GE(shard, 0);
+      EXPECT_LT(shard, shards);
+      EXPECT_EQ(shard, bgp::PrefixShard(prefix, shards));
+    }
+    EXPECT_EQ(bgp::PrefixShard(prefix, 1), 0);
+    EXPECT_EQ(bgp::PrefixShard(prefix, 0), 0) << "degenerate counts clamp";
+  }
+}
+
+TEST(PrefixShard, ShardByPrefixPartitionsSlots) {
+  std::vector<bgp::CoalescedUpdate> slots;
+  for (int i = 1; i <= 24; ++i) {
+    bgp::Announcement a;
+    a.from_as = 100;
+    a.route.prefix = P(i);
+    slots.push_back({bgp::BgpUpdate{a}, {}, 0});
+  }
+  const auto lists = bgp::ShardByPrefix(slots, 4);
+  ASSERT_EQ(lists.size(), 4u);
+  std::set<std::size_t> seen;
+  for (std::size_t s = 0; s < lists.size(); ++s) {
+    for (const std::size_t index : lists[s]) {
+      EXPECT_TRUE(seen.insert(index).second) << "slot in two shards";
+      EXPECT_EQ(static_cast<std::size_t>(bgp::PrefixShard(
+                    bgp::UpdatePrefix(slots[index].update), 4)),
+                s);
+    }
+  }
+  EXPECT_EQ(seen.size(), slots.size()) << "every slot lands in a shard";
+  // Same-prefix slots always share a shard (the per-prefix sequential
+  // guarantee the merge relies on).
+  bgp::Announcement dup;
+  dup.from_as = 200;
+  dup.route.prefix = P(1);
+  slots.push_back({bgp::BgpUpdate{dup}, {}, 0});
+  const auto lists2 = bgp::ShardByPrefix(slots, 8);
+  for (const auto& list : lists2) {
+    const bool has_first =
+        std::find(list.begin(), list.end(), std::size_t{0}) != list.end();
+    const bool has_dup =
+        std::find(list.begin(), list.end(), slots.size() - 1) != list.end();
+    EXPECT_EQ(has_first, has_dup);
+  }
+}
+
+// Reads the resolved shard count SetDecisionOptions journals (arg2 of the
+// decision_options_changed event) — the observable form of the private
+// resolution rule.
+std::uint64_t ResolvedViaJournal(SdxRuntime& runtime,
+                                 const DecisionOptions& options) {
+  runtime.SetDecisionOptions(options);
+  const auto events = runtime.journal()->Events();
+  for (auto it = events.rbegin(); it != events.rend(); ++it) {
+    if (it->type == obs::JournalEventType::kDecisionOptionsChanged) {
+      return it->arg2;
+    }
+  }
+  ADD_FAILURE() << "no decision_options_changed event journaled";
+  return 0;
+}
+
+TEST(DecisionOptionsTest, ResolutionJournaledAndClamped) {
+  SdxRuntime runtime;
+  ASSERT_NE(runtime.journal(), nullptr);
+
+  EXPECT_EQ(ResolvedViaJournal(runtime, {.parallel = false, .shards = 8}), 1u)
+      << "parallel=false collapses to one shard";
+  EXPECT_EQ(ResolvedViaJournal(runtime, {.parallel = true, .shards = 3}), 3u);
+  EXPECT_EQ(ResolvedViaJournal(runtime, {.parallel = true, .shards = 64}),
+            static_cast<std::uint64_t>(bgp::kMaxDecisionShards))
+      << "shard counts clamp to kMaxDecisionShards";
+
+  // SetDecisionOptions returns the previous options (mirrors
+  // SetCompileOptions).
+  const DecisionOptions previous =
+      runtime.SetDecisionOptions({.parallel = true, .shards = 2});
+  EXPECT_TRUE(previous.parallel);
+  EXPECT_EQ(previous.shards, 64);
+}
+
+TEST(DecisionOptionsTest, EnvKnobFillsUnsetShardCount) {
+  const char* saved = std::getenv("SDX_DECISION_SHARDS");
+  const std::string saved_value = saved ? saved : "";
+  ::setenv("SDX_DECISION_SHARDS", "5", 1);
+  SdxRuntime runtime;
+  EXPECT_EQ(ResolvedViaJournal(runtime, {.parallel = true, .shards = 0}), 5u)
+      << "shards=0 defers to $SDX_DECISION_SHARDS";
+  EXPECT_EQ(ResolvedViaJournal(runtime, {.parallel = true, .shards = 2}), 2u)
+      << "an explicit count beats the env knob";
+  if (saved) {
+    ::setenv("SDX_DECISION_SHARDS", saved_value.c_str(), 1);
+  } else {
+    ::unsetenv("SDX_DECISION_SHARDS");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime fixture: four participants, 24 prefixes, seeded flap bursts.
+
+class DecisionShardTest : public ::testing::Test {
+ protected:
+  static constexpr AsNumber kA = 100;
+  static constexpr AsNumber kB = 200;
+  static constexpr AsNumber kC = 300;
+  static constexpr AsNumber kD = 400;
+  static constexpr int kPrefixes = 24;
+
+  // Builds a fresh runtime over the fixture topology with the requested
+  // decision sharding. The compile pool is pinned to 4 threads so the
+  // parallel path engages regardless of host core count.
+  std::unique_ptr<SdxRuntime> MakeRuntime(int shards, bool parallel) {
+    auto runtime = std::make_unique<SdxRuntime>();
+    runtime->AddParticipant(kA, 1);
+    runtime->AddParticipant(kB, 1);
+    runtime->AddParticipant(kC, 1);
+    runtime->AddParticipant(kD, 2);
+    for (int i = 1; i <= kPrefixes; ++i) {
+      runtime->AnnouncePrefix(kB, P(i), {kB, 900});
+    }
+    runtime->SetCompileOptions(
+        {.parallel = true, .incremental = true, .threads = 4});
+    runtime->SetDecisionOptions({.parallel = parallel, .shards = shards});
+    runtime->FullCompile();
+    return runtime;
+  }
+
+  static bgp::BgpUpdate Announce(const SdxRuntime& runtime, AsNumber from,
+                                 const net::IPv4Prefix& prefix,
+                                 std::uint32_t local_pref) {
+    bgp::Announcement a;
+    a.from_as = from;
+    a.route.prefix = prefix;
+    a.route.next_hop = runtime.RouterIp(from);
+    a.route.as_path = {from};
+    a.route.local_pref = local_pref;
+    return bgp::BgpUpdate{a};
+  }
+
+  static bgp::BgpUpdate Withdraw(AsNumber from,
+                                 const net::IPv4Prefix& prefix) {
+    bgp::Withdrawal w;
+    w.from_as = from;
+    w.prefix = prefix;
+    return bgp::BgpUpdate{w};
+  }
+
+  // A deterministic mixed workload: `rounds` batches, each touching every
+  // prefix, alternating announcer between kC and kD with escalating
+  // local-pref, plus periodic withdraw/re-announce churn so both update
+  // kinds and best-route flips in both directions occur.
+  std::vector<std::vector<bgp::BgpUpdate>> MakeBatches(
+      const SdxRuntime& runtime, int rounds) {
+    std::vector<std::vector<bgp::BgpUpdate>> batches;
+    for (int round = 0; round < rounds; ++round) {
+      std::vector<bgp::BgpUpdate> batch;
+      for (int i = 1; i <= kPrefixes; ++i) {
+        const AsNumber from = (i + round) % 2 == 0 ? kC : kD;
+        if (round > 0 && (i + round) % 5 == 0) {
+          batch.push_back(Withdraw(from, P(i)));
+        } else {
+          batch.push_back(Announce(
+              runtime, from, P(i),
+              1000 + static_cast<std::uint32_t>(round * kPrefixes + i)));
+        }
+        // Some same-(peer,prefix) flaps so coalescing participates.
+        if (i % 7 == 0) {
+          batch.push_back(Announce(
+              runtime, from, P(i),
+              2000 + static_cast<std::uint32_t>(round * kPrefixes + i)));
+        }
+      }
+      batches.push_back(std::move(batch));
+    }
+    return batches;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Per-shard batch stats + metrics.
+
+TEST_F(DecisionShardTest, BatchStatsReportShardSplit) {
+  auto runtime = MakeRuntime(/*shards=*/4, /*parallel=*/true);
+  const auto batches = MakeBatches(*runtime, 1);
+  const BatchStats stats = runtime->ApplyUpdates(batches[0]);
+
+  EXPECT_TRUE(stats.decision_parallel);
+  EXPECT_EQ(stats.decision_shards, 4);
+  ASSERT_EQ(stats.decision_shard_updates.size(), 4u);
+  ASSERT_EQ(stats.decision_shard_seconds.size(), 4u);
+  EXPECT_EQ(std::accumulate(stats.decision_shard_updates.begin(),
+                            stats.decision_shard_updates.end(), std::size_t{0}),
+            stats.updates_applied)
+      << "per-shard slot counts must partition the batch";
+  for (const double seconds : stats.decision_shard_seconds) {
+    EXPECT_GE(seconds, 0.0);
+  }
+
+  // The rib_update span carries one decision.shard<i> child per shard.
+  std::size_t shard_spans = 0;
+  for (const obs::SpanRecord& span : stats.stages) {
+    if (span.name.rfind("decision.shard", 0) == 0) ++shard_spans;
+  }
+  EXPECT_EQ(shard_spans, 4u);
+
+  const obs::MetricsSnapshot snapshot = runtime->SnapshotMetrics();
+  EXPECT_EQ(snapshot.gauges.at("decision.shards"), 4.0);
+  EXPECT_GE(snapshot.counters.at("decision.parallel_batches"), 1u);
+  EXPECT_EQ(snapshot.counters.at("decision.updates"), stats.updates_applied);
+  std::uint64_t shard_counter_total = 0;
+  for (int s = 0; s < 4; ++s) {
+    const auto it = snapshot.counters.find("decision.shard" +
+                                           std::to_string(s) + ".updates");
+    if (it != snapshot.counters.end()) shard_counter_total += it->second;
+  }
+  EXPECT_EQ(shard_counter_total, stats.updates_applied);
+}
+
+TEST_F(DecisionShardTest, SingleUpdateFallsBackToSequential) {
+  auto runtime = MakeRuntime(/*shards=*/4, /*parallel=*/true);
+  const UpdateStats update =
+      runtime->ApplyBgpUpdate(Announce(*runtime, kC, P(1), 5000));
+  EXPECT_TRUE(update.best_route_changed);
+  const obs::MetricsSnapshot snapshot = runtime->SnapshotMetrics();
+  EXPECT_GE(snapshot.counters.at("decision.sequential_batches"), 1u);
+  EXPECT_EQ(snapshot.counters.count("decision.parallel_batches"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// The cross-shard equivalence oracle (the tentpole gate).
+
+// Everything routing-observable about a runtime, collected through public
+// introspection: per-participant Loc-RIB contents, advertised next hops
+// (the FIB/VNH-visible surface), route-server counters, and the journal
+// stream with timestamps erased.
+struct ObservableState {
+  std::map<AsNumber, std::map<net::IPv4Prefix, bgp::BgpRoute>> loc_ribs;
+  std::map<std::pair<AsNumber, net::IPv4Prefix>,
+           std::optional<net::IPv4Address>>
+      advertised;
+  std::map<AsNumber, rs::ParticipantCounters> counters;
+  std::uint64_t updates_processed = 0;
+  std::uint64_t export_suppressions = 0;
+  std::vector<std::string> journal;  // canonical events, ts excluded
+};
+
+// True for event types whose arg2 is a measured duration in µs — wall
+// clock, not behavior; excluded from equivalence like the ts field.
+bool DurationBearing(obs::JournalEventType type) {
+  return type == obs::JournalEventType::kBgpUpdateEnd ||
+         type == obs::JournalEventType::kBatchEnd ||
+         type == obs::JournalEventType::kCompileEnd;
+}
+
+std::vector<std::string> CanonicalJournal(const obs::Journal* journal) {
+  std::vector<std::string> out;
+  if (journal == nullptr) return out;
+  for (const obs::JournalEvent& event : journal->Events()) {
+    const std::string arg2 =
+        DurationBearing(event.type) ? "µs" : std::to_string(event.arg2);
+    out.push_back(std::to_string(event.seq) + " " +
+                  obs::JournalEventTypeName(event.type) + " id=" +
+                  std::to_string(event.update_id) + " args=" +
+                  std::to_string(event.arg0) + "," +
+                  std::to_string(event.arg1) + "," + arg2 + " " +
+                  event.detail);
+  }
+  return out;
+}
+
+ObservableState Observe(SdxRuntime& runtime, int prefixes) {
+  ObservableState state;
+  const rs::RouteServer& rs = runtime.route_server();
+  for (const AsNumber as : rs.Participants()) {
+    const bgp::LocRib* rib = rs.LocRibFor(as);
+    if (rib == nullptr) {
+      ADD_FAILURE() << "registered participant " << as << " has no Loc-RIB";
+      continue;
+    }
+    auto& routes = state.loc_ribs[as];
+    rib->ForEach([&routes](const bgp::BgpRoute& route) {
+      routes[route.prefix] = route;
+    });
+    for (int i = 1; i <= prefixes; ++i) {
+      state.advertised[{as, P(i)}] = runtime.AdvertisedNextHop(as, P(i));
+    }
+    if (const rs::ParticipantCounters* counters = rs.CountersFor(as)) {
+      state.counters[as] = *counters;
+    }
+  }
+  state.updates_processed = rs.updates_processed();
+  state.export_suppressions = rs.export_suppressions();
+  state.journal = CanonicalJournal(runtime.journal());
+  return state;
+}
+
+void ExpectSameState(ObservableState& seq, ObservableState& shard) {
+  EXPECT_EQ(seq.updates_processed, shard.updates_processed);
+  EXPECT_EQ(seq.export_suppressions, shard.export_suppressions);
+  EXPECT_EQ(seq.loc_ribs, shard.loc_ribs) << "Loc-RIB contents diverged";
+  EXPECT_EQ(seq.advertised, shard.advertised)
+      << "advertised next hops (FIB/VNH surface) diverged";
+  ASSERT_EQ(seq.counters.size(), shard.counters.size());
+  for (const auto& [as, counters] : seq.counters) {
+    const rs::ParticipantCounters& other = shard.counters.at(as);
+    EXPECT_EQ(counters.announcements, other.announcements) << "AS " << as;
+    EXPECT_EQ(counters.withdrawals, other.withdrawals) << "AS " << as;
+    EXPECT_EQ(counters.best_route_changes, other.best_route_changes)
+        << "AS " << as;
+  }
+}
+
+TEST_F(DecisionShardTest, ShardedMatchesSequentialStateAndJournal) {
+  for (const int shards : {2, 4, 8}) {
+    SCOPED_TRACE(::testing::Message() << "shards=" << shards);
+    auto seq = MakeRuntime(/*shards=*/1, /*parallel=*/false);
+    auto par = MakeRuntime(shards, /*parallel=*/true);
+    // Diverging decision_options_changed journal args would trip the
+    // journal diff below for the wrong reason; clear both journals so the
+    // comparison starts at the first batch.
+    seq->journal()->Clear();
+    par->journal()->Clear();
+
+    const auto batches = MakeBatches(*seq, /*rounds=*/4);
+    for (const auto& batch : batches) {
+      const BatchStats s = seq->ApplyUpdates(batch);
+      const BatchStats p = par->ApplyUpdates(batch);
+      EXPECT_FALSE(s.decision_parallel);
+      EXPECT_TRUE(p.decision_parallel) << "parallel path did not engage";
+      EXPECT_EQ(s.updates_applied, p.updates_applied);
+      EXPECT_EQ(s.updates_coalesced, p.updates_coalesced);
+      EXPECT_EQ(s.prefixes_changed, p.prefixes_changed);
+      // Outcomes line up slot for slot: same prefixes, same change bits,
+      // same provenance ids (both journals allocate in lockstep).
+      ASSERT_EQ(s.outcomes.size(), p.outcomes.size());
+      for (std::size_t i = 0; i < s.outcomes.size(); ++i) {
+        EXPECT_EQ(s.outcomes[i].prefix, p.outcomes[i].prefix);
+        EXPECT_EQ(s.outcomes[i].best_route_changed,
+                  p.outcomes[i].best_route_changed);
+        EXPECT_EQ(s.outcomes[i].cause_id, p.outcomes[i].cause_id);
+      }
+    }
+
+    ObservableState seq_state = Observe(*seq, kPrefixes);
+    ObservableState par_state = Observe(*par, kPrefixes);
+    ExpectSameState(seq_state, par_state);
+
+    // Journal streams match event for event (timestamps excluded).
+    ASSERT_EQ(seq_state.journal.size(), par_state.journal.size());
+    for (std::size_t i = 0; i < seq_state.journal.size(); ++i) {
+      ASSERT_EQ(seq_state.journal[i], par_state.journal[i])
+          << "journal diverged at event " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: same fixture + same shard count ⇒ byte-identical journal
+// JSONL (timestamps stripped) and identical metric counters.
+
+// Removes the "ts":<float> field from every line of ToJsonl() output, and
+// masks the trailing duration arg of *_end events (measured µs — wall
+// clock, not behavior). The remainder must be byte-identical across runs.
+std::string StripTimestamps(const std::string& jsonl) {
+  std::string out;
+  std::size_t pos = 0;
+  while (pos < jsonl.size()) {
+    const std::size_t eol = jsonl.find('\n', pos);
+    const std::size_t end = eol == std::string::npos ? jsonl.size() : eol;
+    std::string line = jsonl.substr(pos, end - pos);
+    const std::size_t ts = line.find("\"ts\":");
+    if (ts != std::string::npos) {
+      const std::size_t comma = line.find(',', ts);
+      if (comma != std::string::npos) line.erase(ts, comma - ts + 1);
+    }
+    if (line.find("_end\"") != std::string::npos) {
+      const std::size_t open = line.find("\"args\": [");
+      const std::size_t close = line.find(']', open);
+      if (open != std::string::npos && close != std::string::npos) {
+        const std::size_t last_comma = line.rfind(',', close);
+        if (last_comma != std::string::npos && last_comma > open) {
+          line.replace(last_comma + 1, close - last_comma - 1, " _");
+        }
+      }
+    }
+    out += line;
+    out += '\n';
+    pos = end + 1;
+  }
+  return out;
+}
+
+TEST_F(DecisionShardTest, SameShardCountIsRunToRunDeterministic) {
+  std::string first_journal;
+  std::map<std::string, std::uint64_t> first_counters;
+  for (int run = 0; run < 2; ++run) {
+    auto runtime = MakeRuntime(/*shards=*/4, /*parallel=*/true);
+    for (const auto& batch : MakeBatches(*runtime, /*rounds=*/3)) {
+      runtime->ApplyUpdates(batch);
+    }
+    const std::string journal = StripTimestamps(runtime->journal()->ToJsonl());
+    const obs::MetricsSnapshot snapshot = runtime->SnapshotMetrics();
+    if (run == 0) {
+      first_journal = journal;
+      first_counters = snapshot.counters;
+      EXPECT_FALSE(first_journal.empty());
+    } else {
+      EXPECT_EQ(first_journal, journal)
+          << "journal JSONL must be byte-identical across runs";
+      EXPECT_EQ(first_counters, snapshot.counters)
+          << "metric counters must be identical across runs";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TSan stress: decision workers increment the live decision.updates
+// counter while the sampler thread reads it (CollectTimeSeriesValues) and
+// the control thread polls health between batches. Run under the thread
+// sanitizer in CI; here it asserts the counter lands exactly and samples
+// flow.
+
+TEST_F(DecisionShardTest, ParallelDecisionsRaceTimeSeriesSampler) {
+  auto runtime = MakeRuntime(/*shards=*/4, /*parallel=*/true);
+  runtime->EnableConvergenceTracking();
+  runtime->EnableTimeSeries(/*interval_seconds=*/0.0005);
+
+  std::size_t applied = 0;
+  constexpr int kRounds = 12;
+  const auto batches = MakeBatches(*runtime, kRounds);
+  for (int round = 0; round < kRounds; ++round) {
+    applied += runtime->ApplyUpdates(batches[round]).updates_applied;
+    runtime->PublishHealth();
+    const obs::HealthReport health = runtime->HealthSnapshot();
+    EXPECT_GE(health.last_decision_seconds, 0.0);
+  }
+  runtime->SampleTimeSeriesNow();
+  runtime->DisableTimeSeries();
+
+  // The live counter observed from any thread equals the merged total.
+  const auto values = runtime->CollectTimeSeriesValues();
+  ASSERT_EQ(values.count("decision.updates"), 1u);
+  EXPECT_EQ(values.at("decision.updates"), static_cast<double>(applied));
+  ASSERT_NE(runtime->timeseries(), nullptr);
+  EXPECT_GT(runtime->timeseries()->size(), 0u);
+
+  // Convergence decision-segment attribution: wall + per-shard worker time
+  // both accumulated, exported as gauges.
+  const obs::ConvergenceStats stats = runtime->convergence()->Snapshot();
+  EXPECT_GE(stats.decision_wall_seconds, 0.0);
+  EXPECT_GE(stats.decision_shard_seconds, 0.0);
+  const obs::MetricsSnapshot snapshot = runtime->SnapshotMetrics();
+  EXPECT_EQ(snapshot.gauges.count("convergence.decision.wall_seconds_total"),
+            1u);
+  EXPECT_EQ(snapshot.gauges.count("convergence.decision.shard_seconds_total"),
+            1u);
+}
+
+}  // namespace
+}  // namespace sdx::core

@@ -43,6 +43,10 @@
 //   --max-convergence-p99=S  --max-convergence-overhead=R
 //     (absolute bands: after-side convergence p99 ceiling in seconds, and
 //      the convergence.overhead_ratio gauge budget)
+//   --min-fastpath-speedup=R  --min-decision-speedup=R
+//     (absolute gauge floors: compiled-classifier speedup and the sharded
+//      decision-pass speedup measured by fig10 part (c); the decision
+//      floor is off by default — core-count dependent)
 //
 // Exit codes: 0 ok, 1 regression detected (diff/health only), 2
 // usage/IO/parse.
@@ -83,7 +87,8 @@ int Usage() {
       "        [--max-batch-counter-rel=R] [--min-batch-counter-abs=N]\n"
       "        [--max-p50-ratio=R] [--max-p95-ratio=R] [--max-p99-ratio=R]\n"
       "        [--noise-floor-us=U] [--max-telemetry-overhead=R]\n"
-      "        [--min-fastpath-speedup=R] [--max-convergence-p99=S]\n"
+      "        [--min-fastpath-speedup=R] [--min-decision-speedup=R]\n"
+      "        [--max-convergence-p99=S]\n"
       "        [--max-convergence-overhead=R]\n"
       "  health <health.json|timeseries.json> render a health snapshot (exit\n"
       "                                      1 on degraded), or — for a\n"
@@ -269,6 +274,8 @@ int CmdDiff(const std::vector<std::string>& args) {
       options.max_telemetry_overhead = std::stod(value);
     } else if (FlagValue(args[i], "--min-fastpath-speedup", &value)) {
       options.min_fastpath_speedup = std::stod(value);
+    } else if (FlagValue(args[i], "--min-decision-speedup", &value)) {
+      options.min_decision_speedup = std::stod(value);
     } else if (FlagValue(args[i], "--max-convergence-p99", &value)) {
       options.max_convergence_p99_seconds = std::stod(value);
     } else if (FlagValue(args[i], "--max-convergence-overhead", &value)) {
