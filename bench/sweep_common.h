@@ -27,7 +27,8 @@ struct BuiltScenario {
 inline BuiltScenario MakeScenario(int participants, int prefixes,
                                   std::uint64_t seed,
                                   double policy_scale = 1.0,
-                                  int coverage_fanout = 0) {
+                                  int coverage_fanout = 0,
+                                  int coverage_max_per_sender = 0) {
   workload::TopologyParams topo;
   topo.participants = participants;
   topo.total_prefixes = prefixes;
@@ -43,6 +44,7 @@ inline BuiltScenario MakeScenario(int participants, int prefixes,
   policy_params.eyeball_top_fraction =
       std::min(1.0, policy_params.eyeball_top_fraction * policy_scale);
   policy_params.coverage_fanout = coverage_fanout;
+  policy_params.coverage_max_per_sender = coverage_max_per_sender;
   out.policies =
       workload::PolicyGenerator(policy_params).Generate(out.scenario);
   return out;

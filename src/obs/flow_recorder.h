@@ -80,6 +80,8 @@ class FlowRecorder {
     std::size_t cache_capacity = 1024; // live flows before eviction
     double idle_timeout_seconds = 15.0;
     double active_timeout_seconds = 60.0;  // 0 disables active timeouts
+
+    friend bool operator==(const Options&, const Options&) = default;
   };
 
   // What the dataplane hands us per forwarded packet.

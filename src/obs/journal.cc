@@ -35,6 +35,8 @@ constexpr TypeName kTypeNames[] = {
     {JournalEventType::kCompileOptionsChanged, "compile_options_changed"},
     {JournalEventType::kUpdateEnqueued, "update_enqueued"},
     {JournalEventType::kDecisionOptionsChanged, "decision_options_changed"},
+    {JournalEventType::kRuntimeOptionsChanged, "runtime_options_changed"},
+    {JournalEventType::kTelemetryOptionsChanged, "telemetry_options_changed"},
 };
 
 }  // namespace

@@ -1,0 +1,64 @@
+// Consolidated observability configuration for SdxRuntime.
+//
+// The four Enable*/Disable* pairs (journal, flow telemetry, convergence
+// tracking, time series) form one coherent surface: which recorders exist
+// and how big they are. TelemetryOptions captures that surface as a value
+// so callers can apply, snapshot, and restore it atomically through
+// SdxRuntime::ConfigureTelemetry — which returns the previous options and
+// journals the change (kTelemetryOptionsChanged), mirroring the
+// RuntimeOptions/Configure contract for behavior knobs.
+//
+// Defaults reproduce a freshly constructed runtime: journal on at default
+// capacity, everything else off.
+#pragma once
+
+#include <cstddef>
+
+#include "obs/flow_recorder.h"
+#include "obs/journal.h"
+#include "obs/timeseries.h"
+
+namespace sdx::obs {
+
+struct TelemetryOptions {
+  struct JournalOpts {
+    bool enabled = true;
+    std::size_t capacity = Journal::kDefaultCapacity;
+
+    friend bool operator==(const JournalOpts&, const JournalOpts&) = default;
+  };
+
+  struct FlowOpts {
+    bool enabled = false;
+    FlowRecorder::Options options;
+
+    friend bool operator==(const FlowOpts&, const FlowOpts&) = default;
+  };
+
+  struct ConvergenceOpts {
+    bool enabled = false;
+    std::size_t max_pending = std::size_t{1} << 16;
+
+    friend bool operator==(const ConvergenceOpts&, const ConvergenceOpts&) =
+        default;
+  };
+
+  struct TimeSeriesOpts {
+    bool enabled = false;
+    double interval_seconds = 0.05;
+    std::size_t capacity = TimeSeries::kDefaultCapacity;
+
+    friend bool operator==(const TimeSeriesOpts&, const TimeSeriesOpts&) =
+        default;
+  };
+
+  JournalOpts journal;
+  FlowOpts flow;
+  ConvergenceOpts convergence;
+  TimeSeriesOpts timeseries;
+
+  friend bool operator==(const TelemetryOptions&, const TelemetryOptions&) =
+      default;
+};
+
+}  // namespace sdx::obs

@@ -601,4 +601,11 @@ std::vector<net::IPv4Prefix> RouteServer::PrefixesAnnouncedBy(
   return out;
 }
 
+const std::set<AsNumber>* RouteServer::AnnouncersOf(
+    const net::IPv4Prefix& prefix) const {
+  auto it = announcers_.find(prefix);
+  if (it == announcers_.end()) return nullptr;
+  return &it->second;
+}
+
 }  // namespace sdx::rs

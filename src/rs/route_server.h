@@ -197,6 +197,11 @@ class RouteServer {
   // Prefixes announced by one participant.
   std::vector<net::IPv4Prefix> PrefixesAnnouncedBy(AsNumber as) const;
 
+  // Participants that announced `prefix` (regardless of export policy);
+  // nullptr when nobody did. Feeds the per-group reachability bitmaps
+  // (sdx/reach.h) without copying the set per query.
+  const std::set<AsNumber>* AnnouncersOf(const net::IPv4Prefix& prefix) const;
+
   std::uint64_t updates_processed() const { return updates_processed_; }
 
   // Bumped by every mutation that can change routing outcomes through a

@@ -23,6 +23,18 @@
 // Faithful path (BuildFaithfulPolicy): literally (ΣPi'') >> (ΣPi'') over
 // per-peer virtual ports with destination-prefix BGP filters and real
 // next-hop MACs — no VNH optimization. Exponential-ish; small inputs only.
+//
+// Encoded path (VmacEncoding::kEncoded, sdx/reach.h): the VMAC itself
+// carries per-sender clause-eligibility bits and a next-hop roster index,
+// so each outbound clause compiles to masked-MAC rules matching its own
+// bit — independent of the prefix groups — and the default block holds one
+// masked next-hop rule per participant. Rule counts stop scaling with
+// groups × policies (the iSDX observation); senders whose clause index
+// exceeds kEncodedClauseBits fall back to the legacy per-group rules and
+// legacy ARP answers, preserving exact packet-level behavior at any policy
+// size. In encoded mode the block compilations are grouped into
+// per-participant compilation units that run independently on the pool and
+// merge deterministically in (sender AS, clause index) order.
 #pragma once
 
 #include <cstdint>
@@ -41,11 +53,6 @@
 #include "util/thread_pool.h"
 
 namespace sdx::core {
-
-// (sender AS, outbound-clause index) -> behavior-set id used during FEC
-// computation. Owned by the runtime, consumed here to find each clause's
-// eligible groups.
-using ClauseSetIds = std::map<std::pair<AsNumber, int>, std::uint32_t>;
 
 struct CompiledSdx {
   policy::Classifier classifier;
@@ -116,6 +123,12 @@ class Composer {
   // `memo` (optional) enables incremental composition: blocks whose
   // fingerprints match the previous generation are appended from the memo
   // without recompiling. `outcome` (optional) reports the reuse split.
+  // Fingerprints are salted per encoding mode, so flipping the mode
+  // invalidates exactly the blocks whose shape changes.
+  //
+  // `encoding` selects the VMAC rule shape (must be kLegacy or kEncoded —
+  // kAuto is resolved by the runtime before composing); `roster` is
+  // required for kEncoded and supplies the next-hop index space.
   CompiledSdx Compose(const std::map<AsNumber, Participant>& participants,
                       const InboundPolicies& inbound_policies,
                       const GroupTable& groups,
@@ -124,17 +137,23 @@ class Composer {
                       obs::Tracer* tracer = nullptr,
                       util::ThreadPool* pool = nullptr,
                       BlockMemo* memo = nullptr,
-                      ComposeOutcome* outcome = nullptr) const;
+                      ComposeOutcome* outcome = nullptr,
+                      VmacEncoding encoding = VmacEncoding::kLegacy,
+                      const Roster* roster = nullptr) const;
 
   // Compiles just the rules affected by one prefix group — the §4.3.2 fast
   // path. Produces the group's default rule plus any override rules whose
   // clause covers a prefix of the group, already sequenced with the
-  // relevant inbound blocks.
+  // relevant inbound blocks. Under kEncoded the masked rules installed by
+  // the full compile already cover new groups (the ARP answer carries the
+  // bits), so the slice only holds rules for overflow-fallback senders —
+  // usually none.
   policy::Classifier ComposeForGroup(
       const std::map<AsNumber, Participant>& participants,
       const InboundPolicies& inbound_policies, const AnnotatedGroup& group,
-      const ClauseSetIds& clause_set_ids,
-      policy::CompilationCache* cache) const;
+      const ClauseSetIds& clause_set_ids, policy::CompilationCache* cache,
+      VmacEncoding encoding = VmacEncoding::kLegacy,
+      const Roster* roster = nullptr) const;
 
   // The unoptimized §4.1 composition (validation/ablation only).
   policy::Policy BuildFaithfulPolicy(
@@ -152,6 +171,15 @@ class Composer {
                                  const std::vector<GroupId>& group_ids,
                                  const GroupTable& groups,
                                  policy::CompilationCache* cache) const;
+
+  // Encoded-mode counterpart of ClauseBlock: the clause compiled once and
+  // restricted to packets whose VMAC carries the 0x0E marker and clause
+  // bit `clause_index` — no per-group expansion, so the block is group-
+  // count-independent and stays valid as groups churn.
+  policy::Classifier EncodedClauseBlock(AsNumber sender,
+                                        const OutboundClause& clause,
+                                        int clause_index,
+                                        policy::CompilationCache* cache) const;
 
   const VirtualTopology* topo_;
   const rs::RouteServer* rs_;

@@ -56,7 +56,9 @@ std::optional<net::Packet> BorderRouter::EmitPacket(
     if (drop_reason != nullptr) *drop_reason = obs::DropReason::kNoFibRoute;
     return std::nullopt;
   }
-  auto mac = arp.Resolve(*next_hop);
+  // Requester-aware resolve: under the encoded-VMAC mode the controller's
+  // answer depends on who asks (sdx/reach.h); legacy bindings ignore it.
+  auto mac = arp.Resolve(*next_hop, as_);
   if (!mac) {  // unresolvable next hop
     if (drop_reason != nullptr) *drop_reason = obs::DropReason::kArpUnresolved;
     return std::nullopt;

@@ -1,0 +1,99 @@
+#include "sdx/reach.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "rs/route_server.h"
+#include "sdx/group_table.h"
+
+namespace sdx::core {
+
+Roster::Roster(std::vector<bgp::AsNumber> ases) : ases_(std::move(ases)) {}
+
+std::uint32_t Roster::IndexOf(bgp::AsNumber as) const {
+  auto it = std::lower_bound(ases_.begin(), ases_.end(), as);
+  if (it == ases_.end() || *it != as) return 0;
+  return static_cast<std::uint32_t>(it - ases_.begin()) + 1;
+}
+
+bgp::AsNumber Roster::AsAt(std::uint32_t index) const {
+  if (index == 0 || index > ases_.size()) return 0;
+  return ases_[index - 1];
+}
+
+void ReachabilityBitmap::Set(std::uint32_t index) {
+  const std::size_t word = index / 64;
+  if (word >= words_.size()) words_.resize(word + 1, 0);
+  words_[word] |= 1ull << (index % 64);
+}
+
+bool ReachabilityBitmap::Test(std::uint32_t index) const {
+  const std::size_t word = index / 64;
+  if (word >= words_.size()) return false;
+  return (words_[word] >> (index % 64)) & 1;
+}
+
+std::size_t ReachabilityBitmap::Count() const {
+  std::size_t count = 0;
+  for (std::uint64_t word : words_) count += std::popcount(word);
+  return count;
+}
+
+SenderClauseView SenderClauseBitsFor(const AnnotatedGroup& group,
+                                     bgp::AsNumber sender,
+                                     const ClauseSetIds& clause_set_ids) {
+  SenderClauseView view;
+  for (auto it = clause_set_ids.lower_bound({sender, 0});
+       it != clause_set_ids.end() && it->first.first == sender; ++it) {
+    if (!std::binary_search(group.member_of.begin(), group.member_of.end(),
+                            it->second)) {
+      continue;
+    }
+    const int clause = it->first.second;
+    if (clause >= kEncodedClauseBits) {
+      view.overflow = true;
+    } else {
+      view.bits |= 1u << clause;
+    }
+  }
+  return view;
+}
+
+net::MacAddress EncodedVmacFor(const AnnotatedGroup& group,
+                               bgp::AsNumber sender, const Roster& roster,
+                               const ClauseSetIds& clause_set_ids) {
+  auto it = group.per_sender_best.find(sender);
+  const bgp::AsNumber hop =
+      it != group.per_sender_best.end() ? it->second : group.best_hop;
+  std::uint32_t index = roster.IndexOf(hop);
+  // Unresolvable per-sender hop (withdrawn or never a participant): fall
+  // back to the shared best hop, exactly like the legacy composer skips the
+  // unresolvable exception rule and lets the shared default carry traffic.
+  if (index == 0) index = roster.IndexOf(group.best_hop);
+  return EncodeVmac(index,
+                    SenderClauseBitsFor(group, sender, clause_set_ids).bits);
+}
+
+ReachabilityBitmap ComputeReach(const AnnotatedGroup& group,
+                                const Roster& roster,
+                                const rs::RouteServer& rs) {
+  ReachabilityBitmap reach;
+  if (group.prefixes.empty()) return reach;
+  // Intersect the announcer sets across the group's prefixes; FEC grouping
+  // makes these near-identical, so start from the first and filter.
+  const auto* first = rs.AnnouncersOf(group.prefixes.front());
+  if (first == nullptr) return reach;
+  for (bgp::AsNumber as : *first) {
+    bool all = true;
+    for (std::size_t i = 1; i < group.prefixes.size() && all; ++i) {
+      const auto* announcers = rs.AnnouncersOf(group.prefixes[i]);
+      all = announcers != nullptr && announcers->count(as) > 0;
+    }
+    if (!all) continue;
+    const std::uint32_t index = roster.IndexOf(as);
+    if (index != 0) reach.Set(index);
+  }
+  return reach;
+}
+
+}  // namespace sdx::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <stdexcept>
+#include <string_view>
 
 #include "bgp/shard.h"
 #include "obs/timer.h"
@@ -23,6 +24,7 @@ void SdxRuntime::EnableJournal(std::size_t capacity) {
   route_server_.SetSinks(sinks());
   data_plane_.table().SetJournal(journal_.get());
   if (convergence_ != nullptr) convergence_->AttachJournal(journal_.get());
+  telemetry_options_.journal = {.enabled = true, .capacity = capacity};
 }
 
 void SdxRuntime::DisableJournal() {
@@ -30,14 +32,20 @@ void SdxRuntime::DisableJournal() {
   route_server_.SetSinks(sinks());
   data_plane_.table().SetJournal(nullptr);
   if (convergence_ != nullptr) convergence_->AttachJournal(nullptr);
+  telemetry_options_.journal.enabled = false;
 }
 
 void SdxRuntime::EnableConvergenceTracking(std::size_t max_pending) {
   convergence_ = std::make_unique<obs::ConvergenceTracker>(max_pending);
   convergence_->AttachJournal(journal_.get());
+  telemetry_options_.convergence = {.enabled = true,
+                                    .max_pending = max_pending};
 }
 
-void SdxRuntime::DisableConvergenceTracking() { convergence_.reset(); }
+void SdxRuntime::DisableConvergenceTracking() {
+  convergence_.reset();
+  telemetry_options_.convergence.enabled = false;
+}
 
 void SdxRuntime::EnableTimeSeries(double interval_seconds,
                                   std::size_t capacity) {
@@ -47,10 +55,14 @@ void SdxRuntime::EnableTimeSeries(double interval_seconds,
       timeseries_.get(), [this] { return CollectTimeSeriesValues(); },
       obs::TimeSeriesSampler::Options{interval_seconds});
   sampler_->Start();
+  telemetry_options_.timeseries = {.enabled = true,
+                                   .interval_seconds = interval_seconds,
+                                   .capacity = capacity};
 }
 
 void SdxRuntime::DisableTimeSeries() {
   sampler_.reset();  // joins the sampler thread; the series stays readable
+  telemetry_options_.timeseries.enabled = false;
 }
 
 void SdxRuntime::EnableFlowTelemetry(obs::FlowRecorder::Options options) {
@@ -59,11 +71,70 @@ void SdxRuntime::EnableFlowTelemetry(obs::FlowRecorder::Options options) {
     flow_recorder_->SetPortOwner(port.id, port.owner);
   }
   data_plane_.SetFlowRecorder(flow_recorder_.get());
+  telemetry_options_.flow = {.enabled = true, .options = options};
 }
 
 void SdxRuntime::DisableFlowTelemetry() {
   data_plane_.SetFlowRecorder(nullptr);
   flow_recorder_.reset();
+  telemetry_options_.flow.enabled = false;
+}
+
+obs::TelemetryOptions SdxRuntime::ConfigureTelemetry(
+    const obs::TelemetryOptions& options) {
+  const obs::TelemetryOptions previous = telemetry_options_;
+
+  if (options.journal != previous.journal) {
+    if (options.journal.enabled) {
+      EnableJournal(options.journal.capacity);
+    } else {
+      DisableJournal();
+    }
+  }
+  if (options.flow != previous.flow) {
+    if (options.flow.enabled) {
+      EnableFlowTelemetry(options.flow.options);
+    } else {
+      DisableFlowTelemetry();
+    }
+  }
+  // The sampler thread reads the convergence tracker, so it is stopped
+  // before the tracker is replaced or removed, then restarted below.
+  const bool convergence_changed =
+      options.convergence != previous.convergence;
+  const bool timeseries_changed =
+      options.timeseries != previous.timeseries;
+  if (convergence_changed || timeseries_changed) DisableTimeSeries();
+  if (convergence_changed) {
+    if (options.convergence.enabled) {
+      EnableConvergenceTracking(options.convergence.max_pending);
+    } else {
+      DisableConvergenceTracking();
+    }
+  }
+  if ((convergence_changed || timeseries_changed) &&
+      options.timeseries.enabled) {
+    EnableTimeSeries(options.timeseries.interval_seconds,
+                     options.timeseries.capacity);
+  }
+
+  telemetry_options_ = options;
+  // Journaled AFTER applying, so the event lands in the journal the new
+  // options produced (args: new/old packed {journal, flow<<1,
+  // convergence<<2, timeseries<<3} enabled bits, journal capacity).
+  const auto pack = [](const obs::TelemetryOptions& o) {
+    return static_cast<std::uint64_t>(o.journal.enabled ? 1 : 0) |
+           (static_cast<std::uint64_t>(o.flow.enabled ? 1 : 0) << 1) |
+           (static_cast<std::uint64_t>(o.convergence.enabled ? 1 : 0) << 2) |
+           (static_cast<std::uint64_t>(o.timeseries.enabled ? 1 : 0) << 3);
+  };
+  obs::JournalRecord(journal_.get(),
+                     obs::JournalEventType::kTelemetryOptionsChanged,
+                     journal_ ? journal_->current_update_id()
+                              : obs::kNoUpdateId,
+                     pack(options), pack(previous),
+                     static_cast<std::uint64_t>(options.journal.capacity));
+  return previous;
 }
 
 Participant& SdxRuntime::AddParticipant(AsNumber as, int physical_ports) {
@@ -453,6 +524,38 @@ void SdxRuntime::RecomputeGroups(obs::Tracer* tracer, bool incremental,
     stable_bindings_.emplace(annotated.prefixes, annotated.binding);
   }
 
+  // Reachability bitmaps (introspective) + mode-appropriate ARP answers.
+  // Every group is (re)bound here: kept bindings were only Bind()ed when
+  // first allocated, and the active encoding may have flipped since —
+  // BindEncoded/Bind displace each other, so this pass is idempotent and
+  // always leaves the responder speaking the active encoding. The per-
+  // group work is independent, so it fans out; binding stays sequential.
+  {
+    const std::vector<AsNumber> policy_senders = PolicySenders();
+    std::vector<dataplane::ArpResponder::EncodedEntry> entries(
+        encoded_active_ ? groups_.groups.size() : 0);
+    auto annotate = [&](std::size_t g) {
+      AnnotatedGroup& group = groups_.groups[g];
+      group.reach = ComputeReach(group, roster_, route_server_);
+      if (encoded_active_) {
+        entries[g] = BuildEncodedArpEntry(group, policy_senders);
+      }
+    };
+    if (pool != nullptr) {
+      pool->ParallelFor(groups_.groups.size(), annotate);
+    } else {
+      for (std::size_t g = 0; g < groups_.groups.size(); ++g) annotate(g);
+    }
+    for (std::size_t g = 0; g < groups_.groups.size(); ++g) {
+      const AnnotatedGroup& group = groups_.groups[g];
+      if (encoded_active_) {
+        arp_.BindEncoded(group.binding.vnh, std::move(entries[g]));
+      } else {
+        arp_.Bind(group.binding.vnh, group.binding.vmac);
+      }
+    }
+  }
+
   // Dirty FIB entries: RIB churn plus every prefix whose advertised VNH
   // appeared, vanished, or changed.
   if (incremental) {
@@ -533,6 +636,43 @@ void SdxRuntime::ReadvertiseRoutes(bool incremental,
   }
 }
 
+std::vector<AsNumber> SdxRuntime::PolicySenders() const {
+  std::vector<AsNumber> senders;
+  for (const auto& [key, set_id] : clause_set_ids_) {
+    if (senders.empty() || senders.back() != key.first) {
+      senders.push_back(key.first);  // map order: already sorted + unique
+    }
+  }
+  return senders;
+}
+
+dataplane::ArpResponder::EncodedEntry SdxRuntime::BuildEncodedArpEntry(
+    const AnnotatedGroup& group,
+    const std::vector<AsNumber>& policy_senders) const {
+  dataplane::ArpResponder::EncodedEntry entry;
+  entry.default_mac = EncodeVmac(roster_.IndexOf(group.best_hop), 0);
+  // Candidates for a non-default answer: senders with outbound clauses
+  // (clause bits / overflow fallback) and senders with their own best hop.
+  // Everyone else resolves to best hop with no bits — the default.
+  auto consider = [&](AsNumber sender) {
+    if (entry.per_requester.contains(sender)) return;
+    const auto it = participants_.find(sender);
+    net::MacAddress answer;
+    if (it != participants_.end() &&
+        it->second.outbound().size() >
+            static_cast<std::size_t>(kEncodedClauseBits)) {
+      // Overflow fallback: this sender keeps legacy answers + rules.
+      answer = group.binding.vmac;
+    } else {
+      answer = EncodedVmacFor(group, sender, roster_, clause_set_ids_);
+    }
+    if (answer != entry.default_mac) entry.per_requester.emplace(sender, answer);
+  };
+  for (AsNumber sender : policy_senders) consider(sender);
+  for (const auto& [sender, hop] : group.per_sender_best) consider(sender);
+  return entry;
+}
+
 CompileOptions SdxRuntime::SetCompileOptions(const CompileOptions& options) {
   const CompileOptions previous = options_;
   options_ = options;
@@ -578,6 +718,59 @@ DecisionOptions SdxRuntime::SetDecisionOptions(const DecisionOptions& options) {
                      pack(decision_options_), pack(previous),
                      static_cast<std::uint64_t>(ResolvedDecisionShards()));
   return previous;
+}
+
+namespace {
+
+VmacEncoding ResolveEncoding(VmacEncoding configured) {
+  if (configured != VmacEncoding::kAuto) return configured;
+  if (const char* env = std::getenv("SDX_VMAC_ENCODING")) {
+    if (std::string_view(env) == "encoded") return VmacEncoding::kEncoded;
+  }
+  return VmacEncoding::kLegacy;
+}
+
+}  // namespace
+
+RuntimeOptions SdxRuntime::Configure(const RuntimeOptions& options) {
+  const RuntimeOptions previous = runtime_options();
+  // Sub-option setters run only on change so their journal events and side
+  // effects (pool teardown, dirty-state drops) fire exactly when the
+  // options actually flip.
+  if (options.compile != previous.compile) SetCompileOptions(options.compile);
+  if (options.decision != previous.decision) {
+    SetDecisionOptions(options.decision);
+  }
+  batch_window_ = options.batch_window;
+  if (options.backend != previous.backend) {
+    data_plane_.table().SetBackend(options.backend);
+  }
+  vmac_encoding_ = options.vmac_encoding;
+  // One consolidated audit event regardless of what changed (args: new/old
+  // packed {compile.parallel, compile.incremental<<1, decision.parallel<<2,
+  // encoded<<3, linear_backend<<4}, new batch window).
+  const auto pack = [](const RuntimeOptions& o) {
+    const bool encoded =
+        ResolveEncoding(o.vmac_encoding) == VmacEncoding::kEncoded;
+    return static_cast<std::uint64_t>(o.compile.parallel ? 1 : 0) |
+           (static_cast<std::uint64_t>(o.compile.incremental ? 1 : 0) << 1) |
+           (static_cast<std::uint64_t>(o.decision.parallel ? 1 : 0) << 2) |
+           (static_cast<std::uint64_t>(encoded ? 1 : 0) << 3) |
+           (static_cast<std::uint64_t>(
+                o.backend == dataplane::FlowTable::Backend::kLinear ? 1 : 0)
+            << 4);
+  };
+  obs::JournalRecord(journal_.get(),
+                     obs::JournalEventType::kRuntimeOptionsChanged,
+                     journal_ ? journal_->current_update_id()
+                              : obs::kNoUpdateId,
+                     pack(options), pack(previous),
+                     static_cast<std::uint64_t>(options.batch_window));
+  return previous;
+}
+
+VmacEncoding SdxRuntime::ResolvedVmacEncoding() const {
+  return ResolveEncoding(vmac_encoding_);
 }
 
 int SdxRuntime::ResolvedDecisionShards() const {
@@ -627,6 +820,18 @@ CompileStats SdxRuntime::FullCompile() {
   const bool incremental = CanCompileIncrementally();
   util::ThreadPool* pool = CompilePool();
 
+  // Resolve the VMAC encoding and the participant numbering for this
+  // generation before any group/ARP work: RecomputeGroups binds ARP
+  // answers in the active encoding, and the composer's masked rules use
+  // the same roster indices.
+  encoded_active_ = ResolvedVmacEncoding() == VmacEncoding::kEncoded;
+  {
+    std::vector<AsNumber> ases;
+    ases.reserve(participants_.size());
+    for (const auto& [as, participant] : participants_) ases.push_back(as);
+    roster_ = Roster(std::move(ases));
+  }
+
   // A full compile is a generation swap, journaled as aggregates (begin/
   // end plus the flow table's bulk events) under the ambient id — per-
   // entity provenance is the fast path's domain.
@@ -655,10 +860,11 @@ CompileStats SdxRuntime::FullCompile() {
       // RULES keyed by content fingerprints, never cache pointers.
       cache_.Clear();
       inbound_policies_ = composer_.BuildInboundPolicies(participants_);
-      compiled =
-          composer_.Compose(participants_, inbound_policies_, groups_,
-                            clause_set_ids_, &cache_, &tracer_, pool,
-                            &block_memo_, &outcome);
+      compiled = composer_.Compose(
+          participants_, inbound_policies_, groups_, clause_set_ids_,
+          &cache_, &tracer_, pool, &block_memo_, &outcome,
+          encoded_active_ ? VmacEncoding::kEncoded : VmacEncoding::kLegacy,
+          &roster_);
     }
 
     {
@@ -912,6 +1118,7 @@ BatchStats SdxRuntime::RunBatch(std::vector<bgp::CoalescedUpdate> slots,
               group.per_sender_best[sender] = own_hop;
             }
           }
+          group.reach = ComputeReach(group, roster_, route_server_);
         };
         if (pool != nullptr && new_groups.size() > 1) {
           pool->ParallelFor(new_groups.size(), build);
@@ -940,10 +1147,12 @@ BatchStats SdxRuntime::RunBatch(std::vector<bgp::CoalescedUpdate> slots,
       {
         obs::TraceSpan span(&tracer_, "slice_compile");
         auto compile = [&](std::size_t g) {
-          slices[g] =
-              composer_.ComposeForGroup(participants_, inbound_policies_,
-                                        new_groups[g], clause_set_ids_,
-                                        &cache_);
+          slices[g] = composer_.ComposeForGroup(
+              participants_, inbound_policies_, new_groups[g],
+              clause_set_ids_, &cache_,
+              encoded_active_ ? VmacEncoding::kEncoded
+                              : VmacEncoding::kLegacy,
+              &roster_);
         };
         if (pool != nullptr && slices.size() > 1) {
           pool->ParallelFor(slices.size(), compile);
@@ -987,8 +1196,19 @@ BatchStats SdxRuntime::RunBatch(std::vector<bgp::CoalescedUpdate> slots,
         // for all receivers that still have a route; receivers that lost
         // it drop the FIB entry. Routers are independent, so they fan out
         // one-per-worker.
-        for (const AnnotatedGroup& group : new_groups) {
-          arp_.Bind(group.binding.vnh, group.binding.vmac);
+        if (encoded_active_) {
+          // The masked rules installed at the last full compile already
+          // cover the new groups; the ARP answer (next-hop index + clause
+          // bits per sender) is what actually re-routes traffic.
+          const std::vector<AsNumber> policy_senders = PolicySenders();
+          for (const AnnotatedGroup& group : new_groups) {
+            arp_.BindEncoded(group.binding.vnh,
+                             BuildEncodedArpEntry(group, policy_senders));
+          }
+        } else {
+          for (const AnnotatedGroup& group : new_groups) {
+            arp_.Bind(group.binding.vnh, group.binding.vmac);
+          }
         }
         std::vector<std::pair<const AsNumber, BorderRouter>*> targets;
         targets.reserve(routers_.size());

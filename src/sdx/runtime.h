@@ -51,6 +51,7 @@
 #include "obs/metrics.h"
 #include "obs/sharded.h"
 #include "obs/sinks.h"
+#include "obs/telemetry_options.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "policy/cache.h"
@@ -58,35 +59,14 @@
 #include "sdx/composer.h"
 #include "sdx/fec.h"
 #include "sdx/group_table.h"
+#include "sdx/options.h"
 #include "sdx/participant.h"
+#include "sdx/reach.h"
 #include "sdx/vnh.h"
 #include "sdx/vswitch.h"
 #include "util/thread_pool.h"
 
 namespace sdx::core {
-
-// How FullCompile runs. Defaults give the fastest correct behavior: fan
-// work out across SDX_COMPILE_THREADS (or hardware) cores and reuse every
-// memoized result whose inputs provably did not change. Both paths are
-// behavior-equivalent to a sequential from-scratch compile (tests/oracle).
-struct CompileOptions {
-  bool parallel = true;     // use a worker pool for the parallelizable stages
-  bool incremental = true;  // reuse unchanged state across FullCompile calls
-  int threads = 0;          // 0 = util::ThreadPool::DefaultThreadCount()
-};
-
-// How the per-batch BGP decision pass runs (DESIGN.md §13). With the
-// defaults the rib_update stage of ApplyUpdates fans the per-prefix
-// decision process out across prefix-hash shards on the compile pool,
-// falling back to the classic sequential pass whenever sharding cannot
-// help (one shard, no pool, a single slot, bulk loading). Behavior-
-// equivalent either way: identical Loc-RIB/FIB/VNH state, journal stream,
-// and metrics (tests/test_decision_shards.cc, tests/oracle).
-struct DecisionOptions {
-  bool parallel = true;  // fan the decision pass across the compile pool
-  int shards = 0;        // 0 = $SDX_DECISION_SHARDS, else pool thread count;
-                         // clamped to [1, bgp::kMaxDecisionShards]
-};
 
 struct CompileStats {
   std::size_t prefix_group_count = 0;
@@ -213,10 +193,45 @@ class SdxRuntime {
   // queue is empty.
   BatchStats Flush();
 
-  // Auto-flush threshold for EnqueueUpdate, counted in raw (pre-coalesce)
-  // updates. 0 (the default) means only an explicit Flush()/ApplyUpdates()
-  // drains the queue.
-  void SetBatchWindow(std::size_t max_pending) { batch_window_ = max_pending; }
+  // --- Runtime options (the consolidated knob surface) --------------------
+  // Applies the whole RuntimeOptions value atomically: compile options,
+  // decision options, batch window, data-plane backend, and VMAC encoding.
+  // Returns the previous options and journals a runtime_options_changed
+  // event; sub-option changes additionally keep their own journal events
+  // (compile_options_changed / decision_options_changed) and side effects.
+  // The VMAC encoding takes effect at the next FullCompile().
+  RuntimeOptions Configure(const RuntimeOptions& options);
+
+  // The current consolidated options (what Configure would return).
+  RuntimeOptions runtime_options() const {
+    RuntimeOptions out;
+    out.compile = options_;
+    out.decision = decision_options_;
+    out.batch_window = batch_window_;
+    out.backend = data_plane_.table().backend();
+    out.vmac_encoding = vmac_encoding_;
+    return out;
+  }
+
+  // The configured encoding mode, and what kAuto currently resolves to
+  // (consults SDX_VMAC_ENCODING; see sdx/reach.h).
+  VmacEncoding vmac_encoding() const { return vmac_encoding_; }
+  VmacEncoding ResolvedVmacEncoding() const;
+  // Whether the LAST FullCompile used the encoded mode (what the installed
+  // rules and ARP answers currently speak).
+  bool encoded_vmacs_active() const { return encoded_active_; }
+  // The participant roster numbering of the last FullCompile (encoded-mode
+  // next-hop index space).
+  const Roster& roster() const { return roster_; }
+
+  // DEPRECATED: use Configure(). Auto-flush threshold for EnqueueUpdate,
+  // counted in raw (pre-coalesce) updates. 0 (the default) means only an
+  // explicit Flush()/ApplyUpdates() drains the queue.
+  void SetBatchWindow(std::size_t max_pending) {
+    RuntimeOptions options = runtime_options();
+    options.batch_window = max_pending;
+    Configure(options);
+  }
   std::size_t batch_window() const { return batch_window_; }
 
   // Raw updates currently queued (pre-coalesce count).
@@ -226,18 +241,19 @@ class SdxRuntime {
   // included).
   const BatchStats& last_batch() const { return last_batch_; }
 
-  // Takes effect at the next FullCompile(). Turning `incremental` off also
-  // drops all dirty-tracking state, so the next compile is from scratch.
-  // Returns the previous options and journals a compile_options_changed
-  // event, so option flips are auditable next to the compiles they affect.
+  // DEPRECATED: use Configure(). Takes effect at the next FullCompile().
+  // Turning `incremental` off also drops all dirty-tracking state, so the
+  // next compile is from scratch. Returns the previous options and journals
+  // a compile_options_changed event, so option flips are auditable next to
+  // the compiles they affect.
   CompileOptions SetCompileOptions(const CompileOptions& options);
   const CompileOptions& compile_options() const { return options_; }
 
-  // Takes effect at the next drained batch. Returns the previous options
-  // and journals a decision_options_changed event (mirrors
-  // SetCompileOptions). The effective shard count also honors the
-  // SDX_DECISION_SHARDS environment knob when `shards` is 0 (see
-  // DecisionOptions).
+  // DEPRECATED: use Configure(). Takes effect at the next drained batch.
+  // Returns the previous options and journals a decision_options_changed
+  // event (mirrors SetCompileOptions). The effective shard count also
+  // honors the SDX_DECISION_SHARDS environment knob when `shards` is 0
+  // (see DecisionOptions).
   DecisionOptions SetDecisionOptions(const DecisionOptions& options);
   const DecisionOptions& decision_options() const {
     return decision_options_;
@@ -262,11 +278,13 @@ class SdxRuntime {
   std::vector<dataplane::Emission> InjectFromParticipantBatch(
       AsNumber as, std::span<const net::Packet> packets);
 
-  // Selects the data-plane lookup backend (DESIGN.md §11): kCompiled is
-  // the production fast path, kLinear the reference scan the equivalence
-  // oracle diffs against.
+  // DEPRECATED: use Configure(). Selects the data-plane lookup backend
+  // (DESIGN.md §11): kCompiled is the production fast path, kLinear the
+  // reference scan the equivalence oracle diffs against.
   void SetDataPlaneBackend(dataplane::FlowTable::Backend backend) {
-    data_plane_.table().SetBackend(backend);
+    RuntimeOptions options = runtime_options();
+    options.backend = backend;
+    Configure(options);
   }
 
   // --- Introspection -----------------------------------------------------------
@@ -306,6 +324,24 @@ class SdxRuntime {
 
   // Span tree of the most recent FullCompile()/ApplyBgpUpdate().
   const obs::Tracer& last_trace() const { return tracer_; }
+
+  // --- Consolidated telemetry configuration -------------------------------
+  // Applies the whole TelemetryOptions value (journal, flow telemetry,
+  // convergence tracking, time series) atomically and idempotently: only
+  // subsystems whose options actually changed are touched, so repeated
+  // Configure calls with the same value never recreate a recorder.
+  // Returns the previous options and journals a telemetry_options_changed
+  // event into the (possibly new) journal. The four Enable*/Disable* pairs
+  // below survive as thin delegating wrappers; new code should use this.
+  // Ordering caveat folded in: the time-series sampler is stopped before
+  // the convergence tracker it reads is replaced, then restarted.
+  obs::TelemetryOptions ConfigureTelemetry(const obs::TelemetryOptions& options);
+
+  // The current consolidated telemetry options (kept in sync by the
+  // Enable*/Disable* wrappers too).
+  const obs::TelemetryOptions& telemetry_options() const {
+    return telemetry_options_;
+  }
 
   // The control-plane flight recorder (DESIGN.md §7): typed events tagged
   // with per-update provenance ids, threaded from session delivery through
@@ -465,6 +501,20 @@ class SdxRuntime {
   std::vector<std::uint32_t> SetsContaining(const net::IPv4Prefix& prefix)
       const;
 
+  // Encoded-mode ARP answer for one group: default = best hop index with
+  // no bits; per-requester overrides for `policy_senders` (the only senders
+  // whose clause bits can be nonzero) plus the group's per-sender-best
+  // keys, stored sparsely (only when they differ from the default).
+  // Overflow-fallback senders get the legacy VMAC instead.
+  dataplane::ArpResponder::EncodedEntry BuildEncodedArpEntry(
+      const AnnotatedGroup& group,
+      const std::vector<AsNumber>& policy_senders) const;
+
+  // Senders that can need a non-default encoded ARP answer by policy: the
+  // unique sender ASes of clause_set_ids_ (clause bits), including the
+  // overflow-fallback ones (legacy answers).
+  std::vector<AsNumber> PolicySenders() const;
+
   rs::RouteServer route_server_;
   dataplane::SwitchDataPlane data_plane_;
   dataplane::ArpResponder arp_;
@@ -484,6 +534,15 @@ class SdxRuntime {
   // --- Incremental-compilation state (DESIGN.md §8) ----------------------
   CompileOptions options_;
   DecisionOptions decision_options_;
+  // Configured encoding mode; resolved (kAuto → env) at each FullCompile
+  // into encoded_active_, which describes the installed rules/ARP answers.
+  VmacEncoding vmac_encoding_ = VmacEncoding::kAuto;
+  bool encoded_active_ = false;
+  // Participant numbering of the last FullCompile (encoded next-hop space).
+  Roster roster_;
+  // Consolidated telemetry view, kept in sync by ConfigureTelemetry and
+  // the Enable*/Disable* wrappers.
+  obs::TelemetryOptions telemetry_options_;
   std::unique_ptr<util::ThreadPool> pool_;
   BlockMemo block_memo_;
   bool have_previous_compile_ = false;

@@ -19,6 +19,7 @@ VnhBinding VnhAllocator::Allocate() {
   if (!free_list_.empty()) {
     offset = free_list_.back();
     free_list_.pop_back();
+    free_set_.erase(offset);
   } else {
     const std::uint32_t capacity =
         ~net::IPv4Prefix::Mask(pool_.length());  // host-bit count mask
@@ -36,11 +37,20 @@ VnhBinding VnhAllocator::Allocate() {
 }
 
 void VnhAllocator::Release(const VnhBinding& binding) {
+  // Out-of-pool addresses (default-constructed bindings, real next hops)
+  // must never seed the free list: their masked offset would alias a live
+  // or future allocation and hand the same VNH out twice.
+  if (!pool_.Contains(binding.vnh)) return;
   auto it = live_.find(binding.vnh);
-  if (it == live_.end()) return;
+  if (it == live_.end()) return;  // double release / never allocated: no-op
   live_.erase(it);
-  free_list_.push_back(binding.vnh.value() & ~net::IPv4Prefix::Mask(
-                                                 pool_.length()));
+  const std::uint32_t offset =
+      binding.vnh.value() & ~net::IPv4Prefix::Mask(pool_.length());
+  // Belt-and-braces against free-list corruption under fast-path churn: an
+  // offset parks in the free list at most once, whatever sequence of stale
+  // handles gets released.
+  if (!free_set_.insert(offset).second) return;
+  free_list_.push_back(offset);
 }
 
 std::optional<net::MacAddress> VnhAllocator::VmacFor(

@@ -16,6 +16,7 @@
 #include <optional>
 #include <stdexcept>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "net/ipv4.h"
@@ -38,7 +39,14 @@ class VnhAllocator {
   // when the pool is exhausted.
   VnhBinding Allocate();
 
-  // Returns a binding to the pool for reuse.
+  // Returns a binding to the pool for reuse (LIFO). Hardened against
+  // fast-path churn hazards: releasing an out-of-pool address, a
+  // never-allocated binding, or the same binding twice is a no-op — the
+  // free list can never hold an offset twice, so reuse cannot hand one
+  // VNH to two groups. Releasing a STALE handle after its offset was
+  // reallocated still retires the new owner's entry (the encoding carries
+  // no generation bits); the runtime's release-before-allocate discipline
+  // in RecomputeGroups avoids that order.
   void Release(const VnhBinding& binding);
 
   // The VMAC corresponding to an allocated VNH (nullopt if never allocated
@@ -62,6 +70,8 @@ class VnhAllocator {
   net::IPv4Prefix pool_;
   std::uint32_t next_offset_ = 1;  // skip the network address
   std::vector<std::uint32_t> free_list_;
+  // Mirror of free_list_ for O(1) duplicate suppression in Release.
+  std::unordered_set<std::uint32_t> free_set_;
   std::unordered_map<net::IPv4Address, net::MacAddress> live_;
   std::uint64_t total_allocations_ = 0;
 };

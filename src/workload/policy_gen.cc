@@ -188,7 +188,9 @@ GeneratedPolicies PolicyGenerator::Generate(const IxpScenario& scenario) const {
 
   // --- Coverage clauses (bench knob; see PolicyParams::coverage_fanout) ---
   // Every top transit installs them, so the per-update fast-path work of
-  // Figure 9 scales with the number of participants carrying policies.
+  // Figure 9 scales with the number of participants carrying policies. With
+  // coverage_max_per_sender set, the same clause stream is dealt over a
+  // wider sender pool instead, so no single participant exceeds the cap.
   if (params_.coverage_fanout > 0 && !transits.empty()) {
     std::vector<const Member*> by_announcements;
     for (const Member& member : scenario.members) {
@@ -198,20 +200,73 @@ GeneratedPolicies PolicyGenerator::Generate(const IxpScenario& scenario) const {
                      [](const Member* a, const Member* b) {
                        return a->announced.size() > b->announced.size();
                      });
-    for (std::size_t t = 0; t < top_transits; ++t) {
-      const Member* coverage_sender = transits[t];
-      auto& clauses = out.outbound[coverage_sender->as];
-      int added = 0;
-      for (const Member* target : by_announcements) {
-        if (added >= params_.coverage_fanout) break;
-        if (target->as == coverage_sender->as || target->announced.empty()) {
-          continue;
+    if (params_.coverage_max_per_sender > 0) {
+      // Remaining clause budget per pool member; counts the §6.1 clauses a
+      // sender already holds so the cap bounds the sender's whole list.
+      std::map<bgp::AsNumber, int> remaining;
+      for (const Member* member : by_announcements) {
+        int held = 0;
+        auto it = out.outbound.find(member->as);
+        if (it != out.outbound.end()) {
+          held = static_cast<int>(it->second.size());
         }
+        remaining[member->as] =
+            std::max(0, params_.coverage_max_per_sender - held);
+      }
+      // Announcing members only — the clause stream cycles this list when
+      // the fanout asks for more clauses than there are announcers, so the
+      // stream really carries top_transits × coverage_fanout clauses (the
+      // concentrated mode silently truncates at the announcer count).
+      std::vector<const Member*> announcers;
+      for (const Member* member : by_announcements) {
+        if (!member->announced.empty()) announcers.push_back(member);
+      }
+      std::size_t cursor = 0;       // first pool member with budget left
+      std::size_t target_idx = 0;   // cycles over `announcers`
+      const std::size_t stream_length =
+          static_cast<std::size_t>(params_.coverage_fanout) * top_transits;
+      for (std::size_t n = 0; n < stream_length && !announcers.empty();
+           ++n) {
+        const Member* target = announcers[target_idx];
+        target_idx = (target_idx + 1) % announcers.size();
+        while (cursor < by_announcements.size() &&
+               remaining[by_announcements[cursor]->as] <= 0) {
+          ++cursor;
+        }
+        // A sender never targets itself, so probe past the cursor for
+        // that one pair without consuming the cursor sender's budget.
+        std::size_t pick = cursor;
+        while (pick < by_announcements.size() &&
+               (by_announcements[pick]->as == target->as ||
+                remaining[by_announcements[pick]->as] <= 0)) {
+          ++pick;
+        }
+        if (pick >= by_announcements.size()) break;  // pool exhausted
+        const Member* coverage_sender = by_announcements[pick];
+        auto& clauses = out.outbound[coverage_sender->as];
         OutboundClause clause;
-        clause.match = Predicate::DstPort(kAppPorts[added % 5]);
+        clause.match = Predicate::DstPort(kAppPorts[n % 5]);
         clause.to = target->as;
         clauses.push_back(std::move(clause));
-        ++added;
+        --remaining[coverage_sender->as];
+      }
+    } else {
+      for (std::size_t t = 0; t < top_transits; ++t) {
+        const Member* coverage_sender = transits[t];
+        auto& clauses = out.outbound[coverage_sender->as];
+        int added = 0;
+        for (const Member* target : by_announcements) {
+          if (added >= params_.coverage_fanout) break;
+          if (target->as == coverage_sender->as ||
+              target->announced.empty()) {
+            continue;
+          }
+          OutboundClause clause;
+          clause.match = Predicate::DstPort(kAppPorts[added % 5]);
+          clause.to = target->as;
+          clauses.push_back(std::move(clause));
+          ++added;
+        }
       }
     }
   }

@@ -106,4 +106,15 @@ std::unique_ptr<core::SdxRuntime> BuildRuntime(
   return runtime;
 }
 
+std::unique_ptr<core::SdxRuntime> BuildRuntime(
+    const workload::IxpScenario& scenario,
+    const workload::GeneratedPolicies& policies,
+    const core::RuntimeOptions& options) {
+  auto runtime = std::make_unique<core::SdxRuntime>();
+  runtime->Configure(options);
+  workload::Install(*runtime, scenario, policies);
+  runtime->FullCompile();
+  return runtime;
+}
+
 }  // namespace sdx::oracle

@@ -53,4 +53,12 @@ std::unique_ptr<core::SdxRuntime> BuildRuntime(
     const workload::GeneratedPolicies& policies,
     const core::CompileOptions& options);
 
+// As above, but configured with the full RuntimeOptions value. The
+// encoding-mode oracle legs use this to pin vmac_encoding explicitly
+// (kLegacy vs kEncoded) instead of inheriting SDX_VMAC_ENCODING.
+std::unique_ptr<core::SdxRuntime> BuildRuntime(
+    const workload::IxpScenario& scenario,
+    const workload::GeneratedPolicies& policies,
+    const core::RuntimeOptions& options);
+
 }  // namespace sdx::oracle

@@ -1,0 +1,177 @@
+// Unit tests for the iSDX-style encoded-VMAC machinery (sdx/reach.h):
+// layout codecs, roster numbering, multi-word reachability bitmaps, clause
+// eligibility bits (including the >kEncodedClauseBits overflow), per-sender
+// VMAC derivation with its roster fallback, and a runtime-level check that
+// rosters past 64 participants spill into a second bitmap word.
+#include "sdx/reach.h"
+
+#include <gtest/gtest.h>
+
+#include "sdx/group_table.h"
+#include "sdx/runtime.h"
+
+namespace sdx::core {
+namespace {
+
+TEST(EncodedVmac, RoundTripsFields) {
+  const net::MacAddress mac = EncodeVmac(0x1234, 0x00ABCDEF);
+  EXPECT_TRUE(IsEncodedVmac(mac));
+  EXPECT_EQ(EncodedNhIndex(mac), 0x1234u);
+  EXPECT_EQ(EncodedClauseBits(mac), 0x00ABCDEFu);
+}
+
+TEST(EncodedVmac, MarkerDisjointFromLegacyAndPortMacs) {
+  // Legacy VMACs use the 0x0A OUI byte (vnh.h), physical port MACs 0x02
+  // (vswitch); neither may ever satisfy an encoded masked rule.
+  const net::MacAddress legacy((std::uint64_t{0x0A} << 40) | 7);
+  const net::MacAddress port_mac((std::uint64_t{0x02} << 40) | 9);
+  EXPECT_FALSE(IsEncodedVmac(legacy));
+  EXPECT_FALSE(IsEncodedVmac(port_mac));
+  EXPECT_TRUE(IsEncodedVmac(EncodeVmac(0, 0)));
+}
+
+TEST(EncodedVmac, TruncatesOutOfRangeFields) {
+  // nh field is 16 bits, clause field kEncodedClauseBits; excess bits must
+  // never leak into the marker byte or each other.
+  const net::MacAddress mac = EncodeVmac(0xFFFFFFFFu, 0xFFFFFFFFu);
+  EXPECT_TRUE(IsEncodedVmac(mac));
+  EXPECT_EQ(EncodedNhIndex(mac), 0xFFFFu);
+  EXPECT_EQ(EncodedClauseBits(mac), kEncodedClauseMask);
+}
+
+TEST(Roster, IndexOfAndAsAtRoundTrip) {
+  const Roster roster({100, 200, 300});
+  EXPECT_EQ(roster.size(), 3u);
+  EXPECT_EQ(roster.IndexOf(100), 1u);
+  EXPECT_EQ(roster.IndexOf(200), 2u);
+  EXPECT_EQ(roster.IndexOf(300), 3u);
+  EXPECT_EQ(roster.AsAt(1), 100u);
+  EXPECT_EQ(roster.AsAt(3), 300u);
+}
+
+TEST(Roster, UnknownAsAndIndexZeroAreReserved) {
+  const Roster roster({100, 200});
+  EXPECT_EQ(roster.IndexOf(150), 0u);
+  EXPECT_EQ(roster.AsAt(0), 0u);
+  EXPECT_EQ(roster.AsAt(3), 0u);
+  EXPECT_EQ(Roster().IndexOf(100), 0u);
+}
+
+TEST(ReachabilityBitmap, MultiWordPast64Participants) {
+  ReachabilityBitmap bitmap;
+  EXPECT_TRUE(bitmap.Empty());
+  bitmap.Set(1);
+  bitmap.Set(63);
+  bitmap.Set(64);   // first bit of the second word
+  bitmap.Set(130);  // third word
+  EXPECT_EQ(bitmap.words().size(), 3u);
+  EXPECT_EQ(bitmap.Count(), 4u);
+  EXPECT_TRUE(bitmap.Test(1));
+  EXPECT_TRUE(bitmap.Test(64));
+  EXPECT_TRUE(bitmap.Test(130));
+  EXPECT_FALSE(bitmap.Test(2));
+  EXPECT_FALSE(bitmap.Test(129));
+  EXPECT_FALSE(bitmap.Test(100000));  // beyond allocated words
+  EXPECT_FALSE(bitmap.Empty());
+
+  ReachabilityBitmap other;
+  other.Set(1);
+  EXPECT_NE(bitmap, other);
+}
+
+AnnotatedGroup MakeGroup(bgp::AsNumber best_hop,
+                         std::vector<std::uint32_t> member_of) {
+  AnnotatedGroup group;
+  group.best_hop = best_hop;
+  group.member_of = std::move(member_of);
+  return group;
+}
+
+TEST(SenderClauseBits, SetsBitPerEligibleClause) {
+  // Sender 100 has clauses 0, 1, 2 with behavior sets 10, 11, 12; the group
+  // belongs to sets 10 and 12, so bits 0 and 2 are set. Another sender's
+  // clauses never contribute.
+  ClauseSetIds ids;
+  ids[{100, 0}] = 10;
+  ids[{100, 1}] = 11;
+  ids[{100, 2}] = 12;
+  ids[{200, 0}] = 10;
+  const AnnotatedGroup group = MakeGroup(300, {10, 12});
+  const SenderClauseView view = SenderClauseBitsFor(group, 100, ids);
+  EXPECT_EQ(view.bits, 0b101u);
+  EXPECT_FALSE(view.overflow);
+  EXPECT_EQ(SenderClauseBitsFor(group, 200, ids).bits, 0b1u);
+  EXPECT_EQ(SenderClauseBitsFor(group, 999, ids).bits, 0u);
+}
+
+TEST(SenderClauseBits, ClausePastBitWidthOverflows) {
+  ClauseSetIds ids;
+  ids[{100, 3}] = 10;
+  ids[{100, kEncodedClauseBits}] = 11;  // not representable as a bit
+  const AnnotatedGroup group = MakeGroup(300, {10, 11});
+  const SenderClauseView view = SenderClauseBitsFor(group, 100, ids);
+  EXPECT_EQ(view.bits, 1u << 3);
+  EXPECT_TRUE(view.overflow);
+}
+
+TEST(EncodedVmacFor, PerSenderBestOverridesSharedBestHop) {
+  const Roster roster({100, 200, 300});
+  ClauseSetIds ids;
+  ids[{100, 1}] = 10;
+  AnnotatedGroup group = MakeGroup(300, {10});
+  group.per_sender_best[100] = 200;
+  const net::MacAddress mac = EncodedVmacFor(group, 100, roster, ids);
+  EXPECT_EQ(EncodedNhIndex(mac), roster.IndexOf(200));
+  EXPECT_EQ(EncodedClauseBits(mac), 1u << 1);
+  // A sender without an exception rides the shared best hop.
+  EXPECT_EQ(EncodedNhIndex(EncodedVmacFor(group, 200, roster, ids)),
+            roster.IndexOf(300));
+}
+
+TEST(EncodedVmacFor, UnresolvableExceptionFallsBackToBestHop) {
+  // Mirrors the legacy composer: an exception hop that is not (or no
+  // longer) a participant is skipped and the shared default carries the
+  // traffic.
+  const Roster roster({100, 300});
+  AnnotatedGroup group = MakeGroup(300, {});
+  group.per_sender_best[100] = 999;  // not in the roster
+  EXPECT_EQ(EncodedNhIndex(EncodedVmacFor(group, 100, roster, {})),
+            roster.IndexOf(300));
+}
+
+TEST(EncodedVmacFor, NothingResolvableEncodesIndexZero) {
+  const Roster roster({100});
+  const AnnotatedGroup group = MakeGroup(0, {});
+  EXPECT_EQ(EncodedNhIndex(EncodedVmacFor(group, 100, roster, {})), 0u);
+}
+
+// Runtime-level: with more than 64 participants announcing a shared prefix,
+// the group's reachability bitmap must span multiple words and the roster
+// must number every participant.
+TEST(ReachIntegration, BitmapSpansWordsPast64Participants) {
+  constexpr int kParticipants = 70;
+  SdxRuntime runtime;
+  const net::IPv4Prefix shared(net::IPv4Address(10, 200, 0, 0), 16);
+  for (int i = 0; i < kParticipants; ++i) {
+    runtime.AddParticipant(101 + i, 1);
+  }
+  for (int i = 0; i < kParticipants; ++i) {
+    runtime.AnnouncePrefix(101 + i, shared, {bgp::AsNumber(101 + i), 65000});
+  }
+  OutboundClause clause;
+  clause.match = policy::Predicate::DstPort(80);
+  clause.to = 102;
+  runtime.SetOutboundPolicy(101, {clause});
+  runtime.FullCompile();
+
+  EXPECT_EQ(runtime.roster().size(), std::size_t{kParticipants});
+  const AnnotatedGroup* group = runtime.groups().FindByPrefix(shared);
+  ASSERT_NE(group, nullptr);
+  EXPECT_EQ(group->reach.Count(), std::size_t{kParticipants});
+  EXPECT_GE(group->reach.words().size(), 2u);
+  EXPECT_TRUE(group->reach.Test(runtime.roster().IndexOf(101)));
+  EXPECT_TRUE(group->reach.Test(runtime.roster().IndexOf(101 + 69)));
+}
+
+}  // namespace
+}  // namespace sdx::core

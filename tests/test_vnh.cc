@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <vector>
 
 namespace sdx::core {
 namespace {
@@ -54,6 +55,73 @@ TEST(VnhAllocator, DoubleReleaseIsIdempotent) {
   alloc.Allocate();
   VnhBinding next = alloc.Allocate();
   EXPECT_NE(next.vnh, binding.vnh);  // not handed out twice
+}
+
+TEST(VnhAllocator, ReleaseOutOfPoolIsNoOp) {
+  VnhAllocator alloc;
+  // Default-constructed bindings (0.0.0.0) and real next-hop addresses must
+  // never seed the free list — their masked offsets would alias pool
+  // allocations.
+  alloc.Release(VnhBinding{});
+  alloc.Release(VnhBinding{.vnh = net::IPv4Address(192, 168, 0, 1),
+                           .vmac = net::MacAddress(0x1)});
+  VnhBinding binding = alloc.Allocate();
+  EXPECT_EQ(binding.vnh, net::IPv4Address(172, 16, 0, 1));
+  EXPECT_EQ(alloc.allocated_count(), 1u);
+}
+
+TEST(VnhAllocator, ReleaseNeverAllocatedIsNoOp) {
+  VnhAllocator alloc;
+  // In-pool but never handed out: releasing it must not make it allocatable
+  // ahead of the sequential cursor (that would alias the later allocation
+  // of the same offset).
+  alloc.Release(VnhBinding{.vnh = net::IPv4Address(172, 16, 0, 5),
+                           .vmac = net::MacAddress(0x5)});
+  EXPECT_EQ(alloc.Allocate().vnh, net::IPv4Address(172, 16, 0, 1));
+}
+
+TEST(VnhAllocator, ChurnWithStaleDoubleReleasesNeverDuplicates) {
+  // Fast-path churn pattern: waves of allocations with half of each wave
+  // released — and every release repeated with the now-stale handle. The
+  // duplicate releases must be no-ops (free-set dedupe), so no VNH is ever
+  // live twice.
+  VnhAllocator alloc;
+  std::set<std::uint32_t> live;
+  std::vector<VnhBinding> handles;
+  auto take = [&](int count) {
+    for (int i = 0; i < count; ++i) {
+      VnhBinding binding = alloc.Allocate();
+      EXPECT_TRUE(live.insert(binding.vnh.value()).second)
+          << "VNH handed out while live: " << binding.vnh.value();
+      handles.push_back(binding);
+    }
+  };
+  take(16);
+  for (int round = 0; round < 4; ++round) {
+    std::vector<VnhBinding> kept;
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+      if (i % 2 == 0) {
+        alloc.Release(handles[i]);
+        alloc.Release(handles[i]);  // stale duplicate — must be a no-op
+        live.erase(handles[i].vnh.value());
+      } else {
+        kept.push_back(handles[i]);
+      }
+    }
+    handles = std::move(kept);
+    take(8);
+    EXPECT_EQ(alloc.allocated_count(), live.size());
+  }
+}
+
+TEST(VnhAllocator, ExhaustionAfterChurnStillThrows) {
+  VnhAllocator alloc(net::IPv4Prefix(net::IPv4Address(10, 0, 0, 0), 30));
+  VnhBinding a = alloc.Allocate();
+  alloc.Allocate();
+  alloc.Release(a);
+  alloc.Release(a);  // duplicate release must not mint extra capacity
+  EXPECT_EQ(alloc.Allocate().vnh, a.vnh);
+  EXPECT_THROW(alloc.Allocate(), std::runtime_error);
 }
 
 TEST(VnhAllocator, SmallPoolExhausts) {

@@ -47,6 +47,10 @@
 //     (absolute gauge floors: compiled-classifier speedup and the sharded
 //      decision-pass speedup measured by fig10 part (c); the decision
 //      floor is off by default — core-count dependent)
+//   --min-rule-reduction=R
+//     (absolute gauge floor on rules.isdx_reduction — the legacy/encoded
+//      flow-rule ratio measured by fig7's iSDX column; off by default,
+//      the CI bench lane pins it)
 //
 // Exit codes: 0 ok, 1 regression detected (diff/health only), 2
 // usage/IO/parse.
@@ -88,6 +92,7 @@ int Usage() {
       "        [--max-p50-ratio=R] [--max-p95-ratio=R] [--max-p99-ratio=R]\n"
       "        [--noise-floor-us=U] [--max-telemetry-overhead=R]\n"
       "        [--min-fastpath-speedup=R] [--min-decision-speedup=R]\n"
+      "        [--min-rule-reduction=R]\n"
       "        [--max-convergence-p99=S]\n"
       "        [--max-convergence-overhead=R]\n"
       "  health <health.json|timeseries.json> render a health snapshot (exit\n"
@@ -276,6 +281,8 @@ int CmdDiff(const std::vector<std::string>& args) {
       options.min_fastpath_speedup = std::stod(value);
     } else if (FlagValue(args[i], "--min-decision-speedup", &value)) {
       options.min_decision_speedup = std::stod(value);
+    } else if (FlagValue(args[i], "--min-rule-reduction", &value)) {
+      options.min_rule_reduction = std::stod(value);
     } else if (FlagValue(args[i], "--max-convergence-p99", &value)) {
       options.max_convergence_p99_seconds = std::stod(value);
     } else if (FlagValue(args[i], "--max-convergence-overhead", &value)) {
